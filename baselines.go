@@ -1,0 +1,47 @@
+package fastod
+
+import (
+	"time"
+
+	"repro/internal/order"
+	"repro/internal/tane"
+)
+
+// Baseline re-exports: the paper's two comparison algorithms are available
+// through the public API so downstream users can reproduce the evaluation or
+// use TANE when only functional dependencies are needed.
+type (
+	// FD is a minimal functional dependency as discovered by TANE.
+	FD = tane.FD
+	// TANEResult is the outcome of a TANE run.
+	TANEResult = tane.Result
+	// TANEOptions configures a TANE run.
+	TANEOptions = tane.Options
+	// ORDERResult is the outcome of an ORDER run (list-based baseline).
+	ORDERResult = order.Result
+	// ORDEROptions configures an ORDER run, including its time/node budget.
+	ORDEROptions = order.Options
+)
+
+// DiscoverFDs runs the TANE baseline over the dataset and returns the
+// complete set of minimal functional dependencies. This is the FD-only
+// comparison point of the paper's Experiment 4; it cannot see order
+// semantics.
+func (d *Dataset) DiscoverFDs(opts TANEOptions) (*TANEResult, error) {
+	return tane.Discover(d.enc, opts)
+}
+
+// DiscoverWithORDER runs the ORDER baseline (Langer & Naumann) over the
+// dataset. ORDER's search space is factorial in the number of attributes, so
+// callers should set a budget for wide schemas; a run that exceeds it reports
+// TimedOut=true.
+func (d *Dataset) DiscoverWithORDER(opts ORDEROptions) (*ORDERResult, error) {
+	return order.Discover(d.enc, opts)
+}
+
+// DefaultORDERBudget is a conservative budget for interactive use of the
+// ORDER baseline: wide schemas hit it quickly because of the factorial
+// search space.
+func DefaultORDERBudget() ORDEROptions {
+	return ORDEROptions{Timeout: 30 * time.Second, MaxNodes: 2_000_000}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "emp.csv")
+	content := "sal,tax,perc\n5000,1000,20\n8000,2000,25\n10000,3000,30\n4500,900,20\n6000,1500,25\n8000,2000,25\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAlgorithms(t *testing.T) {
+	path := writeFixture(t)
+	for _, alg := range []string{"fastod", "tane", "order"} {
+		if err := run(path, alg, 0, false, false, false, 2, time.Second); err != nil {
+			t.Errorf("run(%s): %v", alg, err)
+		}
+	}
+	// Level stats, count-only and no-pruning paths.
+	if err := run(path, "fastod", 2, true, true, true, 0, time.Second); err != nil {
+		t.Errorf("run(fastod, options): %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeFixture(t)
+	if err := run(path, "bogus", 0, false, false, false, 0, time.Second); err == nil {
+		t.Error("expected error for unknown algorithm")
+	}
+	if err := run(path+".missing", "fastod", 0, false, false, false, 0, time.Second); err == nil {
+		t.Error("expected error for missing input")
+	}
+}

@@ -1,0 +1,134 @@
+// Command odbench regenerates the paper's evaluation (Section 5) on the
+// synthetic stand-in datasets: Figure 4 (scalability in tuples), Figure 5
+// (scalability in attributes), Figure 6 (impact of pruning) and Figure 7
+// (per-lattice-level behaviour). It prints the same series the paper plots —
+// running time per algorithm plus "#ODs (#FDs + #OCDs)" — so the shapes can
+// be compared directly; EXPERIMENTS.md records such a comparison.
+//
+// Usage:
+//
+//	odbench -fig all            # run every experiment at the default scale
+//	odbench -fig 5 -quick       # a fast, reduced-scale run
+//	odbench -fig single -input my.csv   # compare the three algorithms on a CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/relation"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "which experiment to run: 4, 5, 6, 7, all or single")
+		quick = flag.Bool("quick", false, "use the reduced-scale configuration")
+		input = flag.String("input", "", "CSV file for -fig single")
+		seed  = flag.Int64("seed", 2017, "random seed for dataset generation")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	cfg.Seed = *seed
+
+	if err := run(*fig, *input, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "odbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, input string, cfg bench.Config) error {
+	switch fig {
+	case "4":
+		return runFigure4(cfg)
+	case "5":
+		return runFigure5(cfg)
+	case "6":
+		return runFigure6(cfg)
+	case "7":
+		return runFigure7(cfg)
+	case "all":
+		for _, f := range []func(bench.Config) error{runFigure4, runFigure5, runFigure6, runFigure7} {
+			if err := f(cfg); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	case "single":
+		return runSingle(input, cfg)
+	default:
+		return fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, all or single)", fig)
+	}
+}
+
+func runFigure4(cfg bench.Config) error {
+	start := time.Now()
+	ms, err := bench.Figure4(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatTable("Figure 4: scalability in the number of tuples (Exp-1, Exp-3, Exp-4)", ms))
+	fmt.Printf("(total experiment time %v)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runFigure5(cfg bench.Config) error {
+	start := time.Now()
+	ms, err := bench.Figure5(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatTable("Figure 5: scalability in the number of attributes (Exp-2, Exp-3, Exp-4)", ms))
+	fmt.Printf("(total experiment time %v)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runFigure6(cfg bench.Config) error {
+	start := time.Now()
+	ms, err := bench.Figure6(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatTable("Figure 6: impact of pruning, FASTOD vs FASTOD-NoPruning (Exp-5, Exp-6)", ms))
+	fmt.Printf("(total experiment time %v)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runFigure7(cfg bench.Config) error {
+	start := time.Now()
+	ms, err := bench.Figure7(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatLevelTable(
+		fmt.Sprintf("Figure 7: per-lattice-level behaviour, flight-like %d rows x %d columns (Exp-7)", cfg.LevelRows, cfg.LevelCols), ms))
+	fmt.Printf("(total experiment time %v)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runSingle(input string, cfg bench.Config) error {
+	if input == "" {
+		return fmt.Errorf("-fig single requires -input")
+	}
+	rel, err := relation.ReadCSVFile(input)
+	if err != nil {
+		return err
+	}
+	enc, err := relation.Encode(rel)
+	if err != nil {
+		return err
+	}
+	ms, err := bench.Table1(enc, rel.Name, cfg.ORDERBudget)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatTable("Algorithm comparison on "+rel.Name, ms))
+	return nil
+}

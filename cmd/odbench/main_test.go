@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/order"
+)
+
+// tinyConfig keeps the experiment smoke tests to fractions of a second.
+func tinyConfig() bench.Config {
+	cfg := bench.QuickConfig()
+	cfg.RowScales = []int{50, 100}
+	cfg.RowScaleCols = 4
+	cfg.ColScales = map[string][]int{"flight": {4}, "hepatitis": {4}, "ncvoter": {4}, "dbtesma": {4}}
+	cfg.PruningRowScales = []int{50}
+	cfg.PruningColScales = []int{4}
+	cfg.LevelCols = 5
+	cfg.LevelRows = 50
+	cfg.ORDERBudget = order.Options{Timeout: 200 * time.Millisecond, MaxNodes: 5000}
+	return cfg
+}
+
+func TestRunFigures(t *testing.T) {
+	cfg := tinyConfig()
+	for _, fig := range []string{"4", "5", "6", "7"} {
+		if err := run(fig, "", cfg); err != nil {
+			t.Errorf("run(%s): %v", fig, err)
+		}
+	}
+	if err := run("bogus", "", cfg); err == nil {
+		t.Error("expected error for unknown figure")
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	cfg := tinyConfig()
+	if err := run("single", "", cfg); err == nil {
+		t.Error("expected error when -input is missing")
+	}
+	path := filepath.Join(t.TempDir(), "tiny.csv")
+	content := "a,b\n1,2\n2,4\n3,6\n1,2\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("single", path, cfg); err != nil {
+		t.Errorf("run(single): %v", err)
+	}
+	if err := run("single", path+".missing", cfg); err == nil {
+		t.Error("expected error for missing input")
+	}
+}

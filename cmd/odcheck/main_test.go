@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunChecksRules(t *testing.T) {
+	csv := writeTemp(t, "emp.csv",
+		"sal,tax,posit\n5000,1000,secr\n8000,2000,mngr\n10000,3000,dir\n4500,900,secr\n6000,1500,mngr\n8000,2000,dir\n")
+	rules := writeTemp(t, "rules.txt", `
+# rules
+[sal] -> [tax]
+{sal}: [] -> tax
+{posit}: [] -> sal
+`)
+	failures, err := run(os.Stdout, csv, rules, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if failures != 1 {
+		t.Errorf("failures = %d, want 1 (posit does not determine sal)", failures)
+	}
+
+	// A generous threshold turns the failure into "almost holds".
+	failures, err = run(os.Stdout, csv, rules, 0.6)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if failures != 0 {
+		t.Errorf("failures = %d, want 0 with threshold 0.6", failures)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	csv := writeTemp(t, "emp.csv", "a,b\n1,2\n")
+	rules := writeTemp(t, "rules.txt", "[a] -> [b]\n")
+	if _, err := run(os.Stdout, csv, rules, -1); err == nil {
+		t.Error("invalid threshold should error")
+	}
+	if _, err := run(os.Stdout, csv+".missing", rules, 0); err == nil {
+		t.Error("missing csv should error")
+	}
+	if _, err := run(os.Stdout, csv, rules+".missing", 0); err == nil {
+		t.Error("missing rules file should error")
+	}
+	badRules := writeTemp(t, "bad.txt", "not an od\n")
+	if _, err := run(os.Stdout, csv, badRules, 0); err == nil {
+		t.Error("unparseable rules should error")
+	}
+	unknownCol := writeTemp(t, "unknown.txt", "[a] -> [zzz]\n")
+	if _, err := run(os.Stdout, csv, unknownCol, 0); err == nil {
+		t.Error("unknown column should error")
+	}
+}

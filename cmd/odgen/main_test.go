@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestBuildDatasets(t *testing.T) {
+	cases := []struct {
+		dataset    string
+		rows, cols int
+		wantRows   int
+	}{
+		{"flight", 20, 5, 20},
+		{"ncvoter", 20, 5, 20},
+		{"hepatitis", 20, 5, 20},
+		{"dbtesma", 20, 5, 20},
+		{"datedim", 30, 0, 30},
+		{"employees", 0, 0, 6},
+	}
+	for _, tc := range cases {
+		rel, err := build(tc.dataset, tc.rows, tc.cols, 1)
+		if err != nil {
+			t.Errorf("%s: %v", tc.dataset, err)
+			continue
+		}
+		if rel.NumRows() != tc.wantRows {
+			t.Errorf("%s: rows = %d, want %d", tc.dataset, rel.NumRows(), tc.wantRows)
+		}
+	}
+	if _, err := build("unknown", 1, 1, 1); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}

@@ -1,0 +1,77 @@
+// Command completeness reproduces the completeness comparison of Sections 4.5
+// and 5.3: the ORDER baseline misses whole classes of order dependencies that
+// FASTOD discovers — constant columns, pure FD-fragment ODs of the form
+// X ↦ XY, and order-compatibility facts such as month ~ week that do not come
+// packaged with a full OD.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+
+	fastod "repro"
+)
+
+func main() {
+	// Build a small calendar-like table: year is constant (all data from
+	// 2012, as in the paper's flight dataset), month and week are both
+	// monotone in the hidden day counter (order compatible, but neither
+	// functionally determines the other), and a noise column breaks
+	// accidental dependencies.
+	header := []string{"year", "month", "week", "noise"}
+	var rows [][]string
+	for day := 0; day < 120; day++ {
+		rows = append(rows, []string{
+			"2012",
+			strconv.Itoa(day / 30),
+			strconv.Itoa(day / 7),
+			strconv.Itoa((day*7 + 3) % 5),
+		})
+	}
+	ds, err := fastod.FromRows("calendar", header, rows)
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	fmt.Printf("Dataset %q: %d tuples, %d attributes: %v\n\n", ds.Name(), ds.NumRows(), ds.NumCols(), ds.ColumnNames())
+
+	fast, err := ds.Discover(fastod.Options{})
+	if err != nil {
+		log.Fatalf("fastod: %v", err)
+	}
+	ord, err := ds.DiscoverWithORDER(fastod.DefaultORDERBudget())
+	if err != nil {
+		log.Fatalf("order: %v", err)
+	}
+
+	fmt.Printf("FASTOD discovered %s canonical ODs.\n", fast.Counts)
+	fmt.Printf("ORDER  discovered %d list ODs, mapping to %s canonical ODs (timed out: %v).\n\n",
+		len(ord.ODs), ord.Counts, ord.TimedOut)
+
+	fastCover := fastod.NewCover(fast.ODs)
+	orderCover := fastod.NewCover(ord.Canonical)
+	idx := func(name string) int { return ds.ColumnIndex(name) }
+
+	probes := []struct {
+		desc string
+		od   fastod.OD
+	}{
+		{"constant column: {}: [] -> year", fastod.NewConstancyOD(nil, idx("year"))},
+		{"order compatibility without an FD: {}: month ~ week", fastod.NewOrderCompatibleOD(nil, idx("month"), idx("week"))},
+		{"FD fragment inside a context: {month}: [] -> year", fastod.NewConstancyOD([]int{idx("month")}, idx("year"))},
+	}
+	fmt.Println("Dependency class                                         FASTOD  ORDER")
+	for _, p := range probes {
+		fmt.Printf("%-56s %-7v %v\n", p.desc, fastCover.Implies(p.od), orderCover.Implies(p.od))
+	}
+
+	fmt.Println("\nEvery OD ORDER did find is implied by FASTOD's output (soundness):")
+	missing := 0
+	for _, od := range ord.Canonical {
+		if !fastCover.Implies(od) {
+			missing++
+		}
+	}
+	fmt.Printf("  %d of %d ORDER ODs are NOT implied by FASTOD (expected 0).\n", missing, len(ord.Canonical))
+	fmt.Println("\nThe converse fails: FASTOD is complete, ORDER is not (Section 4.5).")
+}

@@ -1,0 +1,233 @@
+package fastod
+
+import (
+	"fmt"
+
+	"repro/internal/advisor"
+	"repro/internal/approx"
+	"repro/internal/bidir"
+	"repro/internal/conditional"
+	"repro/internal/odparse"
+)
+
+// This file exposes the extension modules: approximate ODs and bidirectional
+// ODs (the future-work directions named in the paper's conclusion), the
+// query-optimization advisor built on discovered ODs, and the textual OD
+// syntax used to exchange dependencies with users and tools.
+
+// Approximate order dependencies.
+type (
+	// ApproxOptions configures approximate discovery (error threshold).
+	ApproxOptions = approx.Options
+	// ApproxResult is the outcome of an approximate discovery run.
+	ApproxResult = approx.Result
+	// ApproxError reports how far an OD is from holding (minimum removals).
+	ApproxError = approx.Error
+	// ODError pairs an OD with its measured error.
+	ODError = approx.ODError
+)
+
+// DiscoverApproximate finds the minimal canonical ODs whose error (the
+// fraction of tuples that must be removed for the OD to hold exactly) is at
+// most the configured threshold. Threshold 0 coincides with exact discovery.
+func (d *Dataset) DiscoverApproximate(opts ApproxOptions) (*ApproxResult, error) {
+	return approx.Discover(d.enc, opts)
+}
+
+// ODErrorOf measures the error of one canonical OD on the dataset.
+func (d *Dataset) ODErrorOf(od OD) (ApproxError, error) {
+	return approx.ErrorOf(d.enc, od)
+}
+
+// ProfileODs measures the error of every given OD, producing a data-quality
+// report (exact ODs have error zero).
+func (d *Dataset) ProfileODs(ods []OD) ([]ODError, error) {
+	return approx.Profile(d.enc, ods)
+}
+
+// Bidirectional order dependencies.
+type (
+	// Direction is the per-attribute sort direction (ascending/descending).
+	Direction = bidir.Direction
+	// DirectedAttr is one attribute of a bidirectional order specification.
+	DirectedAttr = bidir.DirectedAttr
+	// BidirSpec is a bidirectional order specification.
+	BidirSpec = bidir.Spec
+	// BidirOD is a bidirectional canonical OD (with polarity).
+	BidirOD = bidir.OD
+	// Polarity distinguishes same-direction from opposite-direction
+	// order compatibility.
+	Polarity = bidir.Polarity
+	// BidirOptions configures bidirectional discovery.
+	BidirOptions = bidir.Options
+	// BidirResult is the outcome of a bidirectional discovery run.
+	BidirResult = bidir.Result
+)
+
+// Sort directions and polarities re-exported for bidirectional ODs.
+const (
+	Asc               = bidir.Asc
+	Desc              = bidir.Desc
+	SameDirection     = bidir.SameDirection
+	OppositeDirection = bidir.OppositeDirection
+)
+
+// DiscoverBidirectional finds the minimal bidirectional canonical ODs:
+// constancy ODs plus order-compatibility ODs annotated with whether the two
+// attributes move together or in opposite directions.
+func (d *Dataset) DiscoverBidirectional(opts BidirOptions) (*BidirResult, error) {
+	return bidir.Discover(d.enc, opts)
+}
+
+// CheckBidirListOD reports whether the bidirectional list OD "left ↦ right"
+// holds, with each side given as (column name, direction) pairs.
+func (d *Dataset) CheckBidirListOD(left, right []DirectedColumn) (bool, error) {
+	l, err := d.bidirSpec(left)
+	if err != nil {
+		return false, err
+	}
+	r, err := d.bidirSpec(right)
+	if err != nil {
+		return false, err
+	}
+	return bidir.Holds(d.enc, l, r), nil
+}
+
+// DirectedColumn names a column together with its sort direction.
+type DirectedColumn struct {
+	Column string
+	Dir    Direction
+}
+
+func (d *Dataset) bidirSpec(cols []DirectedColumn) (bidir.Spec, error) {
+	out := make(bidir.Spec, 0, len(cols))
+	for _, c := range cols {
+		idx := d.enc.ColumnIndex(c.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("fastod: unknown column %q", c.Column)
+		}
+		out = append(out, bidir.DirectedAttr{Attr: idx, Dir: c.Dir})
+	}
+	return out, nil
+}
+
+// Conditional order dependencies.
+type (
+	// ConditionalOptions configures conditional discovery.
+	ConditionalOptions = conditional.Options
+	// ConditionalResult is the outcome of a conditional discovery run.
+	ConditionalResult = conditional.Result
+	// ConditionalOD is an OD that holds on the portion of the relation
+	// selected by an equality condition, but not unconditionally.
+	ConditionalOD = conditional.OD
+)
+
+// DiscoverConditional finds ODs that hold on condition-selected portions of
+// the dataset (e.g. within each country) but are not implied by the
+// unconditional ODs — the conditional-OD extension named in the paper's
+// conclusion.
+func (d *Dataset) DiscoverConditional(opts ConditionalOptions) (*ConditionalResult, error) {
+	return conditional.Discover(d.enc, opts)
+}
+
+// Query-optimization advisor.
+type (
+	// Advisor answers rewrite questions against a set of discovered ODs.
+	Advisor = advisor.Advisor
+	// AdvisorQuery describes the ordering-relevant parts of a query.
+	AdvisorQuery = advisor.Query
+	// Suggestion is one piece of query-optimization advice.
+	Suggestion = advisor.Suggestion
+	// SuggestionKind classifies a suggestion.
+	SuggestionKind = advisor.SuggestionKind
+)
+
+// Advisor suggestion kinds.
+const (
+	DropConstant      = advisor.DropConstant
+	SimplifiedOrderBy = advisor.SimplifiedOrderBy
+	SimplifiedGroupBy = advisor.SimplifiedGroupBy
+	SortElimination   = advisor.SortElimination
+	JoinElimination   = advisor.JoinElimination
+)
+
+// NewAdvisor builds a query-optimization advisor from discovered canonical
+// ODs and the dataset's column names (typically Result.ODs and
+// Result.ColumnNames).
+func NewAdvisor(ods []OD, columnNames []string) *Advisor {
+	return advisor.New(ods, columnNames)
+}
+
+// Textual OD expressions.
+type (
+	// Statement is a parsed dependency expression over attribute names.
+	Statement = odparse.Statement
+	// StatementKind identifies the parsed form (list OD, canonical OD, ...).
+	StatementKind = odparse.StatementKind
+)
+
+// ParseOD parses one dependency expression, e.g. "[sal] -> [tax]" or
+// "{yr}: bin ~ sal".
+func ParseOD(input string) (Statement, error) { return odparse.Parse(input) }
+
+// ParseODs parses a newline-separated list of dependency expressions,
+// ignoring blank lines and '#' comments.
+func ParseODs(input string) ([]Statement, error) { return odparse.ParseAll(input) }
+
+// FormatOD renders a canonical OD in the parseable textual syntax.
+func FormatOD(od OD, columnNames []string) string {
+	return odparse.FormatCanonical(od, columnNames)
+}
+
+// StatementCheck is the outcome of checking one parsed statement against a
+// dataset.
+type StatementCheck struct {
+	Statement Statement
+	// Holds reports whether the dependency holds exactly.
+	Holds bool
+	// Violation carries a witness pair when a canonical statement fails; it
+	// is nil for list statements and for holding statements.
+	Violation *Violation
+	// Error is the approximate error of canonical statements (zero when the
+	// statement holds); it is nil for list statements.
+	Error *ApproxError
+}
+
+// CheckStatement evaluates one parsed dependency expression against the
+// dataset: list statements are checked via the list-based semantics,
+// canonical statements via the canonical semantics plus a violation witness
+// and an approximation error when they fail.
+func (d *Dataset) CheckStatement(st Statement) (StatementCheck, error) {
+	resolved, err := odparse.Resolve(st, d.enc.ColumnIndex)
+	if err != nil {
+		return StatementCheck{}, err
+	}
+	out := StatementCheck{Statement: st}
+	switch st.Kind {
+	case odparse.ListOD:
+		out.Holds, err = d.CheckListOD(st.Left, st.Right)
+		return out, err
+	case odparse.ListOrderCompat:
+		out.Holds, err = d.CheckOrderCompatible(st.Left, st.Right)
+		return out, err
+	case odparse.CanonicalConstancy, odparse.CanonicalOrderCompat:
+		holds, err := d.CheckCanonicalOD(resolved.Canonical)
+		if err != nil {
+			return StatementCheck{}, err
+		}
+		out.Holds = holds
+		e, err := d.ODErrorOf(resolved.Canonical)
+		if err != nil {
+			return StatementCheck{}, err
+		}
+		out.Error = &e
+		if !holds {
+			if v, found, err := d.FindViolation(resolved.Canonical); err == nil && found {
+				out.Violation = &v
+			}
+		}
+		return out, nil
+	default:
+		return StatementCheck{}, fmt.Errorf("fastod: unknown statement kind %v", st.Kind)
+	}
+}

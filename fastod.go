@@ -1,0 +1,253 @@
+// Package fastod is the public API of this repository: a Go implementation
+// of FASTOD, the set-based order dependency (OD) discovery algorithm of
+// Szlichta, Godfrey, Golab, Kargar and Srivastava, "Effective and Complete
+// Discovery of Order Dependencies via Set-based Axiomatization" (VLDB 2017).
+//
+// An order dependency X ↦ Y states that sorting a table by the attribute list
+// X also sorts it by Y. The paper shows that every list-based OD can be
+// mapped to an equivalent set of canonical ODs of two shapes — constancy ODs
+// X: [] ↦ A and order-compatibility ODs X: A ~ B — and that the complete,
+// minimal set of canonical ODs holding on a table can be discovered by a
+// level-wise traversal of the set-containment lattice.
+//
+// Typical use:
+//
+//	ds, err := fastod.LoadCSVFile("employees.csv")
+//	if err != nil { ... }
+//	res, err := ds.Discover(fastod.Options{})
+//	for _, od := range res.ODs {
+//	    fmt.Println(od.NamesString(res.ColumnNames))
+//	}
+//
+// The package also exposes the paper's comparison baselines (TANE for
+// functional dependencies, ORDER for list-based OD discovery), a brute-force
+// reference discoverer used for validation, violation witnesses for data
+// cleaning, and the Theorem-5 mapping between list-based and set-based ODs.
+package fastod
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bitset"
+	"repro/internal/canonical"
+	"repro/internal/core"
+	"repro/internal/listod"
+	"repro/internal/relation"
+)
+
+// Re-exported core types. The algorithm packages live under internal/; these
+// aliases form the stable public surface.
+type (
+	// OD is a set-based canonical order dependency: either a constancy OD
+	// "X: [] ↦ A" or an order-compatibility OD "X: A ~ B".
+	OD = canonical.OD
+	// Kind distinguishes constancy from order-compatibility ODs.
+	Kind = canonical.Kind
+	// Count tallies a set of ODs the way the paper reports results.
+	Count = canonical.Count
+	// Cover supports implication reasoning over a set of canonical ODs.
+	Cover = canonical.Cover
+	// Violation is a witness pair of rows explaining why an OD fails.
+	Violation = canonical.Violation
+	// Options configures a FASTOD discovery run.
+	Options = core.Options
+	// Result is the outcome of a FASTOD discovery run.
+	Result = core.Result
+	// LevelStat reports per-lattice-level statistics (Figure 7).
+	LevelStat = core.LevelStat
+	// Stats aggregates work counters of a discovery run.
+	Stats = core.Stats
+	// Spec is a list-based order specification (a SQL ORDER BY column list).
+	Spec = listod.Spec
+	// ListOD is a list-based order dependency Left ↦ Right.
+	ListOD = listod.OD
+)
+
+// Kinds of canonical ODs.
+const (
+	// Constancy marks ODs of the form X: [] ↦ A (the FD fragment).
+	Constancy = canonical.Constancy
+	// OrderCompatible marks ODs of the form X: A ~ B.
+	OrderCompatible = canonical.OrderCompatible
+)
+
+// NewConstancyOD builds the canonical OD ctx: [] ↦ a over attribute indexes.
+func NewConstancyOD(ctx []int, a int) OD {
+	return canonical.NewConstancy(attrSet(ctx), a)
+}
+
+// NewOrderCompatibleOD builds the canonical OD ctx: a ~ b over attribute
+// indexes.
+func NewOrderCompatibleOD(ctx []int, a, b int) OD {
+	return canonical.NewOrderCompatible(attrSet(ctx), a, b)
+}
+
+// NewCover builds an implication cover from a set of canonical ODs, e.g. a
+// discovery result, so callers can ask whether other ODs follow from it.
+func NewCover(ods []OD) *Cover { return canonical.NewCover(ods) }
+
+// MinimizeODs removes ODs implied by the remaining ones (via the
+// augmentation and propagation axioms) and returns the reduced, sorted set.
+func MinimizeODs(ods []OD) []OD { return canonical.Minimize(ods) }
+
+// Dataset is a loaded relation instance ready for discovery: the raw typed
+// table plus its order-preserving integer encoding.
+type Dataset struct {
+	rel *relation.Relation
+	enc *relation.Encoded
+}
+
+// LoadCSVFile reads a CSV file with a header row, sniffs column types
+// (integers, floats, dates, strings) and returns a dataset.
+func LoadCSVFile(path string) (*Dataset, error) {
+	rel, err := relation.ReadCSVFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return newDataset(rel)
+}
+
+// LoadCSV reads CSV data from a reader with a header row. The name is used
+// only in diagnostics.
+func LoadCSV(name string, src io.Reader) (*Dataset, error) {
+	rel, err := relation.ReadCSV(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return newDataset(rel)
+}
+
+// FromRows builds a dataset from a header and row-major string data, sniffing
+// column types.
+func FromRows(name string, header []string, rows [][]string) (*Dataset, error) {
+	rel, err := relation.FromRows(name, header, rows)
+	if err != nil {
+		return nil, err
+	}
+	return newDataset(rel)
+}
+
+func newDataset(rel *relation.Relation) (*Dataset, error) {
+	enc, err := relation.Encode(rel)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{rel: rel, enc: enc}, nil
+}
+
+// Name returns the dataset's name (file path or constructor-supplied name).
+func (d *Dataset) Name() string { return d.rel.Name }
+
+// NumRows returns the number of tuples.
+func (d *Dataset) NumRows() int { return d.enc.NumRows() }
+
+// NumCols returns the number of attributes.
+func (d *Dataset) NumCols() int { return d.enc.NumCols() }
+
+// ColumnNames returns the attribute names in schema order.
+func (d *Dataset) ColumnNames() []string {
+	return append([]string(nil), d.enc.ColumnNames...)
+}
+
+// ColumnIndex returns the index of the named attribute, or -1 if absent.
+func (d *Dataset) ColumnIndex(name string) int { return d.enc.ColumnIndex(name) }
+
+// Project returns a dataset restricted to the first k attributes, and
+// HeadRows one restricted to the first n tuples. Both are cheap views used by
+// the scalability experiments.
+func (d *Dataset) Project(k int) *Dataset {
+	return &Dataset{rel: d.rel, enc: d.enc.ProjectColumns(k)}
+}
+
+// HeadRows returns a dataset restricted to the first n tuples.
+func (d *Dataset) HeadRows(n int) *Dataset {
+	return &Dataset{rel: d.rel, enc: d.enc.HeadRows(n)}
+}
+
+// Discover runs FASTOD over the dataset and returns the complete, minimal set
+// of canonical ODs (or all valid ODs with Options.DisablePruning).
+func (d *Dataset) Discover(opts Options) (*Result, error) {
+	return core.Discover(d.enc, opts)
+}
+
+// Discover is the package-level convenience form of Dataset.Discover.
+func Discover(d *Dataset, opts Options) (*Result, error) { return d.Discover(opts) }
+
+// ReferenceDiscover runs the brute-force reference discoverer (exponential in
+// attributes, quadratic in rows). It exists to validate the fast algorithm
+// and is limited to 20 attributes.
+func (d *Dataset) ReferenceDiscover() ([]OD, error) {
+	return canonical.ReferenceDiscover(d.enc)
+}
+
+// CheckCanonicalOD reports whether a single canonical OD holds on the dataset.
+func (d *Dataset) CheckCanonicalOD(od OD) (bool, error) {
+	return canonical.Holds(d.enc, od)
+}
+
+// FindViolation returns a witness pair of rows for a violated canonical OD.
+// The boolean reports whether a violation exists.
+func (d *Dataset) FindViolation(od OD) (Violation, bool, error) {
+	return canonical.FindViolation(d.enc, od)
+}
+
+// CheckListOD reports whether the list-based OD "left ↦ right" holds, where
+// both sides are given as ordered lists of column names (as in SQL ORDER BY).
+func (d *Dataset) CheckListOD(left, right []string) (bool, error) {
+	l, err := d.spec(left)
+	if err != nil {
+		return false, err
+	}
+	r, err := d.spec(right)
+	if err != nil {
+		return false, err
+	}
+	return listod.Holds(d.enc, l, r), nil
+}
+
+// CheckOrderCompatible reports whether the two order specifications are order
+// compatible (X ~ Y), i.e. XY ↔ YX.
+func (d *Dataset) CheckOrderCompatible(left, right []string) (bool, error) {
+	l, err := d.spec(left)
+	if err != nil {
+		return false, err
+	}
+	r, err := d.spec(right)
+	if err != nil {
+		return false, err
+	}
+	return listod.OrderCompatible(d.enc, l, r), nil
+}
+
+// MapListOD maps the list-based OD "left ↦ right" (column names) into its
+// equivalent set of canonical ODs per Theorem 5, trivial ODs removed.
+func (d *Dataset) MapListOD(left, right []string) ([]OD, error) {
+	l, err := d.spec(left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := d.spec(right)
+	if err != nil {
+		return nil, err
+	}
+	return canonical.MapListODNonTrivial(l, r), nil
+}
+
+// spec resolves column names to an order specification.
+func (d *Dataset) spec(names []string) (listod.Spec, error) {
+	out := make(listod.Spec, 0, len(names))
+	for _, n := range names {
+		idx := d.enc.ColumnIndex(n)
+		if idx < 0 {
+			return nil, fmt.Errorf("fastod: unknown column %q (have %v)", n, d.enc.ColumnNames)
+		}
+		out = append(out, idx)
+	}
+	return out, nil
+}
+
+// attrSet builds a bitset attribute set from attribute indexes.
+func attrSet(attrs []int) bitset.AttrSet {
+	return bitset.NewAttrSet(attrs...)
+}

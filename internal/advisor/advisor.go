@@ -1,0 +1,308 @@
+// Package advisor turns a set of discovered order dependencies into concrete
+// query-optimization advice, implementing the rewrites the paper's
+// introduction motivates with Query 1: simplifying ORDER BY and GROUP BY
+// clauses, matching interesting orders to indexes, eliminating sorts, and
+// rewriting range predicates on dimension attributes into ranges over
+// order-equivalent surrogate keys so that joins can be eliminated.
+//
+// The advisor only uses the OD cover (implication over the discovered
+// canonical ODs); it never rescans the data.
+package advisor
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/canonical"
+	"repro/internal/listod"
+)
+
+// Advisor answers rewrite questions against a fixed set of canonical ODs.
+type Advisor struct {
+	cover *canonical.Cover
+	names []string
+	index map[string]int
+}
+
+// New builds an advisor from discovered canonical ODs and the relation's
+// column names.
+func New(ods []canonical.OD, columnNames []string) *Advisor {
+	idx := make(map[string]int, len(columnNames))
+	for i, n := range columnNames {
+		idx[n] = i
+	}
+	return &Advisor{cover: canonical.NewCover(ods), names: columnNames, index: idx}
+}
+
+// resolve maps a column name to its index.
+func (a *Advisor) resolve(name string) (int, error) {
+	if i, ok := a.index[name]; ok {
+		return i, nil
+	}
+	return 0, fmt.Errorf("advisor: unknown column %q", name)
+}
+
+func (a *Advisor) resolveAll(names []string) (listod.Spec, error) {
+	out := make(listod.Spec, 0, len(names))
+	for _, n := range names {
+		i, err := a.resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, i)
+	}
+	return out, nil
+}
+
+// ImpliesListOD reports whether the list-based OD "left ↦ right" follows from
+// the discovered ODs, by mapping it through Theorem 5 and checking every
+// canonical image against the cover.
+func (a *Advisor) ImpliesListOD(left, right []string) (bool, error) {
+	l, err := a.resolveAll(left)
+	if err != nil {
+		return false, err
+	}
+	r, err := a.resolveAll(right)
+	if err != nil {
+		return false, err
+	}
+	return a.impliesListOD(l, r), nil
+}
+
+func (a *Advisor) impliesListOD(left, right listod.Spec) bool {
+	for _, od := range canonical.MapListOD(left, right) {
+		if od.IsTrivial() {
+			continue
+		}
+		if !a.cover.Implies(od) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConstantColumns returns the columns that are constant across the whole
+// relation ({}: [] ↦ A); they can be removed from any ORDER BY or GROUP BY.
+func (a *Advisor) ConstantColumns() []string {
+	var out []string
+	for i, name := range a.names {
+		if a.cover.ImpliesConstancy(bitset.AttrSet(0), i) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// SimplifyOrderBy removes attributes of an ORDER BY list that are redundant:
+// an attribute can be dropped when it is constant within every equivalence
+// class of the attributes that precede it (then ties on the prefix are also
+// ties on the attribute, so the produced order is unchanged). The returned
+// list preserves the original order of the surviving attributes.
+func (a *Advisor) SimplifyOrderBy(orderBy []string) ([]string, error) {
+	spec, err := a.resolveAll(orderBy)
+	if err != nil {
+		return nil, err
+	}
+	var kept []string
+	var prefix bitset.AttrSet
+	for i, attr := range spec {
+		if a.cover.ImpliesConstancy(prefix, attr) {
+			continue // redundant: determined by the attributes kept so far
+		}
+		kept = append(kept, orderBy[i])
+		prefix = prefix.Add(attr)
+	}
+	return kept, nil
+}
+
+// SimplifyGroupBy removes attributes functionally determined by the remaining
+// GROUP BY attributes (the FD-based rewrite that the paper notes optimizers
+// already perform, subsumed here by constancy ODs).
+func (a *Advisor) SimplifyGroupBy(groupBy []string) ([]string, error) {
+	spec, err := a.resolveAll(groupBy)
+	if err != nil {
+		return nil, err
+	}
+	removed := make([]bool, len(spec))
+	for i, attr := range spec {
+		var rest bitset.AttrSet
+		for j, other := range spec {
+			if i == j || removed[j] {
+				continue
+			}
+			rest = rest.Add(other)
+		}
+		if a.cover.ImpliesConstancy(rest, attr) {
+			removed[i] = true
+		}
+	}
+	var kept []string
+	for i, name := range groupBy {
+		if !removed[i] {
+			kept = append(kept, name)
+		}
+	}
+	return kept, nil
+}
+
+// IndexSatisfiesOrderBy reports whether an index sorted on indexColumns also
+// delivers the requested ORDER BY, i.e. whether the list OD
+// indexColumns ↦ orderBy follows from the discovered dependencies. A true
+// result means the sort operator can be removed from the plan.
+func (a *Advisor) IndexSatisfiesOrderBy(indexColumns, orderBy []string) (bool, error) {
+	return a.ImpliesListOD(indexColumns, orderBy)
+}
+
+// RangeRewrites returns the columns K such that a range predicate on the
+// given column can be rewritten as a range over K: the OD [K] ↦ [column]
+// must follow from the discovered dependencies (K orders the column), which
+// is the surrogate-key join-elimination rewrite of Section 1.1. The given
+// column itself is excluded.
+func (a *Advisor) RangeRewrites(column string) ([]string, error) {
+	target, err := a.resolve(column)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for i, name := range a.names {
+		if i == target {
+			continue
+		}
+		if a.impliesListOD(listod.Spec{i}, listod.Spec{target}) {
+			out = append(out, name)
+		}
+	}
+	return out, nil
+}
+
+// SuggestionKind classifies a piece of advice.
+type SuggestionKind int
+
+// Suggestion kinds.
+const (
+	// DropConstant advises removing a constant column from a clause.
+	DropConstant SuggestionKind = iota
+	// SimplifiedOrderBy advises replacing the ORDER BY list.
+	SimplifiedOrderBy
+	// SimplifiedGroupBy advises replacing the GROUP BY list.
+	SimplifiedGroupBy
+	// SortElimination advises that an index already delivers the ORDER BY.
+	SortElimination
+	// JoinElimination advises rewriting a range predicate over a surrogate key.
+	JoinElimination
+)
+
+// String names the suggestion kind.
+func (k SuggestionKind) String() string {
+	switch k {
+	case DropConstant:
+		return "drop-constant"
+	case SimplifiedOrderBy:
+		return "simplify-order-by"
+	case SimplifiedGroupBy:
+		return "simplify-group-by"
+	case SortElimination:
+		return "sort-elimination"
+	case JoinElimination:
+		return "join-elimination"
+	default:
+		return fmt.Sprintf("SuggestionKind(%d)", int(k))
+	}
+}
+
+// Suggestion is one piece of advice for a query.
+type Suggestion struct {
+	Kind    SuggestionKind
+	Message string
+	// Columns carries the columns the suggestion refers to (the simplified
+	// clause, the index, or the rewrite target), depending on the kind.
+	Columns []string
+}
+
+// Query describes the ordering-relevant parts of a query.
+type Query struct {
+	OrderBy []string
+	GroupBy []string
+	// RangePredicates lists columns carrying range predicates (e.g. BETWEEN).
+	RangePredicates []string
+	// Indexes lists available sorted indexes as column lists.
+	Indexes [][]string
+}
+
+// Advise produces every applicable suggestion for the query.
+func (a *Advisor) Advise(q Query) ([]Suggestion, error) {
+	var out []Suggestion
+
+	constants := a.ConstantColumns()
+	constantSet := make(map[string]bool, len(constants))
+	for _, c := range constants {
+		constantSet[c] = true
+	}
+	for _, col := range append(append([]string{}, q.OrderBy...), q.GroupBy...) {
+		if constantSet[col] {
+			out = append(out, Suggestion{
+				Kind:    DropConstant,
+				Message: fmt.Sprintf("column %s is constant and can be removed from ORDER BY / GROUP BY", col),
+				Columns: []string{col},
+			})
+		}
+	}
+
+	if len(q.OrderBy) > 0 {
+		simplified, err := a.SimplifyOrderBy(q.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+		if len(simplified) < len(q.OrderBy) {
+			out = append(out, Suggestion{
+				Kind:    SimplifiedOrderBy,
+				Message: fmt.Sprintf("ORDER BY %s is equivalent to ORDER BY %s", strings.Join(q.OrderBy, ", "), strings.Join(simplified, ", ")),
+				Columns: simplified,
+			})
+		}
+		for _, index := range q.Indexes {
+			ok, err := a.IndexSatisfiesOrderBy(index, q.OrderBy)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, Suggestion{
+					Kind:    SortElimination,
+					Message: fmt.Sprintf("index on (%s) already delivers ORDER BY %s; the sort can be removed", strings.Join(index, ", "), strings.Join(q.OrderBy, ", ")),
+					Columns: index,
+				})
+			}
+		}
+	}
+
+	if len(q.GroupBy) > 0 {
+		simplified, err := a.SimplifyGroupBy(q.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		if len(simplified) < len(q.GroupBy) {
+			out = append(out, Suggestion{
+				Kind:    SimplifiedGroupBy,
+				Message: fmt.Sprintf("GROUP BY %s is equivalent to GROUP BY %s", strings.Join(q.GroupBy, ", "), strings.Join(simplified, ", ")),
+				Columns: simplified,
+			})
+		}
+	}
+
+	for _, col := range q.RangePredicates {
+		rewrites, err := a.RangeRewrites(col)
+		if err != nil {
+			return nil, err
+		}
+		if len(rewrites) > 0 {
+			out = append(out, Suggestion{
+				Kind: JoinElimination,
+				Message: fmt.Sprintf("the range predicate on %s can be rewritten as a range over %s (each orders %s), enabling join elimination",
+					col, strings.Join(rewrites, " or "), col),
+				Columns: rewrites,
+			})
+		}
+	}
+	return out, nil
+}

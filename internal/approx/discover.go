@@ -1,0 +1,204 @@
+package approx
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/canonical"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// Options configures approximate discovery.
+type Options struct {
+	// Threshold is the maximum allowed error rate in [0, 1). Threshold 0
+	// makes the output coincide with exact discovery.
+	Threshold float64
+	// MaxLevel, when positive, bounds the lattice level processed (context
+	// size + right-hand attributes), which bounds cost on wide schemas.
+	MaxLevel int
+}
+
+// Discovered is one approximate OD in the output, together with its error.
+type Discovered struct {
+	OD    canonical.OD
+	Error Error
+}
+
+// Result is the outcome of an approximate discovery run.
+type Result struct {
+	ODs     []Discovered
+	Elapsed time.Duration
+	// NodesVisited counts lattice nodes processed.
+	NodesVisited int
+}
+
+// Counts tallies the output by kind the way exact results are reported.
+func (r *Result) Counts() canonical.Count {
+	ods := make([]canonical.OD, 0, len(r.ODs))
+	for _, d := range r.ODs {
+		ods = append(ods, d.OD)
+	}
+	return canonical.CountByKind(ods)
+}
+
+// Discover finds the minimal canonical ODs whose error rate is at most the
+// threshold. Because the error measure is monotone (a larger context never
+// has a larger error), the notion of minimality is the same as in exact
+// discovery: an OD is reported only if no proper subset context already
+// meets the threshold, and an order-compatibility OD only if neither of its
+// attributes is (approximately) constant in its context — the approximate
+// analogue of the Propagate rule, which holds because removing the tuples
+// that break the constancy of A also removes every swap between A and B.
+//
+// The traversal is level-wise over the set-containment lattice like FASTOD,
+// but validates candidates by computing their error directly; it trades some
+// of FASTOD's pruning for simplicity since thresholds are typically used on
+// modest schemas during data profiling.
+func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
+	if enc == nil || enc.NumCols() == 0 {
+		return nil, fmt.Errorf("approx: empty relation")
+	}
+	if enc.NumCols() > bitset.MaxAttrs {
+		return nil, fmt.Errorf("approx: relation has %d columns, maximum is %d", enc.NumCols(), bitset.MaxAttrs)
+	}
+	if opts.Threshold < 0 || opts.Threshold >= 1 {
+		return nil, fmt.Errorf("approx: threshold %v outside [0, 1)", opts.Threshold)
+	}
+	start := time.Now()
+	n := enc.NumCols()
+	res := &Result{}
+
+	// satisfiedConst[a] lists contexts where a is approximately constant;
+	// satisfiedOC[pair] lists contexts where the pair is approximately order
+	// compatible. Both are used for the subset-minimality test.
+	satisfiedConst := make(map[int][]bitset.AttrSet)
+	satisfiedOC := make(map[bitset.Pair][]bitset.AttrSet)
+	hasSubset := func(list []bitset.AttrSet, ctx bitset.AttrSet) bool {
+		for _, s := range list {
+			if s.IsSubsetOf(ctx) {
+				return true
+			}
+		}
+		return false
+	}
+
+	parts := map[int]map[bitset.AttrSet]*partition.Partition{
+		0: {bitset.AttrSet(0): partition.FromConstant(enc.NumRows())},
+		1: {},
+	}
+	var level []bitset.AttrSet
+	for a := 0; a < n; a++ {
+		s := bitset.NewAttrSet(a)
+		level = append(level, s)
+		parts[1][s] = partition.FromColumn(enc.Column(a), enc.Cardinality[a])
+	}
+
+	colErr := func(ctxPart *partition.Partition, a int) Error {
+		col := enc.Column(a)
+		removals := 0
+		freq := make(map[int32]int)
+		for _, cls := range ctxPart.Classes {
+			for k := range freq {
+				delete(freq, k)
+			}
+			best := 0
+			for _, row := range cls {
+				freq[col[row]]++
+				if freq[col[row]] > best {
+					best = freq[col[row]]
+				}
+			}
+			removals += len(cls) - best
+		}
+		return newError(removals, enc.NumRows())
+	}
+	pairErr := func(ctxPart *partition.Partition, a, b int) Error {
+		colA, colB := enc.Column(a), enc.Column(b)
+		removals := 0
+		for _, cls := range ctxPart.Classes {
+			removals += len(cls) - maxSwapFree(cls, colA, colB)
+		}
+		return newError(removals, enc.NumRows())
+	}
+
+	for l := 1; len(level) > 0 && (opts.MaxLevel <= 0 || l <= opts.MaxLevel); l++ {
+		res.NodesVisited += len(level)
+		for _, x := range level {
+			xPart := parts[l][x]
+			_ = xPart
+			// Constancy candidates: X\A: [] ↦ A.
+			for _, a := range x.Attrs() {
+				ctx := x.Remove(a)
+				if hasSubset(satisfiedConst[a], ctx) {
+					continue // not minimal
+				}
+				e := colErr(parts[l-1][ctx], a)
+				if e.Rate <= opts.Threshold {
+					satisfiedConst[a] = append(satisfiedConst[a], ctx)
+					res.ODs = append(res.ODs, Discovered{OD: canonical.NewConstancy(ctx, a), Error: e})
+				}
+			}
+			// Order-compatibility candidates: X\{A,B}: A ~ B.
+			if l >= 2 {
+				attrs := x.Attrs()
+				for i := 0; i < len(attrs); i++ {
+					for j := i + 1; j < len(attrs); j++ {
+						a, b := attrs[i], attrs[j]
+						ctx := x.Remove(a).Remove(b)
+						p := bitset.NewPair(a, b)
+						if hasSubset(satisfiedOC[p], ctx) {
+							continue // not minimal (Augmentation-II analogue)
+						}
+						if hasSubset(satisfiedConst[a], ctx) || hasSubset(satisfiedConst[b], ctx) {
+							continue // not minimal (Propagate analogue)
+						}
+						e := pairErr(parts[l-2][ctx], a, b)
+						if e.Rate <= opts.Threshold {
+							satisfiedOC[p] = append(satisfiedOC[p], ctx)
+							res.ODs = append(res.ODs, Discovered{OD: canonical.NewOrderCompatible(ctx, a, b), Error: e})
+						}
+					}
+				}
+			}
+		}
+		level, parts[l+1] = nextLevel(level, parts[l])
+		delete(parts, l-2)
+	}
+
+	sort.Slice(res.ODs, func(i, j int) bool { return canonical.Less(res.ODs[i].OD, res.ODs[j].OD) })
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// nextLevel joins prefix blocks exactly like the exact algorithms do.
+func nextLevel(level []bitset.AttrSet, parts map[bitset.AttrSet]*partition.Partition) ([]bitset.AttrSet, map[bitset.AttrSet]*partition.Partition) {
+	blocks := make(map[bitset.AttrSet][]int)
+	for _, x := range level {
+		attrs := x.Attrs()
+		last := attrs[len(attrs)-1]
+		blocks[x.Remove(last)] = append(blocks[x.Remove(last)], last)
+	}
+	prefixes := make([]bitset.AttrSet, 0, len(blocks))
+	for p := range blocks {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
+
+	var next []bitset.AttrSet
+	nextParts := make(map[bitset.AttrSet]*partition.Partition)
+	for _, prefix := range prefixes {
+		members := blocks[prefix]
+		sort.Ints(members)
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				x := prefix.Add(members[i]).Add(members[j])
+				next = append(next, x)
+				nextParts[x] = partition.Product(parts[prefix.Add(members[i])], parts[prefix.Add(members[j])])
+			}
+		}
+	}
+	return next, nextParts
+}

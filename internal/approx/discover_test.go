@@ -1,0 +1,171 @@
+package approx
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/canonical"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/relation"
+)
+
+func TestDiscoverValidation(t *testing.T) {
+	if _, err := Discover(nil, Options{}); err == nil {
+		t.Error("nil relation must be rejected")
+	}
+	if _, err := Discover(&relation.Encoded{}, Options{}); err == nil {
+		t.Error("empty relation must be rejected")
+	}
+	enc := encode(t, datagen.Employees())
+	if _, err := Discover(enc, Options{Threshold: -0.1}); err == nil {
+		t.Error("negative threshold must be rejected")
+	}
+	if _, err := Discover(enc, Options{Threshold: 1.0}); err == nil {
+		t.Error("threshold >= 1 must be rejected")
+	}
+}
+
+// TestDiscoverThresholdZeroMatchesExact: with threshold 0 the approximate
+// discovery must return exactly the exact minimal set.
+func TestDiscoverThresholdZeroMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 15; trial++ {
+		rel := datagen.RandomStructuredRelation(2+rng.Intn(16), 4, 3, rng.Int63())
+		enc := encode(t, rel)
+		exact, err := core.Discover(enc, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := Discover(enc, Options{Threshold: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(approx.ODs) != len(exact.ODs) {
+			t.Fatalf("trial %d: approximate@0 found %d ODs, exact found %d\napprox: %v\nexact: %v",
+				trial, len(approx.ODs), len(exact.ODs), approx.ODs, exact.ODs)
+		}
+		for i := range exact.ODs {
+			if !approx.ODs[i].OD.Equal(exact.ODs[i]) {
+				t.Fatalf("trial %d: OD %d = %v, want %v", trial, i, approx.ODs[i].OD, exact.ODs[i])
+			}
+			if approx.ODs[i].Error.Removals != 0 {
+				t.Fatalf("trial %d: exact OD %v reported with non-zero error", trial, approx.ODs[i].OD)
+			}
+		}
+	}
+}
+
+// TestDiscoverMonotoneInThreshold: raising the threshold can only make the
+// covered dependency space grow (every OD implied at a lower threshold is
+// implied at a higher one), and every reported OD must meet the threshold.
+func TestDiscoverMonotoneInThreshold(t *testing.T) {
+	enc := encode(t, datagen.NCVoterLike(200, 5, 7))
+	thresholds := []float64{0, 0.05, 0.2, 0.5}
+	var prev []Discovered
+	for i, th := range thresholds {
+		res, err := Discover(enc, Options{Threshold: th})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range res.ODs {
+			if d.Error.Rate > th+1e-12 {
+				t.Errorf("threshold %v: reported OD %v has error %v", th, d.OD, d.Error.Rate)
+			}
+		}
+		if i > 0 {
+			// Every previously reported OD must still be within threshold now,
+			// and must be implied by the new output in the minimality sense:
+			// some subset context with the same right-hand side is reported.
+			cur := make([]canonical.OD, 0, len(res.ODs))
+			for _, d := range res.ODs {
+				cur = append(cur, d.OD)
+			}
+			cover := canonical.NewCover(cur)
+			for _, d := range prev {
+				if !cover.Implies(d.OD) {
+					t.Errorf("threshold %v: OD %v from lower threshold no longer implied", th, d.OD)
+				}
+			}
+		}
+		prev = res.ODs
+	}
+}
+
+// TestDiscoverApproximateFindsNearlyHoldingODs: corrupt a clean dataset
+// slightly; exact discovery loses the OD but approximate discovery with a
+// tolerant threshold recovers it.
+func TestDiscoverApproximateFindsNearlyHoldingODs(t *testing.T) {
+	// Two full years of days so d_year is not constant, then swap a few
+	// d_year values between rows to create a small number of violations.
+	clean := datagen.DateDim(730)
+	dirty, _, err := datagen.InjectSwapViolations(clean, "d_year", 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := encode(t, dirty)
+	skIdx := 0 // d_date_sk
+	yearIdx := 2
+	target := canonical.NewOrderCompatible(0, skIdx, yearIdx) // {}: d_date_sk ~ d_year
+
+	exact, err := core.Discover(enc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonical.NewCover(exact.ODs).Implies(target) {
+		t.Fatal("corruption failed: exact discovery still implies the target OD")
+	}
+
+	res, err := Discover(enc, Options{Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ods := make([]canonical.OD, 0, len(res.ODs))
+	for _, d := range res.ODs {
+		ods = append(ods, d.OD)
+	}
+	if !canonical.NewCover(ods).Implies(target) {
+		t.Error("approximate discovery at 5% should recover {}: d_date_sk ~ d_year")
+	}
+	if res.Counts().Total != len(res.ODs) {
+		t.Error("Counts inconsistent with output length")
+	}
+	if res.Elapsed <= 0 || res.NodesVisited == 0 {
+		t.Error("stats not recorded")
+	}
+}
+
+func TestDiscoverMaxLevel(t *testing.T) {
+	enc := encode(t, datagen.Employees())
+	res, err := Discover(enc, Options{Threshold: 0.1, MaxLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.ODs {
+		if d.OD.Context.Len() > 1 {
+			t.Errorf("OD %v exceeds MaxLevel=2", d.OD)
+		}
+	}
+}
+
+// TestDiscoverReportedODsAreMinimal: no reported OD has a reported subset
+// context with the same right-hand side (context minimality), nor an
+// approximately constant attribute in its context pair (Propagate analogue).
+func TestDiscoverReportedODsAreMinimal(t *testing.T) {
+	enc := encode(t, datagen.HepatitisLike(80, 6, 5))
+	res, err := Discover(enc, Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range res.ODs {
+		for j, other := range res.ODs {
+			if i == j || d.OD.Kind != other.OD.Kind {
+				continue
+			}
+			sameRHS := d.OD.A == other.OD.A && d.OD.B == other.OD.B
+			if sameRHS && other.OD.Context != d.OD.Context && other.OD.Context.IsSubsetOf(d.OD.Context) {
+				t.Errorf("OD %v is not minimal: %v has a subset context", d.OD, other.OD)
+			}
+		}
+	}
+}

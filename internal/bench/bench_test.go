@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/order"
+)
+
+func TestGenerators(t *testing.T) {
+	gens := Generators()
+	if len(gens) != 4 {
+		t.Fatalf("expected 4 generators, got %d", len(gens))
+	}
+	for _, g := range gens {
+		enc, err := Encode(g, 50, 6, 1)
+		if err != nil {
+			t.Errorf("%s: Encode: %v", g.Name, err)
+			continue
+		}
+		if enc.NumCols() != 6 {
+			t.Errorf("%s: cols = %d", g.Name, enc.NumCols())
+		}
+	}
+	if _, err := GeneratorByName("flight"); err != nil {
+		t.Error(err)
+	}
+	if _, err := GeneratorByName("nope"); err == nil {
+		t.Error("expected error for unknown generator")
+	}
+}
+
+func TestRunnersProduceMeasurements(t *testing.T) {
+	gen, err := GeneratorByName("flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := Encode(gen, 100, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mF, err := RunFASTOD(enc, "flight", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mF.Algorithm != AlgFASTOD || mF.Counts.Total == 0 || mF.Rows != 100 || mF.Cols != 6 {
+		t.Errorf("FASTOD measurement = %+v", mF)
+	}
+	mNP, err := RunFASTOD(enc, "flight", core.Options{DisablePruning: true, CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mNP.Algorithm != AlgFASTODNoPruning {
+		t.Errorf("no-pruning algorithm label = %q", mNP.Algorithm)
+	}
+	if mNP.Counts.Total < mF.Counts.Total {
+		t.Errorf("no-pruning found fewer ODs (%d) than pruned (%d)", mNP.Counts.Total, mF.Counts.Total)
+	}
+
+	mT, err := RunTANE(enc, "flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mT.Counts.Constancy != mF.Counts.Constancy {
+		t.Errorf("TANE FD count %d != FASTOD constancy count %d", mT.Counts.Constancy, mF.Counts.Constancy)
+	}
+
+	mO, err := RunORDER(enc, "flight", order.Options{Timeout: 2 * time.Second, MaxNodes: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mO.Algorithm != AlgORDER {
+		t.Errorf("ORDER measurement = %+v", mO)
+	}
+
+	table := FormatTable("smoke", []Measurement{mF, mT, mO, mNP})
+	if !strings.Contains(table, "FASTOD") || !strings.Contains(table, "TANE") {
+		t.Errorf("FormatTable output missing algorithms:\n%s", table)
+	}
+}
+
+func TestMeasurementStringMarksBudget(t *testing.T) {
+	m := Measurement{Dataset: "x", Algorithm: AlgORDER, TimedOut: true}
+	if !strings.Contains(m.String(), "*budget") {
+		t.Error("timed-out measurement should be marked")
+	}
+}
+
+func TestFiguresQuickConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke tests skipped in -short mode")
+	}
+	cfg := QuickConfig()
+	// Shrink further: the goal here is only to exercise every code path.
+	cfg.RowScales = []int{100, 200}
+	cfg.RowScaleCols = 5
+	cfg.ColScales = map[string][]int{"flight": {4, 5}, "hepatitis": {4}, "ncvoter": {4}, "dbtesma": {4}}
+	cfg.PruningRowScales = []int{100, 200}
+	cfg.PruningColScales = []int{4, 5}
+	cfg.LevelCols = 6
+	cfg.LevelRows = 100
+	cfg.ORDERBudget = order.Options{Timeout: time.Second, MaxNodes: 20000}
+
+	f4, err := Figure4(cfg)
+	if err != nil {
+		t.Fatalf("Figure4: %v", err)
+	}
+	// 3 datasets x 2 row scales x 3 algorithms.
+	if len(f4) != 18 {
+		t.Errorf("Figure4 measurements = %d, want 18", len(f4))
+	}
+
+	f5, err := Figure5(cfg)
+	if err != nil {
+		t.Fatalf("Figure5: %v", err)
+	}
+	if len(f5) != (2+1+1+1)*3 {
+		t.Errorf("Figure5 measurements = %d, want 15", len(f5))
+	}
+
+	f6, err := Figure6(cfg)
+	if err != nil {
+		t.Fatalf("Figure6: %v", err)
+	}
+	if len(f6) != (2+2)*2 {
+		t.Errorf("Figure6 measurements = %d, want 8", len(f6))
+	}
+	// The un-pruned runs must never find fewer ODs than the pruned runs on
+	// the same configuration.
+	for i := 0; i+1 < len(f6); i += 2 {
+		if f6[i].Algorithm != AlgFASTOD || f6[i+1].Algorithm != AlgFASTODNoPruning {
+			t.Fatalf("Figure6 ordering unexpected at %d: %s then %s", i, f6[i].Algorithm, f6[i+1].Algorithm)
+		}
+		if f6[i+1].Counts.Total < f6[i].Counts.Total {
+			t.Errorf("no-pruning count %d < pruned count %d at %d rows/%d cols",
+				f6[i+1].Counts.Total, f6[i].Counts.Total, f6[i].Rows, f6[i].Cols)
+		}
+	}
+
+	f7, err := Figure7(cfg)
+	if err != nil {
+		t.Fatalf("Figure7: %v", err)
+	}
+	if len(f7) == 0 || f7[0].Level != 1 {
+		t.Errorf("Figure7 levels = %+v", f7)
+	}
+	out := FormatLevelTable("levels", f7)
+	if !strings.Contains(out, "level") {
+		t.Errorf("FormatLevelTable output:\n%s", out)
+	}
+
+	// Table1 single-shot comparison.
+	gen, _ := GeneratorByName("flight")
+	enc, err := Encode(gen, 100, 5, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Table1(enc, "flight", cfg.ORDERBudget)
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(single) != 3 {
+		t.Errorf("Table1 measurements = %d, want 3", len(single))
+	}
+}
+
+func TestDefaultAndQuickConfigs(t *testing.T) {
+	def := DefaultConfig()
+	if len(def.RowScales) == 0 || def.RowScaleCols == 0 || len(def.ColScales) != 4 {
+		t.Errorf("DefaultConfig incomplete: %+v", def)
+	}
+	quick := QuickConfig()
+	if quick.RowScales[len(quick.RowScales)-1] > def.RowScales[len(def.RowScales)-1] {
+		t.Error("quick config should not exceed the default config scales")
+	}
+}

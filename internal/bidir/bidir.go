@@ -1,0 +1,444 @@
+// Package bidir implements bidirectional order dependencies, the second
+// extension the paper's conclusion calls for (and the subject of its
+// reference [25]): order specifications in which each attribute may be
+// ordered ascending or descending, as in SQL "ORDER BY A ASC, B DESC".
+//
+// The canonical set-based machinery carries over almost unchanged: constancy
+// ODs are direction-free, and order compatibility within a context splits
+// into two polarities — A and B move together (ascending/ascending, which
+// equals descending/descending) or in opposition (ascending/descending).
+// Discovery therefore only needs to check both polarities per attribute pair.
+package bidir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/canonical"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// Direction is the sort direction of one attribute in a specification.
+type Direction int
+
+// Sort directions.
+const (
+	Asc Direction = iota
+	Desc
+)
+
+// String returns "asc" or "desc".
+func (d Direction) String() string {
+	if d == Desc {
+		return "desc"
+	}
+	return "asc"
+}
+
+// DirectedAttr is one attribute of a bidirectional order specification.
+type DirectedAttr struct {
+	Attr int
+	Dir  Direction
+}
+
+// Spec is a bidirectional order specification: a list of attributes each with
+// its own direction, defining a lexicographic order.
+type Spec []DirectedAttr
+
+// String renders the spec like [0 asc,2 desc].
+func (s Spec) String() string {
+	parts := make([]string, len(s))
+	for i, da := range s {
+		parts[i] = fmt.Sprintf("%d %s", da.Attr, da.Dir)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// Names renders the spec like [year asc,salary desc].
+func (s Spec) Names(names []string) string {
+	parts := make([]string, len(s))
+	for i, da := range s {
+		name := fmt.Sprintf("#%d", da.Attr)
+		if da.Attr >= 0 && da.Attr < len(names) {
+			name = names[da.Attr]
+		}
+		parts[i] = name + " " + da.Dir.String()
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// Compare compares tuples s and t under the bidirectional lexicographic order
+// of the spec: negative if s precedes t strictly, zero if the projections are
+// equivalent, positive otherwise.
+func Compare(enc *relation.Encoded, spec Spec, s, t int) int {
+	for _, da := range spec {
+		col := enc.Column(da.Attr)
+		vs, vt := col[s], col[t]
+		if vs == vt {
+			continue
+		}
+		less := vs < vt
+		if da.Dir == Desc {
+			less = !less
+		}
+		if less {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// Holds reports whether the bidirectional OD X ↦ Y holds: for every pair of
+// tuples, s ⪯X t implies s ⪯Y t. It sorts once by (X, Y) and scans, like the
+// unidirectional check.
+func Holds(enc *relation.Encoded, x, y Spec) bool {
+	n := enc.NumRows()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		c := Compare(enc, x, order[i], order[j])
+		if c != 0 {
+			return c < 0
+		}
+		return order[i] < order[j]
+	})
+	prevGroupStart := -1
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i < n && Compare(enc, x, order[i], order[start]) == 0 {
+			continue
+		}
+		// Group [start, i): all tuples equal on X must be equal on Y.
+		for j := start + 1; j < i; j++ {
+			if Compare(enc, y, order[start], order[j]) != 0 {
+				return false
+			}
+		}
+		// Successive groups must be non-decreasing on Y.
+		if prevGroupStart >= 0 && Compare(enc, y, order[start], order[prevGroupStart]) < 0 {
+			return false
+		}
+		prevGroupStart = start
+		start = i
+	}
+	return true
+}
+
+// OrderCompatible reports X ~ Y for bidirectional specifications: XY ↔ YX.
+func OrderCompatible(enc *relation.Encoded, x, y Spec) bool {
+	xy := append(append(Spec{}, x...), y...)
+	yx := append(append(Spec{}, y...), x...)
+	return Holds(enc, xy, yx) && Holds(enc, yx, xy)
+}
+
+// Polarity describes how two attributes relate within a context.
+type Polarity int
+
+// Polarities of an order-compatibility relationship.
+const (
+	// SameDirection means ascending/ascending (equivalently
+	// descending/descending) compatibility: the attributes move together.
+	SameDirection Polarity = iota
+	// OppositeDirection means ascending/descending compatibility: one
+	// attribute rises while the other falls.
+	OppositeDirection
+)
+
+// String returns "same" or "opposite".
+func (p Polarity) String() string {
+	if p == OppositeDirection {
+		return "opposite"
+	}
+	return "same"
+}
+
+// OD is a bidirectional canonical OD. Constancy ODs are identical to the
+// unidirectional ones (direction is irrelevant when a value is constant);
+// order-compatibility ODs additionally carry a polarity.
+type OD struct {
+	Context bitset.AttrSet
+	Kind    canonical.Kind
+	A, B    int
+	// Polarity is meaningful only for order-compatibility ODs.
+	Polarity Polarity
+}
+
+// NewConstancy builds ctx: [] ↦ a.
+func NewConstancy(ctx bitset.AttrSet, a int) OD {
+	return OD{Context: ctx, Kind: canonical.Constancy, A: a}
+}
+
+// NewOrderCompatible builds ctx: a ~ b with the given polarity, normalizing
+// the pair so that A < B (polarity is symmetric under swapping the pair).
+func NewOrderCompatible(ctx bitset.AttrSet, a, b int, p Polarity) OD {
+	pair := bitset.NewPair(a, b)
+	return OD{Context: ctx, Kind: canonical.OrderCompatible, A: pair.A, B: pair.B, Polarity: p}
+}
+
+// IsTrivial mirrors the unidirectional notion of triviality.
+func (od OD) IsTrivial() bool {
+	switch od.Kind {
+	case canonical.Constancy:
+		return od.Context.Contains(od.A)
+	case canonical.OrderCompatible:
+		return od.A == od.B || od.Context.Contains(od.A) || od.Context.Contains(od.B)
+	default:
+		return false
+	}
+}
+
+// String renders the OD with attribute indexes.
+func (od OD) String() string {
+	if od.Kind == canonical.Constancy {
+		return fmt.Sprintf("%s: [] -> %d", od.Context, od.A)
+	}
+	return fmt.Sprintf("%s: %d ~ %d (%s)", od.Context, od.A, od.B, od.Polarity)
+}
+
+// NamesString renders the OD with attribute names.
+func (od OD) NamesString(names []string) string {
+	name := func(a int) string {
+		if a >= 0 && a < len(names) {
+			return names[a]
+		}
+		return fmt.Sprintf("#%d", a)
+	}
+	if od.Kind == canonical.Constancy {
+		return fmt.Sprintf("%s: [] -> %s", od.Context.Names(names), name(od.A))
+	}
+	return fmt.Sprintf("%s: %s ~ %s (%s)", od.Context.Names(names), name(od.A), name(od.B), od.Polarity)
+}
+
+// Holds checks a bidirectional canonical OD directly against the instance.
+func (od OD) Holds(enc *relation.Encoded) (bool, error) {
+	if err := checkAttrs(enc, od); err != nil {
+		return false, err
+	}
+	if od.IsTrivial() {
+		return true, nil
+	}
+	ctx := contextPartition(enc, od.Context)
+	switch od.Kind {
+	case canonical.Constancy:
+		return ctx.ConstantInClasses(enc.Column(od.A)), nil
+	case canonical.OrderCompatible:
+		colB := enc.Column(od.B)
+		if od.Polarity == OppositeDirection {
+			colB = reverseRanks(colB, enc.Cardinality[od.B])
+		}
+		return !ctx.HasSwap(enc.Column(od.A), colB), nil
+	default:
+		return false, fmt.Errorf("bidir: unknown kind %v", od.Kind)
+	}
+}
+
+// reverseRanks flips a rank-encoded column so that descending order on the
+// original equals ascending order on the result.
+func reverseRanks(col []int32, cardinality int) []int32 {
+	out := make([]int32, len(col))
+	top := int32(cardinality - 1)
+	for i, v := range col {
+		out[i] = top - v
+	}
+	return out
+}
+
+func contextPartition(enc *relation.Encoded, ctx bitset.AttrSet) *partition.Partition {
+	p := partition.FromConstant(enc.NumRows())
+	ctx.ForEach(func(a int) {
+		p = partition.Product(p, partition.FromColumn(enc.Column(a), enc.Cardinality[a]))
+	})
+	return p
+}
+
+func checkAttrs(enc *relation.Encoded, od OD) error {
+	check := func(a int) error {
+		if a < 0 || a >= enc.NumCols() {
+			return fmt.Errorf("bidir: attribute %d out of range for relation with %d columns", a, enc.NumCols())
+		}
+		return nil
+	}
+	for _, a := range od.Context.Attrs() {
+		if err := check(a); err != nil {
+			return err
+		}
+	}
+	if err := check(od.A); err != nil {
+		return err
+	}
+	if od.Kind == canonical.OrderCompatible {
+		return check(od.B)
+	}
+	return nil
+}
+
+// Options configures bidirectional discovery.
+type Options struct {
+	// MaxLevel, when positive, bounds the processed lattice level.
+	MaxLevel int
+}
+
+// Result is the outcome of bidirectional discovery.
+type Result struct {
+	ODs          []OD
+	Elapsed      time.Duration
+	NodesVisited int
+}
+
+// Discover finds the minimal bidirectional canonical ODs of a relation:
+// constancy ODs exactly as in the unidirectional case plus, for every
+// attribute pair and context, whether the pair is order compatible in the
+// same direction, in opposite directions, or both (which only happens when
+// one attribute is constant within the context — then Propagate already makes
+// the OD non-minimal). Minimality follows the unidirectional rules: no subset
+// context may satisfy the same OD (with the same polarity) and neither paired
+// attribute may be constant in the context.
+func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
+	if enc == nil || enc.NumCols() == 0 {
+		return nil, fmt.Errorf("bidir: empty relation")
+	}
+	if enc.NumCols() > bitset.MaxAttrs {
+		return nil, fmt.Errorf("bidir: relation has %d columns, maximum is %d", enc.NumCols(), bitset.MaxAttrs)
+	}
+	start := time.Now()
+	n := enc.NumCols()
+	res := &Result{}
+
+	type polKey struct {
+		pair bitset.Pair
+		pol  Polarity
+	}
+	satisfiedConst := make(map[int][]bitset.AttrSet)
+	satisfiedOC := make(map[polKey][]bitset.AttrSet)
+	hasSubset := func(list []bitset.AttrSet, ctx bitset.AttrSet) bool {
+		for _, s := range list {
+			if s.IsSubsetOf(ctx) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pre-reverse every column once for the opposite-direction checks.
+	reversed := make([][]int32, n)
+	for a := 0; a < n; a++ {
+		reversed[a] = reverseRanks(enc.Column(a), enc.Cardinality[a])
+	}
+
+	parts := map[int]map[bitset.AttrSet]*partition.Partition{
+		0: {bitset.AttrSet(0): partition.FromConstant(enc.NumRows())},
+		1: {},
+	}
+	var level []bitset.AttrSet
+	for a := 0; a < n; a++ {
+		s := bitset.NewAttrSet(a)
+		level = append(level, s)
+		parts[1][s] = partition.FromColumn(enc.Column(a), enc.Cardinality[a])
+	}
+
+	for l := 1; len(level) > 0 && (opts.MaxLevel <= 0 || l <= opts.MaxLevel); l++ {
+		res.NodesVisited += len(level)
+		for _, x := range level {
+			for _, a := range x.Attrs() {
+				ctx := x.Remove(a)
+				if hasSubset(satisfiedConst[a], ctx) {
+					continue
+				}
+				if parts[l-1][ctx].ConstantInClasses(enc.Column(a)) {
+					satisfiedConst[a] = append(satisfiedConst[a], ctx)
+					res.ODs = append(res.ODs, NewConstancy(ctx, a))
+				}
+			}
+			if l < 2 {
+				continue
+			}
+			attrs := x.Attrs()
+			for i := 0; i < len(attrs); i++ {
+				for j := i + 1; j < len(attrs); j++ {
+					a, b := attrs[i], attrs[j]
+					ctx := x.Remove(a).Remove(b)
+					if hasSubset(satisfiedConst[a], ctx) || hasSubset(satisfiedConst[b], ctx) {
+						continue // Propagate: constant attributes are compatible both ways
+					}
+					ctxPart := parts[l-2][ctx]
+					pair := bitset.NewPair(a, b)
+					for _, pol := range []Polarity{SameDirection, OppositeDirection} {
+						key := polKey{pair: pair, pol: pol}
+						if hasSubset(satisfiedOC[key], ctx) {
+							continue
+						}
+						colB := enc.Column(b)
+						if pol == OppositeDirection {
+							colB = reversed[b]
+						}
+						if !ctxPart.HasSwap(enc.Column(a), colB) {
+							satisfiedOC[key] = append(satisfiedOC[key], ctx)
+							res.ODs = append(res.ODs, NewOrderCompatible(ctx, a, b, pol))
+						}
+					}
+				}
+			}
+		}
+		level, parts[l+1] = nextLevel(level, parts[l])
+		delete(parts, l-2)
+	}
+
+	sort.Slice(res.ODs, func(i, j int) bool { return less(res.ODs[i], res.ODs[j]) })
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func less(a, b OD) bool {
+	if a.Context.Len() != b.Context.Len() {
+		return a.Context.Len() < b.Context.Len()
+	}
+	if a.Context != b.Context {
+		return a.Context < b.Context
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	if a.B != b.B {
+		return a.B < b.B
+	}
+	return a.Polarity < b.Polarity
+}
+
+func nextLevel(level []bitset.AttrSet, parts map[bitset.AttrSet]*partition.Partition) ([]bitset.AttrSet, map[bitset.AttrSet]*partition.Partition) {
+	blocks := make(map[bitset.AttrSet][]int)
+	for _, x := range level {
+		attrs := x.Attrs()
+		last := attrs[len(attrs)-1]
+		blocks[x.Remove(last)] = append(blocks[x.Remove(last)], last)
+	}
+	prefixes := make([]bitset.AttrSet, 0, len(blocks))
+	for p := range blocks {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
+
+	var next []bitset.AttrSet
+	nextParts := make(map[bitset.AttrSet]*partition.Partition)
+	for _, prefix := range prefixes {
+		members := blocks[prefix]
+		sort.Ints(members)
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				x := prefix.Add(members[i]).Add(members[j])
+				next = append(next, x)
+				nextParts[x] = partition.Product(parts[prefix.Add(members[i])], parts[prefix.Add(members[j])])
+			}
+		}
+	}
+	return next, nextParts
+}

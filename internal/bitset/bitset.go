@@ -1,0 +1,234 @@
+// Package bitset provides compact attribute-set representations used by the
+// level-wise lattice algorithms (FASTOD, TANE). A relation schema is limited
+// to 64 attributes, which matches the widest dataset in the paper's
+// evaluation (flight, 40 attributes) with room to spare.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// MaxAttrs is the maximum number of attributes an AttrSet can hold.
+const MaxAttrs = 64
+
+// AttrSet is a set of attribute indexes in [0, MaxAttrs), stored as a bitmask.
+// The zero value is the empty set. AttrSet is a value type: all operations
+// return new sets and never mutate the receiver.
+type AttrSet uint64
+
+// NewAttrSet builds a set containing the given attribute indexes.
+// It panics if an index is out of range, since that is a programming error.
+func NewAttrSet(attrs ...int) AttrSet {
+	var s AttrSet
+	for _, a := range attrs {
+		s = s.Add(a)
+	}
+	return s
+}
+
+// Add returns the set with attribute a added.
+func (s AttrSet) Add(a int) AttrSet {
+	checkIndex(a)
+	return s | (1 << uint(a))
+}
+
+// Remove returns the set with attribute a removed.
+func (s AttrSet) Remove(a int) AttrSet {
+	checkIndex(a)
+	return s &^ (1 << uint(a))
+}
+
+// Contains reports whether attribute a is in the set.
+func (s AttrSet) Contains(a int) bool {
+	checkIndex(a)
+	return s&(1<<uint(a)) != 0
+}
+
+// Union returns the union of s and t.
+func (s AttrSet) Union(t AttrSet) AttrSet { return s | t }
+
+// Intersect returns the intersection of s and t.
+func (s AttrSet) Intersect(t AttrSet) AttrSet { return s & t }
+
+// Diff returns s with all attributes of t removed.
+func (s AttrSet) Diff(t AttrSet) AttrSet { return s &^ t }
+
+// IsEmpty reports whether the set has no attributes.
+func (s AttrSet) IsEmpty() bool { return s == 0 }
+
+// Len returns the number of attributes in the set.
+func (s AttrSet) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// IsSubsetOf reports whether every attribute of s is also in t.
+func (s AttrSet) IsSubsetOf(t AttrSet) bool { return s&^t == 0 }
+
+// Equal reports whether the two sets contain exactly the same attributes.
+func (s AttrSet) Equal(t AttrSet) bool { return s == t }
+
+// Attrs returns the attribute indexes in ascending order.
+func (s AttrSet) Attrs() []int {
+	out := make([]int, 0, s.Len())
+	for v := uint64(s); v != 0; {
+		a := bits.TrailingZeros64(v)
+		out = append(out, a)
+		v &^= 1 << uint(a)
+	}
+	return out
+}
+
+// ForEach calls fn for every attribute in ascending order.
+func (s AttrSet) ForEach(fn func(a int)) {
+	for v := uint64(s); v != 0; {
+		a := bits.TrailingZeros64(v)
+		fn(a)
+		v &^= 1 << uint(a)
+	}
+}
+
+// Subsets returns every proper subset of s obtained by removing exactly one
+// attribute, in ascending order of the removed attribute.
+func (s AttrSet) Subsets() []AttrSet {
+	out := make([]AttrSet, 0, s.Len())
+	s.ForEach(func(a int) { out = append(out, s.Remove(a)) })
+	return out
+}
+
+// String renders the set like {0,2,5} using attribute indexes.
+func (s AttrSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(a int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", a)
+		first = false
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Names renders the set like {A,C} using the provided attribute names,
+// sorted by attribute index.
+func (s AttrSet) Names(names []string) string {
+	parts := make([]string, 0, s.Len())
+	s.ForEach(func(a int) {
+		if a < len(names) {
+			parts = append(parts, names[a])
+		} else {
+			parts = append(parts, fmt.Sprintf("#%d", a))
+		}
+	})
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func checkIndex(a int) {
+	if a < 0 || a >= MaxAttrs {
+		panic(fmt.Sprintf("bitset: attribute index %d out of range [0,%d)", a, MaxAttrs))
+	}
+}
+
+// Pair is an unordered pair of distinct attributes {A,B}. It is normalized so
+// that A < B, which makes it usable as a map key and comparable.
+type Pair struct {
+	A, B int
+}
+
+// NewPair returns the normalized pair for attributes a and b.
+// It panics if a == b because canonical order-compatibility ODs are defined
+// only over distinct attributes.
+func NewPair(a, b int) Pair {
+	checkIndex(a)
+	checkIndex(b)
+	if a == b {
+		panic(fmt.Sprintf("bitset: pair requires distinct attributes, got %d twice", a))
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b}
+}
+
+// AsSet returns the pair as a two-attribute set.
+func (p Pair) AsSet() AttrSet { return NewAttrSet(p.A, p.B) }
+
+// String renders the pair like (1,3).
+func (p Pair) String() string { return fmt.Sprintf("(%d,%d)", p.A, p.B) }
+
+// PairSet is a set of unordered attribute pairs. It backs the C+s(X)
+// candidate sets in FASTOD. The zero value is an empty set ready for use
+// after a call to NewPairSet; use NewPairSet to construct.
+type PairSet struct {
+	pairs map[Pair]struct{}
+}
+
+// NewPairSet returns an empty pair set.
+func NewPairSet() *PairSet {
+	return &PairSet{pairs: make(map[Pair]struct{})}
+}
+
+// Add inserts the pair into the set.
+func (ps *PairSet) Add(p Pair) { ps.pairs[p] = struct{}{} }
+
+// Remove deletes the pair from the set. Removing an absent pair is a no-op.
+func (ps *PairSet) Remove(p Pair) { delete(ps.pairs, p) }
+
+// Contains reports whether the pair is in the set.
+func (ps *PairSet) Contains(p Pair) bool {
+	_, ok := ps.pairs[p]
+	return ok
+}
+
+// Len returns the number of pairs in the set.
+func (ps *PairSet) Len() int { return len(ps.pairs) }
+
+// IsEmpty reports whether the set has no pairs.
+func (ps *PairSet) IsEmpty() bool { return len(ps.pairs) == 0 }
+
+// Pairs returns the pairs sorted by (A,B) for deterministic iteration.
+func (ps *PairSet) Pairs() []Pair {
+	out := make([]Pair, 0, len(ps.pairs))
+	for p := range ps.pairs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (ps *PairSet) Clone() *PairSet {
+	out := NewPairSet()
+	for p := range ps.pairs {
+		out.pairs[p] = struct{}{}
+	}
+	return out
+}
+
+// Intersect returns a new set containing pairs present in both sets.
+func (ps *PairSet) Intersect(other *PairSet) *PairSet {
+	out := NewPairSet()
+	for p := range ps.pairs {
+		if other.Contains(p) {
+			out.pairs[p] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Union returns a new set containing pairs present in either set.
+func (ps *PairSet) Union(other *PairSet) *PairSet {
+	out := ps.Clone()
+	for p := range other.pairs {
+		out.pairs[p] = struct{}{}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package canonical
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// This file implements the set-based axiomatization of Figure 2 as explicit
+// inference-rule applications. Each rule takes its premises and returns the
+// conclusion (or an error if the premises do not have the required shape).
+// The rules are the formal core of the paper's Section 3.2; they are used by
+// the tests to verify soundness (every derived OD holds whenever the premises
+// hold) and by the discovery algorithm's documentation of its pruning rules
+// (Lemmas 5 and 6 are derived rules built from Strengthen, Propagate and
+// Chain).
+
+// AxiomReflexivity returns X: [] ↦ A for A ∈ X (always true).
+func AxiomReflexivity(ctx bitset.AttrSet, a int) (OD, error) {
+	if !ctx.Contains(a) {
+		return OD{}, fmt.Errorf("canonical: Reflexivity requires A ∈ X, got A=%d X=%v", a, ctx)
+	}
+	return NewConstancy(ctx, a), nil
+}
+
+// AxiomIdentity returns X: A ~ A (always true). The result is trivial by
+// construction.
+func AxiomIdentity(ctx bitset.AttrSet, a int) OD {
+	return OD{Context: ctx, Kind: OrderCompatible, A: a, B: a}
+}
+
+// AxiomCommutativity maps X: A ~ B to X: B ~ A. Canonical ODs store the pair
+// normalized, so the conclusion equals the premise; the rule exists to mirror
+// Figure 2 and to document why only one of the two orientations is stored.
+func AxiomCommutativity(premise OD) (OD, error) {
+	if premise.Kind != OrderCompatible {
+		return OD{}, fmt.Errorf("canonical: Commutativity applies to order-compatibility ODs, got %v", premise)
+	}
+	return premise, nil
+}
+
+// AxiomStrengthen applies
+//
+//	X: [] ↦ A    XA: [] ↦ B
+//	------------------------
+//	       X: [] ↦ B
+func AxiomStrengthen(first, second OD) (OD, error) {
+	if first.Kind != Constancy || second.Kind != Constancy {
+		return OD{}, fmt.Errorf("canonical: Strengthen requires two constancy ODs")
+	}
+	wantCtx := first.Context.Add(first.A)
+	if !second.Context.Equal(wantCtx) {
+		return OD{}, fmt.Errorf("canonical: Strengthen requires the second context to be XA = %v, got %v", wantCtx, second.Context)
+	}
+	return NewConstancy(first.Context, second.A), nil
+}
+
+// AxiomPropagate applies
+//
+//	X: [] ↦ A
+//	-----------
+//	X: A ~ B      for any attribute B
+func AxiomPropagate(premise OD, b int) (OD, error) {
+	if premise.Kind != Constancy {
+		return OD{}, fmt.Errorf("canonical: Propagate requires a constancy OD, got %v", premise)
+	}
+	if premise.A == b {
+		return AxiomIdentity(premise.Context, b), nil
+	}
+	return NewOrderCompatible(premise.Context, premise.A, b), nil
+}
+
+// AxiomAugmentationI applies
+//
+//	X: [] ↦ A
+//	-----------
+//	ZX: [] ↦ A
+func AxiomAugmentationI(premise OD, z bitset.AttrSet) (OD, error) {
+	if premise.Kind != Constancy {
+		return OD{}, fmt.Errorf("canonical: Augmentation-I requires a constancy OD, got %v", premise)
+	}
+	return NewConstancy(premise.Context.Union(z), premise.A), nil
+}
+
+// AxiomAugmentationII applies
+//
+//	X: A ~ B
+//	-----------
+//	ZX: A ~ B
+func AxiomAugmentationII(premise OD, z bitset.AttrSet) (OD, error) {
+	if premise.Kind != OrderCompatible {
+		return OD{}, fmt.Errorf("canonical: Augmentation-II requires an order-compatibility OD, got %v", premise)
+	}
+	ctx := premise.Context.Union(z)
+	if premise.A == premise.B {
+		return OD{Context: ctx, Kind: OrderCompatible, A: premise.A, B: premise.B}, nil
+	}
+	return NewOrderCompatible(ctx, premise.A, premise.B), nil
+}
+
+// AxiomChain applies the Chain rule of Figure 2:
+//
+//	X: A ~ B1,  ∀i X: Bi ~ Bi+1,  X: Bn ~ C,  ∀i XBi: A ~ C
+//	---------------------------------------------------------
+//	                      X: A ~ C
+//
+// The premises must all share the context ctx; chain is the list B1..Bn.
+// The function validates the premise shapes and returns the conclusion.
+func AxiomChain(ctx bitset.AttrSet, a int, chain []int, c int, premises []OD) (OD, error) {
+	if len(chain) == 0 {
+		return OD{}, fmt.Errorf("canonical: Chain requires at least one intermediate attribute")
+	}
+	need := make(map[OD]bool)
+	addOC := func(context bitset.AttrSet, x, y int) {
+		if x == y || context.Contains(x) || context.Contains(y) {
+			return // trivial premises are free
+		}
+		need[NewOrderCompatible(context, x, y)] = true
+	}
+	addOC(ctx, a, chain[0])
+	for i := 0; i+1 < len(chain); i++ {
+		addOC(ctx, chain[i], chain[i+1])
+	}
+	addOC(ctx, chain[len(chain)-1], c)
+	for _, b := range chain {
+		addOC(ctx.Add(b), a, c)
+	}
+	have := make(map[OD]bool, len(premises))
+	for _, p := range premises {
+		have[p] = true
+	}
+	for p := range need {
+		if !have[p] {
+			return OD{}, fmt.Errorf("canonical: Chain premise %v missing", p)
+		}
+	}
+	if a == c {
+		return AxiomIdentity(ctx, a), nil
+	}
+	return NewOrderCompatible(ctx, a, c), nil
+}
+
+// DerivedLemma5 is the pruning rule of Lemma 5 (derived from Strengthen):
+// if B ∈ X, X\B: [] ↦ B holds and X: [] ↦ A holds, then X\B: [] ↦ A holds.
+// It returns the strengthened OD.
+func DerivedLemma5(xMinusBToB, xToA OD) (OD, error) {
+	if xMinusBToB.Kind != Constancy || xToA.Kind != Constancy {
+		return OD{}, fmt.Errorf("canonical: Lemma 5 requires constancy ODs")
+	}
+	x := xToA.Context
+	b := xMinusBToB.A
+	if !x.Contains(b) || !xMinusBToB.Context.Equal(x.Remove(b)) {
+		return OD{}, fmt.Errorf("canonical: Lemma 5 premise contexts do not line up")
+	}
+	return NewConstancy(x.Remove(b), xToA.A), nil
+}
+
+// DerivedLemma6 is the pruning rule of Lemma 6 (derived from Propagate and
+// Chain): if C ∈ X, X\C: [] ↦ C holds and X: A ~ B holds, then X\C: A ~ B
+// holds. It returns the strengthened OD.
+func DerivedLemma6(xMinusCToC, xAB OD) (OD, error) {
+	if xMinusCToC.Kind != Constancy || xAB.Kind != OrderCompatible {
+		return OD{}, fmt.Errorf("canonical: Lemma 6 requires a constancy and an order-compatibility OD")
+	}
+	x := xAB.Context
+	c := xMinusCToC.A
+	if !x.Contains(c) || !xMinusCToC.Context.Equal(x.Remove(c)) {
+		return OD{}, fmt.Errorf("canonical: Lemma 6 premise contexts do not line up")
+	}
+	ctx := x.Remove(c)
+	if xAB.A == xAB.B {
+		return AxiomIdentity(ctx, xAB.A), nil
+	}
+	return NewOrderCompatible(ctx, xAB.A, xAB.B), nil
+}

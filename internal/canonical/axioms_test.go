@@ -1,0 +1,243 @@
+package canonical
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/datagen"
+	"repro/internal/relation"
+)
+
+func TestAxiomConstructorsValidateShapes(t *testing.T) {
+	ctx := bitset.NewAttrSet(0, 1)
+
+	if _, err := AxiomReflexivity(ctx, 2); err == nil {
+		t.Error("Reflexivity must require A ∈ X")
+	}
+	if od, err := AxiomReflexivity(ctx, 1); err != nil || !od.IsTrivial() {
+		t.Error("Reflexivity conclusion must be a trivial constancy OD")
+	}
+
+	if !AxiomIdentity(ctx, 3).IsTrivial() {
+		t.Error("Identity conclusion must be trivial")
+	}
+
+	if _, err := AxiomCommutativity(NewConstancy(ctx, 2)); err == nil {
+		t.Error("Commutativity must reject constancy ODs")
+	}
+	oc := NewOrderCompatible(ctx, 2, 3)
+	if got, err := AxiomCommutativity(oc); err != nil || !got.Equal(oc) {
+		t.Error("Commutativity must return the normalized premise")
+	}
+
+	if _, err := AxiomStrengthen(oc, oc); err == nil {
+		t.Error("Strengthen must require constancy premises")
+	}
+	if _, err := AxiomStrengthen(NewConstancy(ctx, 2), NewConstancy(ctx, 3)); err == nil {
+		t.Error("Strengthen must require the second context to be XA")
+	}
+	got, err := AxiomStrengthen(NewConstancy(ctx, 2), NewConstancy(ctx.Add(2), 3))
+	if err != nil || !got.Equal(NewConstancy(ctx, 3)) {
+		t.Errorf("Strengthen = %v, %v", got, err)
+	}
+
+	if _, err := AxiomPropagate(oc, 4); err == nil {
+		t.Error("Propagate must require a constancy premise")
+	}
+	if got, err := AxiomPropagate(NewConstancy(ctx, 2), 2); err != nil || !got.IsTrivial() {
+		t.Error("Propagate with B = A must produce the trivial identity")
+	}
+	if got, err := AxiomPropagate(NewConstancy(ctx, 2), 5); err != nil || !got.Equal(NewOrderCompatible(ctx, 2, 5)) {
+		t.Errorf("Propagate = %v, %v", got, err)
+	}
+
+	if _, err := AxiomAugmentationI(oc, ctx); err == nil {
+		t.Error("Augmentation-I must require a constancy premise")
+	}
+	if got, err := AxiomAugmentationI(NewConstancy(ctx, 2), bitset.NewAttrSet(5)); err != nil ||
+		!got.Equal(NewConstancy(ctx.Add(5), 2)) {
+		t.Errorf("Augmentation-I = %v, %v", got, err)
+	}
+
+	if _, err := AxiomAugmentationII(NewConstancy(ctx, 2), ctx); err == nil {
+		t.Error("Augmentation-II must require an order-compatibility premise")
+	}
+	if got, err := AxiomAugmentationII(oc, bitset.NewAttrSet(5)); err != nil ||
+		!got.Equal(NewOrderCompatible(ctx.Add(5), 2, 3)) {
+		t.Errorf("Augmentation-II = %v, %v", got, err)
+	}
+	ident := AxiomIdentity(ctx, 4)
+	if got, err := AxiomAugmentationII(ident, bitset.NewAttrSet(5)); err != nil || !got.IsTrivial() {
+		t.Errorf("Augmentation-II on identity = %v, %v", got, err)
+	}
+
+	if _, err := DerivedLemma5(oc, oc); err == nil {
+		t.Error("Lemma 5 must require constancy premises")
+	}
+	if _, err := DerivedLemma6(oc, oc); err == nil {
+		t.Error("Lemma 6 must require a constancy first premise")
+	}
+}
+
+func TestAxiomChainShapeValidation(t *testing.T) {
+	ctx := bitset.AttrSet(0)
+	if _, err := AxiomChain(ctx, 0, nil, 1, nil); err == nil {
+		t.Error("Chain must require a non-empty chain")
+	}
+	// Missing premises.
+	if _, err := AxiomChain(ctx, 0, []int{1}, 2, nil); err == nil {
+		t.Error("Chain must require all premises")
+	}
+	premises := []OD{
+		NewOrderCompatible(ctx, 0, 1),
+		NewOrderCompatible(ctx, 1, 2),
+		NewOrderCompatible(ctx.Add(1), 0, 2),
+	}
+	got, err := AxiomChain(ctx, 0, []int{1}, 2, premises)
+	if err != nil || !got.Equal(NewOrderCompatible(ctx, 0, 2)) {
+		t.Errorf("Chain = %v, %v", got, err)
+	}
+	// a == c yields the trivial identity.
+	selfPremises := []OD{
+		NewOrderCompatible(ctx, 0, 1),
+		NewOrderCompatible(ctx, 0, 1),
+	}
+	got, err = AxiomChain(ctx, 0, []int{1}, 0, selfPremises)
+	if err != nil || !got.IsTrivial() {
+		t.Errorf("Chain with A = C should be trivial, got %v, %v", got, err)
+	}
+}
+
+// TestAxiomSoundnessOnInstances is the semantic soundness check (Theorem 6):
+// whenever all premises of a rule hold on an instance, the conclusion holds.
+func TestAxiomSoundnessOnInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const cols = 4
+	for trial := 0; trial < 120; trial++ {
+		r := datagen.RandomStructuredRelation(2+rng.Intn(12), cols, 3, rng.Int63())
+		enc, err := relation.Encode(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		randomCtx := func() bitset.AttrSet {
+			return bitset.AttrSet(rng.Intn(1 << cols))
+		}
+
+		// Strengthen.
+		ctx := randomCtx()
+		a, b := rng.Intn(cols), rng.Intn(cols)
+		if a != b && !ctx.Contains(a) && !ctx.Contains(b) {
+			p1 := NewConstancy(ctx, a)
+			p2 := NewConstancy(ctx.Add(a), b)
+			if MustHold(enc, p1) && MustHold(enc, p2) {
+				concl, err := AxiomStrengthen(p1, p2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !MustHold(enc, concl) {
+					t.Fatalf("Strengthen unsound: %v, %v => %v", p1, p2, concl)
+				}
+			}
+		}
+
+		// Propagate.
+		if a != b {
+			p := NewConstancy(ctx, a)
+			if MustHold(enc, p) {
+				concl, err := AxiomPropagate(p, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !MustHold(enc, concl) {
+					t.Fatalf("Propagate unsound: %v => %v", p, concl)
+				}
+			}
+		}
+
+		// Augmentation-I and II.
+		z := randomCtx()
+		pc := NewConstancy(ctx, a)
+		if MustHold(enc, pc) {
+			concl, _ := AxiomAugmentationI(pc, z)
+			if !MustHold(enc, concl) {
+				t.Fatalf("Augmentation-I unsound: %v + %v => %v", pc, z, concl)
+			}
+		}
+		if a != b {
+			poc := NewOrderCompatible(ctx, a, b)
+			if MustHold(enc, poc) {
+				concl, _ := AxiomAugmentationII(poc, z)
+				if !MustHold(enc, concl) {
+					t.Fatalf("Augmentation-II unsound: %v + %v => %v", poc, z, concl)
+				}
+			}
+		}
+
+		// Lemma 5: B ∈ X, X\B: []↦B, X: []↦A => X\B: []↦A.
+		xl := randomCtx()
+		if xl.Len() >= 1 {
+			attrs := xl.Attrs()
+			bAttr := attrs[rng.Intn(len(attrs))]
+			aAttr := rng.Intn(cols)
+			if !xl.Contains(aAttr) {
+				p1 := NewConstancy(xl.Remove(bAttr), bAttr)
+				p2 := NewConstancy(xl, aAttr)
+				if MustHold(enc, p1) && MustHold(enc, p2) {
+					concl, err := DerivedLemma5(p1, p2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !MustHold(enc, concl) {
+						t.Fatalf("Lemma 5 unsound: %v, %v => %v", p1, p2, concl)
+					}
+				}
+			}
+		}
+
+		// Lemma 6: C ∈ X, X\C: []↦C, X: A~B => X\C: A~B.
+		if xl.Len() >= 1 && a != b && !xl.Contains(a) && !xl.Contains(b) {
+			attrs := xl.Attrs()
+			cAttr := attrs[rng.Intn(len(attrs))]
+			p1 := NewConstancy(xl.Remove(cAttr), cAttr)
+			p2 := NewOrderCompatible(xl, a, b)
+			if MustHold(enc, p1) && MustHold(enc, p2) {
+				concl, err := DerivedLemma6(p1, p2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !MustHold(enc, concl) {
+					t.Fatalf("Lemma 6 unsound: %v, %v => %v", p1, p2, concl)
+				}
+			}
+		}
+
+		// Chain with a single intermediate attribute.
+		cAttr := rng.Intn(cols)
+		bChain := rng.Intn(cols)
+		if a != cAttr && !ctx.Contains(a) && !ctx.Contains(cAttr) && !ctx.Contains(bChain) &&
+			a != bChain && cAttr != bChain {
+			premises := []OD{
+				NewOrderCompatible(ctx, a, bChain),
+				NewOrderCompatible(ctx, bChain, cAttr),
+				NewOrderCompatible(ctx.Add(bChain), a, cAttr),
+			}
+			all := true
+			for _, p := range premises {
+				if !MustHold(enc, p) {
+					all = false
+					break
+				}
+			}
+			if all {
+				concl, err := AxiomChain(ctx, a, []int{bChain}, cAttr, premises)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !MustHold(enc, concl) {
+					t.Fatalf("Chain unsound: %v => %v", premises, concl)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package canonical
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/datagen"
+	"repro/internal/listod"
+	"repro/internal/relation"
+)
+
+// Micro-benchmarks for the canonical-form machinery: the Theorem-5 mapping,
+// direct validation of canonical ODs and cover implication.
+
+func BenchmarkMapListOD(b *testing.B) {
+	x := listod.Spec{0, 1, 2, 3}
+	y := listod.Spec{4, 5, 6, 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MapListODNonTrivial(x, y)
+	}
+}
+
+func BenchmarkHoldsConstancy(b *testing.B) {
+	enc, err := relation.Encode(datagen.FlightLike(10_000, 8, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	od := NewConstancy(contextOf(2, 3), 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Holds(enc, od); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHoldsOrderCompatible(b *testing.B) {
+	enc, err := relation.Encode(datagen.FlightLike(10_000, 8, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	od := NewOrderCompatible(contextOf(2), 4, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Holds(enc, od); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoverImplies(b *testing.B) {
+	enc, err := relation.Encode(datagen.FlightLike(500, 10, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ods, err := ReferenceDiscover(enc.ProjectColumns(6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cover := NewCover(ods)
+	probe := NewOrderCompatible(contextOf(1, 2), 3, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cover.Implies(probe)
+	}
+}
+
+func contextOf(attrs ...int) bitset.AttrSet {
+	return bitset.NewAttrSet(attrs...)
+}

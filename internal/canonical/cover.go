@@ -1,0 +1,145 @@
+package canonical
+
+import (
+	"repro/internal/bitset"
+)
+
+// Cover is a set of canonical ODs together with implication reasoning based
+// on the set-based axioms of Figure 2. It answers "does this OD follow from
+// the set?" using the upward-closure axioms:
+//
+//   - Reflexivity / Identity / Normalization: trivial ODs are always implied.
+//   - Augmentation-I: Y: [] ↦ A implies X: [] ↦ A for every X ⊇ Y.
+//   - Augmentation-II: Y: A ~ B implies X: A ~ B for every X ⊇ Y.
+//   - Propagate: X: [] ↦ A (or ↦ B) implies X: A ~ B.
+//
+// For a complete minimal set produced over an instance (FASTOD output or
+// ReferenceDiscover output), this reconstruction is exact: an OD holds on the
+// instance iff Implies returns true (tested in the core package). For an
+// arbitrary OD set it is a sound under-approximation of full implication.
+type Cover struct {
+	// constancy[a] lists the contexts X with X: [] ↦ a in the cover.
+	constancy map[int][]bitset.AttrSet
+	// orderCompat[pair] lists the contexts X with X: pair.A ~ pair.B.
+	orderCompat map[bitset.Pair][]bitset.AttrSet
+	size        int
+}
+
+// NewCover builds a cover from a slice of canonical ODs. Trivial ODs are
+// ignored because they carry no information.
+func NewCover(ods []OD) *Cover {
+	c := &Cover{
+		constancy:   make(map[int][]bitset.AttrSet),
+		orderCompat: make(map[bitset.Pair][]bitset.AttrSet),
+	}
+	for _, od := range ods {
+		c.Add(od)
+	}
+	return c
+}
+
+// Add inserts one OD into the cover.
+func (c *Cover) Add(od OD) {
+	if od.IsTrivial() {
+		return
+	}
+	switch od.Kind {
+	case Constancy:
+		c.constancy[od.A] = append(c.constancy[od.A], od.Context)
+	case OrderCompatible:
+		p := od.Pair()
+		c.orderCompat[p] = append(c.orderCompat[p], od.Context)
+	}
+	c.size++
+}
+
+// Size returns the number of non-trivial ODs added to the cover.
+func (c *Cover) Size() int { return c.size }
+
+// ImpliesConstancy reports whether ctx: [] ↦ a follows from the cover.
+func (c *Cover) ImpliesConstancy(ctx bitset.AttrSet, a int) bool {
+	if ctx.Contains(a) {
+		return true // Reflexivity
+	}
+	for _, base := range c.constancy[a] {
+		if base.IsSubsetOf(ctx) {
+			return true // Augmentation-I
+		}
+	}
+	return false
+}
+
+// ImpliesOrderCompat reports whether ctx: a ~ b follows from the cover.
+func (c *Cover) ImpliesOrderCompat(ctx bitset.AttrSet, a, b int) bool {
+	if a == b || ctx.Contains(a) || ctx.Contains(b) {
+		return true // Identity / Normalization
+	}
+	p := bitset.NewPair(a, b)
+	for _, base := range c.orderCompat[p] {
+		if base.IsSubsetOf(ctx) {
+			return true // Augmentation-II
+		}
+	}
+	// Propagate: a constant attribute is order compatible with everything.
+	return c.ImpliesConstancy(ctx, a) || c.ImpliesConstancy(ctx, b)
+}
+
+// Implies reports whether the given canonical OD follows from the cover.
+func (c *Cover) Implies(od OD) bool {
+	switch od.Kind {
+	case Constancy:
+		return c.ImpliesConstancy(od.Context, od.A)
+	case OrderCompatible:
+		return c.ImpliesOrderCompat(od.Context, od.A, od.B)
+	default:
+		return false
+	}
+}
+
+// ImpliesAll reports whether every OD in the slice follows from the cover,
+// returning the first counterexample otherwise.
+func (c *Cover) ImpliesAll(ods []OD) (OD, bool) {
+	for _, od := range ods {
+		if !c.Implies(od) {
+			return od, false
+		}
+	}
+	return OD{}, true
+}
+
+// Minimize returns the subset of the input ODs that are not implied by the
+// other ODs in the input: it removes trivial ODs, ODs whose context is a
+// superset of another OD's context for the same right-hand side, and
+// order-compatibility ODs already implied by a constancy OD via Propagate.
+// The result is sorted deterministically.
+func Minimize(ods []OD) []OD {
+	var out []OD
+	for i, od := range ods {
+		if od.IsTrivial() {
+			continue
+		}
+		// Build a cover of everything except od (and except duplicates of od).
+		rest := make([]OD, 0, len(ods)-1)
+		for j, other := range ods {
+			if j == i || other.Equal(od) {
+				continue
+			}
+			rest = append(rest, other)
+		}
+		if !NewCover(rest).Implies(od) {
+			out = append(out, od)
+		}
+	}
+	// Deduplicate: equal ODs may both survive when each was excluded while
+	// testing the other.
+	seen := make(map[OD]bool, len(out))
+	dedup := out[:0]
+	for _, od := range out {
+		if !seen[od] {
+			seen[od] = true
+			dedup = append(dedup, od)
+		}
+	}
+	Sort(dedup)
+	return dedup
+}

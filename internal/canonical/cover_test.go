@@ -1,0 +1,113 @@
+package canonical
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+func TestCoverImplication(t *testing.T) {
+	// Cover: {0}: [] -> 1,  {}: 2 ~ 3
+	cover := NewCover([]OD{
+		NewConstancy(bitset.NewAttrSet(0), 1),
+		NewOrderCompatible(bitset.AttrSet(0), 2, 3),
+	})
+	if cover.Size() != 2 {
+		t.Fatalf("Size = %d", cover.Size())
+	}
+
+	// Augmentation-I: {0,2}: [] -> 1 is implied.
+	if !cover.ImpliesConstancy(bitset.NewAttrSet(0, 2), 1) {
+		t.Error("Augmentation-I implication failed")
+	}
+	// Not implied: {}: [] -> 1 (strictly smaller context).
+	if cover.ImpliesConstancy(bitset.AttrSet(0), 1) {
+		t.Error("smaller context must not be implied")
+	}
+	// Reflexivity: {1}: [] -> 1.
+	if !cover.ImpliesConstancy(bitset.NewAttrSet(1), 1) {
+		t.Error("Reflexivity implication failed")
+	}
+	// Augmentation-II: {5}: 2 ~ 3 implied; symmetric orientation too.
+	if !cover.ImpliesOrderCompat(bitset.NewAttrSet(5), 2, 3) {
+		t.Error("Augmentation-II implication failed")
+	}
+	if !cover.ImpliesOrderCompat(bitset.NewAttrSet(5), 3, 2) {
+		t.Error("Commutativity implication failed")
+	}
+	// Propagate: {0}: 1 ~ 7 implied because 1 is constant in context {0}.
+	if !cover.ImpliesOrderCompat(bitset.NewAttrSet(0), 1, 7) {
+		t.Error("Propagate implication failed")
+	}
+	// Identity / Normalization trivia.
+	if !cover.ImpliesOrderCompat(bitset.AttrSet(0), 4, 4) {
+		t.Error("Identity implication failed")
+	}
+	if !cover.ImpliesOrderCompat(bitset.NewAttrSet(4), 4, 6) {
+		t.Error("Normalization implication failed")
+	}
+	// Not implied: {}: 2 ~ 7.
+	if cover.ImpliesOrderCompat(bitset.AttrSet(0), 2, 7) {
+		t.Error("unrelated pair must not be implied")
+	}
+
+	// Implies / ImpliesAll wrappers.
+	if !cover.Implies(NewConstancy(bitset.NewAttrSet(0, 3), 1)) {
+		t.Error("Implies failed")
+	}
+	if cover.Implies(OD{Kind: Kind(9)}) {
+		t.Error("unknown kind must not be implied")
+	}
+	missing, ok := cover.ImpliesAll([]OD{
+		NewConstancy(bitset.NewAttrSet(0), 1),
+		NewConstancy(bitset.AttrSet(0), 7),
+	})
+	if ok || !missing.Equal(NewConstancy(bitset.AttrSet(0), 7)) {
+		t.Errorf("ImpliesAll = %v %v", missing, ok)
+	}
+	if _, ok := cover.ImpliesAll([]OD{NewConstancy(bitset.NewAttrSet(0), 1)}); !ok {
+		t.Error("ImpliesAll should succeed for implied ODs")
+	}
+}
+
+func TestCoverIgnoresTrivialODs(t *testing.T) {
+	cover := NewCover([]OD{
+		NewConstancy(bitset.NewAttrSet(0), 0),
+		OD{Context: bitset.AttrSet(0), Kind: OrderCompatible, A: 1, B: 1},
+	})
+	if cover.Size() != 0 {
+		t.Errorf("Size = %d, want 0 (trivial ODs ignored)", cover.Size())
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	ods := []OD{
+		NewConstancy(bitset.NewAttrSet(0), 1),
+		NewConstancy(bitset.NewAttrSet(0, 2), 1),       // implied by the first (Aug-I)
+		NewOrderCompatible(bitset.NewAttrSet(0), 1, 3), // implied by the first (Propagate)
+		NewOrderCompatible(bitset.AttrSet(0), 2, 3),
+		NewOrderCompatible(bitset.NewAttrSet(5), 2, 3), // implied by the previous (Aug-II)
+		NewConstancy(bitset.NewAttrSet(1), 1),          // trivial
+		NewConstancy(bitset.NewAttrSet(0), 1),          // duplicate
+	}
+	got := Minimize(ods)
+	want := []OD{
+		NewOrderCompatible(bitset.AttrSet(0), 2, 3),
+		NewConstancy(bitset.NewAttrSet(0), 1),
+	}
+	Sort(want)
+	if len(got) != len(want) {
+		t.Fatalf("Minimize = %v, want %v", got, want)
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("Minimize[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMinimizeEmpty(t *testing.T) {
+	if got := Minimize(nil); len(got) != 0 {
+		t.Errorf("Minimize(nil) = %v", got)
+	}
+}

@@ -1,0 +1,160 @@
+package canonical
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/datagen"
+	"repro/internal/listod"
+	"repro/internal/relation"
+)
+
+// TestMapListODExample5 checks the worked Example 5 of the paper: the OD
+// [A,B] ↦ [C,D] maps to {A,B}: []↦C, {A,B}: []↦D, {}: A~C, {A}: B~C,
+// {C}: A~D and {A,C}: B~D.
+func TestMapListODExample5(t *testing.T) {
+	const a, b, c, d = 0, 1, 2, 3
+	got := MapListODNonTrivial(listod.Spec{a, b}, listod.Spec{c, d})
+	want := []OD{
+		NewConstancy(bitset.NewAttrSet(a, b), c),
+		NewConstancy(bitset.NewAttrSet(a, b), d),
+		NewOrderCompatible(bitset.AttrSet(0), a, c),
+		NewOrderCompatible(bitset.NewAttrSet(a), b, c),
+		NewOrderCompatible(bitset.NewAttrSet(c), a, d),
+		NewOrderCompatible(bitset.NewAttrSet(a, c), b, d),
+	}
+	Sort(want)
+	if len(got) != len(want) {
+		t.Fatalf("mapping size = %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("mapping[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMapListODSizeIsPolynomial(t *testing.T) {
+	x := listod.Spec{0, 1, 2}
+	y := listod.Spec{3, 4}
+	all := MapListOD(x, y)
+	// |Y| constancy ODs plus |X|*|Y| order-compatibility ODs.
+	if len(all) != len(y)+len(x)*len(y) {
+		t.Errorf("mapping size = %d, want %d", len(all), len(y)+len(x)*len(y))
+	}
+}
+
+func TestMapListODWithRepeatsAndIdentity(t *testing.T) {
+	// [A] ↦ [A,B]: the pair (A,A) is trivial, the context of B's pair is {A}.
+	got := MapListODNonTrivial(listod.Spec{0}, listod.Spec{0, 1})
+	want := []OD{
+		NewConstancy(bitset.NewAttrSet(0), 0), // trivial, filtered
+		NewConstancy(bitset.NewAttrSet(0), 1),
+	}
+	_ = want
+	// After filtering trivial ODs only {0}: []↦1 and {0}: 0~1-style trivia remain;
+	// the order-compatibility ODs all mention attribute 0 in context or are identity.
+	if len(got) != 1 || !got[0].Equal(NewConstancy(bitset.NewAttrSet(0), 1)) {
+		t.Errorf("mapping = %v, want only {0}: [] -> 1", got)
+	}
+}
+
+func TestMapFDAndMapOrderCompatibility(t *testing.T) {
+	fds := MapFD(listod.Spec{0, 1}, listod.Spec{2, 3})
+	if len(fds) != 2 || fds[0].Kind != Constancy || fds[1].A != 3 {
+		t.Errorf("MapFD = %v", fds)
+	}
+	ocs := MapOrderCompatibility(listod.Spec{0}, listod.Spec{1, 0})
+	// pairs: (0,1) ctx {}; (0,0) identity ctx {1}
+	if len(ocs) != 2 {
+		t.Fatalf("MapOrderCompatibility = %v", ocs)
+	}
+	if !ocs[0].Equal(NewOrderCompatible(bitset.AttrSet(0), 0, 1)) {
+		t.Errorf("ocs[0] = %v", ocs[0])
+	}
+	if !ocs[1].IsTrivial() {
+		t.Errorf("ocs[1] should be trivial identity, got %v", ocs[1])
+	}
+}
+
+// TestTheorem5Equivalence is the central mapping property: a list-based OD
+// holds on an instance iff every canonical OD in its Theorem-5 image holds.
+func TestTheorem5Equivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		rows := 2 + rng.Intn(16)
+		cols := 2 + rng.Intn(4)
+		r := datagen.RandomStructuredRelation(rows, cols, 3, rng.Int63())
+		enc, err := relation.Encode(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomSpec(rng, cols)
+		y := randomSpec(rng, cols)
+
+		listHolds := listod.HoldsBruteForce(enc, x, y)
+		mapped := MapListOD(x, y)
+		allHold := true
+		for _, od := range mapped {
+			if !MustHold(enc, od) {
+				allHold = false
+				break
+			}
+		}
+		if listHolds != allHold {
+			t.Fatalf("trial %d: Theorem 5 violated for X=%v Y=%v: list=%v canonical=%v\nmapped=%v",
+				trial, x, y, listHolds, allHold, mapped)
+		}
+	}
+}
+
+// TestTheorem3And4 checks the two halves of the mapping separately:
+// X ↦ XY iff all constancy images hold, and X ~ Y iff all OC images hold.
+func TestTheorem3And4(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 150; trial++ {
+		rows := 2 + rng.Intn(14)
+		cols := 2 + rng.Intn(4)
+		r := datagen.RandomStructuredRelation(rows, cols, 3, rng.Int63())
+		enc, err := relation.Encode(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomSpec(rng, cols)
+		y := randomSpec(rng, cols)
+
+		fdHolds := listod.HoldsBruteForce(enc, x, x.Concat(y))
+		fdMapped := true
+		for _, od := range MapFD(x, y) {
+			if !MustHold(enc, od) {
+				fdMapped = false
+				break
+			}
+		}
+		if fdHolds != fdMapped {
+			t.Fatalf("trial %d: Theorem 3 violated for X=%v Y=%v", trial, x, y)
+		}
+
+		ocHolds := listod.OrderCompatible(enc, x, y)
+		ocMapped := true
+		for _, od := range MapOrderCompatibility(x, y) {
+			if !MustHold(enc, od) {
+				ocMapped = false
+				break
+			}
+		}
+		if ocHolds != ocMapped {
+			t.Fatalf("trial %d: Theorem 4 violated for X=%v Y=%v", trial, x, y)
+		}
+	}
+}
+
+func randomSpec(rng *rand.Rand, cols int) listod.Spec {
+	n := rng.Intn(3)
+	out := make(listod.Spec, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, rng.Intn(cols))
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package canonical
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+func TestKindString(t *testing.T) {
+	if Constancy.String() != "constancy" || OrderCompatible.String() != "order-compatible" {
+		t.Error("Kind.String incorrect")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind string incorrect")
+	}
+}
+
+func TestODConstructorsAndAccessors(t *testing.T) {
+	ctx := bitset.NewAttrSet(0, 1)
+	c := NewConstancy(ctx, 3)
+	if c.Kind != Constancy || c.A != 3 || !c.Context.Equal(ctx) {
+		t.Errorf("NewConstancy = %v", c)
+	}
+	oc := NewOrderCompatible(ctx, 5, 2)
+	if oc.A != 2 || oc.B != 5 {
+		t.Errorf("NewOrderCompatible should normalize pair, got %v", oc)
+	}
+	if oc.Pair() != bitset.NewPair(2, 5) {
+		t.Errorf("Pair = %v", oc.Pair())
+	}
+	if !c.Attributes().Equal(bitset.NewAttrSet(0, 1, 3)) {
+		t.Errorf("Attributes = %v", c.Attributes())
+	}
+	if !oc.Attributes().Equal(bitset.NewAttrSet(0, 1, 2, 5)) {
+		t.Errorf("Attributes = %v", oc.Attributes())
+	}
+	if !c.Equal(NewConstancy(ctx, 3)) || c.Equal(oc) {
+		t.Error("Equal incorrect")
+	}
+}
+
+func TestODTriviality(t *testing.T) {
+	ctx := bitset.NewAttrSet(0, 1)
+	cases := []struct {
+		od   OD
+		want bool
+	}{
+		{NewConstancy(ctx, 0), true},                                // Reflexivity
+		{NewConstancy(ctx, 2), false},                               //
+		{NewOrderCompatible(ctx, 0, 2), true},                       // A in context
+		{NewOrderCompatible(ctx, 2, 1), true},                       // B in context
+		{NewOrderCompatible(ctx, 2, 3), false},                      //
+		{OD{Context: ctx, Kind: OrderCompatible, A: 4, B: 4}, true}, // Identity
+		{OD{Context: ctx, Kind: Kind(7)}, false},                    // unknown kind
+	}
+	for _, tc := range cases {
+		if got := tc.od.IsTrivial(); got != tc.want {
+			t.Errorf("IsTrivial(%v) = %v, want %v", tc.od, got, tc.want)
+		}
+	}
+}
+
+func TestODStrings(t *testing.T) {
+	names := []string{"yr", "posit", "bin", "sal"}
+	c := NewConstancy(bitset.NewAttrSet(1), 2)
+	if c.String() != "{1}: [] -> 2" {
+		t.Errorf("String = %q", c.String())
+	}
+	if c.NamesString(names) != "{posit}: [] -> bin" {
+		t.Errorf("NamesString = %q", c.NamesString(names))
+	}
+	oc := NewOrderCompatible(bitset.NewAttrSet(0), 2, 3)
+	if oc.String() != "{0}: 2 ~ 3" {
+		t.Errorf("String = %q", oc.String())
+	}
+	if oc.NamesString(names) != "{yr}: bin ~ sal" {
+		t.Errorf("NamesString = %q", oc.NamesString(names))
+	}
+	out := NewConstancy(bitset.AttrSet(0), 9)
+	if out.NamesString(names) != "{}: [] -> #9" {
+		t.Errorf("NamesString out of range = %q", out.NamesString(names))
+	}
+}
+
+func TestSortAndLess(t *testing.T) {
+	ods := []OD{
+		NewOrderCompatible(bitset.NewAttrSet(0), 1, 2),
+		NewConstancy(bitset.NewAttrSet(0), 2),
+		NewConstancy(bitset.AttrSet(0), 1),
+		NewConstancy(bitset.NewAttrSet(0, 1), 2),
+		NewConstancy(bitset.NewAttrSet(0), 1),
+	}
+	Sort(ods)
+	// Empty context first, then size-1 contexts with constancy before
+	// order-compatible, then size-2 contexts.
+	if !ods[0].Equal(NewConstancy(bitset.AttrSet(0), 1)) {
+		t.Errorf("ods[0] = %v", ods[0])
+	}
+	if !ods[1].Equal(NewConstancy(bitset.NewAttrSet(0), 1)) || !ods[2].Equal(NewConstancy(bitset.NewAttrSet(0), 2)) {
+		t.Errorf("ods[1,2] = %v %v", ods[1], ods[2])
+	}
+	if ods[3].Kind != OrderCompatible {
+		t.Errorf("ods[3] = %v", ods[3])
+	}
+	if !ods[4].Equal(NewConstancy(bitset.NewAttrSet(0, 1), 2)) {
+		t.Errorf("ods[4] = %v", ods[4])
+	}
+	if Less(ods[0], ods[0]) {
+		t.Error("Less must be irreflexive")
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	ods := []OD{
+		NewConstancy(bitset.AttrSet(0), 1),
+		NewConstancy(bitset.NewAttrSet(2), 1),
+		NewOrderCompatible(bitset.AttrSet(0), 1, 2),
+	}
+	c := CountByKind(ods)
+	if c.Total != 3 || c.Constancy != 2 || c.OrderCompat != 1 {
+		t.Errorf("CountByKind = %+v", c)
+	}
+	if c.String() != "3 (2 + 1)" {
+		t.Errorf("Count.String = %q", c.String())
+	}
+}

@@ -1,0 +1,222 @@
+package canonical
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// Holds reports whether the canonical OD is satisfied by the encoded relation
+// instance, by materializing the partition of the context and checking the
+// constancy or no-swap condition within every equivalence class (Definition 6).
+// It is independent of the discovery algorithms and serves as their oracle.
+func Holds(enc *relation.Encoded, od OD) (bool, error) {
+	if err := checkAttrs(enc, od); err != nil {
+		return false, err
+	}
+	if od.IsTrivial() {
+		return true, nil
+	}
+	ctx := ContextPartition(enc, od.Context)
+	switch od.Kind {
+	case Constancy:
+		return ctx.ConstantInClasses(enc.Column(od.A)), nil
+	case OrderCompatible:
+		return !ctx.HasSwap(enc.Column(od.A), enc.Column(od.B)), nil
+	default:
+		return false, fmt.Errorf("canonical: unknown kind %v", od.Kind)
+	}
+}
+
+// MustHold is Holds for ODs known to reference valid attributes; it panics on
+// structural errors and is intended for tests and internal callers.
+func MustHold(enc *relation.Encoded, od OD) bool {
+	ok, err := Holds(enc, od)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// Violation describes why a canonical OD fails on an instance: a pair of rows
+// forming a split (constancy OD) or a swap (order-compatibility OD).
+type Violation struct {
+	OD OD
+	// RowS and RowT are the witnessing tuple indexes.
+	RowS, RowT int
+	// IsSwap is true for order-compatibility violations, false for splits.
+	IsSwap bool
+}
+
+// String renders the violation for diagnostics.
+func (v Violation) String() string {
+	kind := "split"
+	if v.IsSwap {
+		kind = "swap"
+	}
+	return fmt.Sprintf("%s violated by %s over rows (%d,%d)", v.OD, kind, v.RowS, v.RowT)
+}
+
+// FindViolation returns a witness pair for a violated canonical OD, if any.
+func FindViolation(enc *relation.Encoded, od OD) (Violation, bool, error) {
+	if err := checkAttrs(enc, od); err != nil {
+		return Violation{}, false, err
+	}
+	if od.IsTrivial() {
+		return Violation{}, false, nil
+	}
+	ctx := ContextPartition(enc, od.Context)
+	switch od.Kind {
+	case Constancy:
+		if w, ok := ctx.FindSplit(enc.Column(od.A)); ok {
+			return Violation{OD: od, RowS: w.RowS, RowT: w.RowT, IsSwap: false}, true, nil
+		}
+	case OrderCompatible:
+		if w, ok := ctx.FindSwap(enc.Column(od.A), enc.Column(od.B)); ok {
+			return Violation{OD: od, RowS: w.RowS, RowT: w.RowT, IsSwap: true}, true, nil
+		}
+	}
+	return Violation{}, false, nil
+}
+
+// ContextPartition computes the stripped partition of the relation with
+// respect to the attribute set ctx by multiplying single-attribute partitions.
+// The empty context yields the single-class partition.
+func ContextPartition(enc *relation.Encoded, ctx bitset.AttrSet) *partition.Partition {
+	p := partition.FromConstant(enc.NumRows())
+	ctx.ForEach(func(a int) {
+		p = partition.Product(p, partition.FromColumn(enc.Column(a), enc.Cardinality[a]))
+	})
+	return p
+}
+
+func checkAttrs(enc *relation.Encoded, od OD) error {
+	check := func(a int) error {
+		if a < 0 || a >= enc.NumCols() {
+			return fmt.Errorf("canonical: attribute %d out of range for relation with %d columns", a, enc.NumCols())
+		}
+		return nil
+	}
+	for _, a := range od.Context.Attrs() {
+		if err := check(a); err != nil {
+			return err
+		}
+	}
+	if err := check(od.A); err != nil {
+		return err
+	}
+	if od.Kind == OrderCompatible {
+		if err := check(od.B); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReferenceDiscover enumerates every non-trivial canonical OD over the
+// relation's schema, checks it directly against the instance, and returns the
+// complete minimal set in the sense of Section 4.1:
+//
+//   - X: [] ↦ A is minimal iff it holds, is non-trivial, and no proper subset
+//     context Y ⊂ X has Y: [] ↦ A holding;
+//   - X: A ~ B is minimal iff it holds, is non-trivial, no proper subset
+//     context has A ~ B holding, and neither X: [] ↦ A nor X: [] ↦ B holds.
+//
+// The enumeration is exponential in the number of attributes and quadratic in
+// the number of rows in the worst case; it is the oracle used to verify that
+// FASTOD is complete and minimal, and is exported through the public API as a
+// slow reference implementation. Relations with more than 20 attributes are
+// rejected to avoid accidental blow-ups.
+func ReferenceDiscover(enc *relation.Encoded) ([]OD, error) {
+	n := enc.NumCols()
+	if n > 20 {
+		return nil, fmt.Errorf("canonical: reference discovery limited to 20 attributes, got %d", n)
+	}
+	// holdsConst[ctx][a] and holdsOC[ctx][pair] memoize validity per context.
+	type pairKey struct{ a, b int }
+	holdsConst := make(map[bitset.AttrSet]map[int]bool)
+	holdsOC := make(map[bitset.AttrSet]map[pairKey]bool)
+
+	contexts := allSubsets(n)
+	for _, ctx := range contexts {
+		p := ContextPartition(enc, ctx)
+		cm := make(map[int]bool)
+		om := make(map[pairKey]bool)
+		for a := 0; a < n; a++ {
+			if ctx.Contains(a) {
+				continue
+			}
+			cm[a] = p.ConstantInClasses(enc.Column(a))
+			for b := a + 1; b < n; b++ {
+				if ctx.Contains(b) {
+					continue
+				}
+				om[pairKey{a, b}] = !p.HasSwap(enc.Column(a), enc.Column(b))
+			}
+		}
+		holdsConst[ctx] = cm
+		holdsOC[ctx] = om
+	}
+
+	var out []OD
+	for _, ctx := range contexts {
+		for a := 0; a < n; a++ {
+			if ctx.Contains(a) || !holdsConst[ctx][a] {
+				continue
+			}
+			minimal := true
+			for _, sub := range ctx.Subsets() {
+				if holdsConst[sub][a] {
+					minimal = false
+					break
+				}
+			}
+			if minimal {
+				out = append(out, NewConstancy(ctx, a))
+			}
+		}
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if ctx.Contains(a) || ctx.Contains(b) || !holdsOC[ctx][pairKey{a, b}] {
+					continue
+				}
+				if holdsConst[ctx][a] || holdsConst[ctx][b] {
+					continue // Propagate makes it non-minimal
+				}
+				minimal := true
+				for _, sub := range ctx.Subsets() {
+					if holdsOC[sub][pairKey{a, b}] {
+						minimal = false
+						break
+					}
+				}
+				if minimal {
+					out = append(out, NewOrderCompatible(ctx, a, b))
+				}
+			}
+		}
+	}
+	Sort(out)
+	return out, nil
+}
+
+// allSubsets enumerates every subset of {0..n-1} ordered by size then value,
+// so that subsets always precede supersets.
+func allSubsets(n int) []bitset.AttrSet {
+	total := 1 << uint(n)
+	out := make([]bitset.AttrSet, 0, total)
+	for mask := 0; mask < total; mask++ {
+		out = append(out, bitset.AttrSet(mask))
+	}
+	// Order by cardinality, then numeric value, so iteration is level-wise.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Len() != out[j].Len() {
+			return out[i].Len() < out[j].Len()
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

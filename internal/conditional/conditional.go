@@ -1,0 +1,167 @@
+// Package conditional implements conditional order dependencies, the third
+// extension named in the paper's conclusion: canonical ODs that hold on the
+// portion of a relation selected by a condition ("binding") on some attribute,
+// even though they fail on the full relation. A typical example is a tax
+// bracket rule that holds within each country but not across countries.
+//
+// Discovery partitions the relation by each candidate condition attribute
+// (bounded-cardinality attributes only), runs FASTOD on every partition slice,
+// and reports the ODs that hold in a slice but are not implied by the ODs of
+// the full relation.
+package conditional
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/canonical"
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// Condition is an equality binding "attribute = value" selecting a portion of
+// the relation. Value is the raw rank of the encoded column; Rows is the
+// number of tuples it selects.
+type Condition struct {
+	Attr  int
+	Value int32
+	Rows  int
+}
+
+// OD is a conditional canonical OD: the embedded OD holds on the tuples
+// selected by the condition but is not implied by the unconditional ODs.
+type OD struct {
+	Condition Condition
+	OD        canonical.OD
+}
+
+// Options configures conditional discovery.
+type Options struct {
+	// MaxConditionCardinality bounds how many distinct values a condition
+	// attribute may have (default 16): attributes with more values fragment
+	// the relation into slivers that yield spurious dependencies.
+	MaxConditionCardinality int
+	// MinSliceRows skips condition values selecting fewer tuples than this
+	// (default 2's complement of nothing — default 4), again to avoid
+	// trivially-holding ODs on tiny slices.
+	MinSliceRows int
+	// ConditionAttrs restricts which attributes may serve as conditions
+	// (default: every attribute within the cardinality bound).
+	ConditionAttrs []int
+	// Discovery is passed through to the per-slice FASTOD runs (e.g.
+	// MaxLevel to bound context sizes).
+	Discovery core.Options
+}
+
+// Result is the outcome of a conditional discovery run.
+type Result struct {
+	// Global is the unconditional discovery result on the full relation.
+	Global *core.Result
+	// ODs are the conditional ODs found, sorted by condition then OD.
+	ODs []OD
+	// SlicesExamined counts (attribute, value) slices that were processed.
+	SlicesExamined int
+	Elapsed        time.Duration
+}
+
+// Discover finds conditional canonical ODs. An OD is reported for a condition
+// slice only if it is minimal on that slice (FASTOD's own minimality) and not
+// already implied by the unconditional ODs of the full relation — otherwise a
+// conditional report would just restate global knowledge.
+func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
+	if enc == nil || enc.NumCols() == 0 {
+		return nil, fmt.Errorf("conditional: empty relation")
+	}
+	if opts.MaxConditionCardinality <= 0 {
+		opts.MaxConditionCardinality = 16
+	}
+	if opts.MinSliceRows <= 0 {
+		opts.MinSliceRows = 4
+	}
+	start := time.Now()
+
+	global, err := core.Discover(enc, opts.Discovery)
+	if err != nil {
+		return nil, err
+	}
+	globalCover := canonical.NewCover(global.ODs)
+	res := &Result{Global: global}
+
+	condAttrs := opts.ConditionAttrs
+	if condAttrs == nil {
+		for a := 0; a < enc.NumCols(); a++ {
+			if enc.Cardinality[a] >= 2 && enc.Cardinality[a] <= opts.MaxConditionCardinality {
+				condAttrs = append(condAttrs, a)
+			}
+		}
+	}
+
+	for _, attr := range condAttrs {
+		if attr < 0 || attr >= enc.NumCols() {
+			return nil, fmt.Errorf("conditional: condition attribute %d out of range", attr)
+		}
+		// Group row indexes by the condition attribute's value.
+		groups := make(map[int32][]int)
+		for row, v := range enc.Column(attr) {
+			groups[v] = append(groups[v], row)
+		}
+		values := make([]int32, 0, len(groups))
+		for v := range groups {
+			values = append(values, v)
+		}
+		sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+
+		for _, v := range values {
+			rows := groups[v]
+			if len(rows) < opts.MinSliceRows {
+				continue
+			}
+			slice, err := enc.SelectRows(rows)
+			if err != nil {
+				return nil, err
+			}
+			sliceRes, err := core.Discover(slice, opts.Discovery)
+			if err != nil {
+				return nil, err
+			}
+			res.SlicesExamined++
+			cond := Condition{Attr: attr, Value: v, Rows: len(rows)}
+			for _, od := range sliceRes.ODs {
+				// Skip ODs that mention the condition attribute itself: within
+				// the slice it is constant, so such ODs carry no information.
+				if od.Attributes().Contains(attr) {
+					continue
+				}
+				if globalCover.Implies(od) {
+					continue
+				}
+				res.ODs = append(res.ODs, OD{Condition: cond, OD: od})
+			}
+		}
+	}
+
+	sort.Slice(res.ODs, func(i, j int) bool {
+		a, b := res.ODs[i], res.ODs[j]
+		if a.Condition.Attr != b.Condition.Attr {
+			return a.Condition.Attr < b.Condition.Attr
+		}
+		if a.Condition.Value != b.Condition.Value {
+			return a.Condition.Value < b.Condition.Value
+		}
+		return canonical.Less(a.OD, b.OD)
+	})
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// NamesString renders a conditional OD using attribute names; the condition
+// value is shown as its rank because raw values are not retained in the
+// encoded relation.
+func (c OD) NamesString(names []string) string {
+	attr := fmt.Sprintf("#%d", c.Condition.Attr)
+	if c.Condition.Attr >= 0 && c.Condition.Attr < len(names) {
+		attr = names[c.Condition.Attr]
+	}
+	return fmt.Sprintf("[%s=rank(%d), %d rows] %s", attr, c.Condition.Value, c.Condition.Rows, c.OD.NamesString(names))
+}

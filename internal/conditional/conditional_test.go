@@ -1,0 +1,153 @@
+package conditional
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/canonical"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/relation"
+)
+
+// bracketRelation builds a relation where "rate" increases with "income"
+// within each country, but the two countries use opposite scales so the OD
+// fails globally: a textbook conditional OD.
+func bracketRelation(t *testing.T) *relation.Encoded {
+	t.Helper()
+	header := []string{"country", "income", "rate", "noise"}
+	var rows [][]string
+	for i := 0; i < 30; i++ {
+		// Country A: rate = income/3 (monotone).
+		rows = append(rows, []string{"A", strconv.Itoa(1000 + i*10), strconv.Itoa(10 + i/3), strconv.Itoa(i % 4)})
+		// Country B: rate falls as income rises, breaking the global OD.
+		rows = append(rows, []string{"B", strconv.Itoa(1000 + i*10), strconv.Itoa(90 - i/3), strconv.Itoa(i % 5)})
+	}
+	rel, err := relation.FromRows("brackets", header, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := relation.Encode(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func TestDiscoverValidation(t *testing.T) {
+	if _, err := Discover(nil, Options{}); err == nil {
+		t.Error("nil relation must be rejected")
+	}
+	if _, err := Discover(&relation.Encoded{}, Options{}); err == nil {
+		t.Error("empty relation must be rejected")
+	}
+	enc := bracketRelation(t)
+	if _, err := Discover(enc, Options{ConditionAttrs: []int{99}}); err == nil {
+		t.Error("out-of-range condition attribute must be rejected")
+	}
+}
+
+func TestDiscoverFindsBracketRule(t *testing.T) {
+	enc := bracketRelation(t)
+	res, err := Discover(enc, Options{})
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	if res.Global == nil || res.SlicesExamined == 0 || res.Elapsed <= 0 {
+		t.Fatalf("result metadata incomplete: %+v", res)
+	}
+	incomeIdx, rateIdx, countryIdx := 1, 2, 0
+
+	// The unconditional OD {}: income ~ rate must NOT hold globally.
+	globalCover := canonical.NewCover(res.Global.ODs)
+	target := canonical.NewOrderCompatible(0, incomeIdx, rateIdx)
+	if globalCover.Implies(target) {
+		t.Fatal("fixture broken: income ~ rate should fail globally")
+	}
+
+	// Within country A income and rate rise together, so the conditional OD
+	// {}: income ~ rate must be reported for exactly one country slice (in
+	// country B the rate falls as income rises, so it fails there too).
+	found := 0
+	for _, cod := range res.ODs {
+		if cod.Condition.Attr != countryIdx {
+			continue
+		}
+		if cod.OD.Kind == canonical.OrderCompatible && cod.OD.A == incomeIdx && cod.OD.B == rateIdx && cod.OD.Context.IsEmpty() {
+			found++
+		}
+		if cod.NamesString(enc.ColumnNames) == "" {
+			t.Error("NamesString should not be empty")
+		}
+	}
+	if found != 1 {
+		t.Errorf("expected {}: income ~ rate conditionally in exactly one country, found %d", found)
+	}
+}
+
+func TestDiscoverSkipsGloballyImpliedAndConditionAttribute(t *testing.T) {
+	enc := bracketRelation(t)
+	res, err := Discover(enc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	globalCover := canonical.NewCover(res.Global.ODs)
+	for _, cod := range res.ODs {
+		if globalCover.Implies(cod.OD) {
+			t.Errorf("conditional OD %v is already implied globally", cod.OD)
+		}
+		if cod.OD.Attributes().Contains(cod.Condition.Attr) {
+			t.Errorf("conditional OD %v mentions its own condition attribute", cod.OD)
+		}
+	}
+}
+
+func TestDiscoverRespectsBounds(t *testing.T) {
+	enc := bracketRelation(t)
+	// income has ~30 distinct values; with the default cardinality bound it
+	// must not be used as a condition attribute.
+	res, err := Discover(enc, Options{MaxConditionCardinality: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cod := range res.ODs {
+		if cod.Condition.Attr == 1 {
+			t.Errorf("high-cardinality attribute used as condition: %+v", cod.Condition)
+		}
+	}
+	// MinSliceRows larger than every slice suppresses all conditional ODs.
+	res, err = Discover(enc, Options{MinSliceRows: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ODs) != 0 || res.SlicesExamined != 0 {
+		t.Errorf("expected no slices with MinSliceRows=1000, got %d ODs over %d slices", len(res.ODs), res.SlicesExamined)
+	}
+	// Restricting condition attributes is honoured.
+	res, err = Discover(enc, Options{ConditionAttrs: []int{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cod := range res.ODs {
+		if cod.Condition.Attr != 3 {
+			t.Errorf("condition attribute %d not in the allowed list", cod.Condition.Attr)
+		}
+	}
+}
+
+func TestDiscoverOnEmployees(t *testing.T) {
+	// Smoke test on Table 1 with a depth limit passed through to FASTOD.
+	enc, err := relation.Encode(datagen.Employees())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Discover(enc, Options{Discovery: core.Options{MaxLevel: 3}, MinSliceRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cod := range res.ODs {
+		if cod.OD.Context.Len() > 2 {
+			t.Errorf("conditional OD %v exceeds the discovery depth limit", cod.OD)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/relation"
+)
+
+// Micro-benchmarks for the FASTOD driver itself, complementing the
+// figure-level benchmarks at the repository root.
+
+func benchRelation(b *testing.B, rows, cols int) *relation.Encoded {
+	b.Helper()
+	enc, err := relation.Encode(datagen.FlightLike(rows, cols, 2017))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return enc
+}
+
+func BenchmarkDiscoverFlight1Kx10(b *testing.B) {
+	enc := benchRelation(b, 1000, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Discover(enc, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiscoverRowsScaling(b *testing.B) {
+	for _, rows := range []int{1000, 2000, 4000, 8000} {
+		enc := benchRelation(b, rows, 8)
+		b.Run(sizeLabel(rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Discover(enc, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDiscoverNoPruning(b *testing.B) {
+	enc := benchRelation(b, 500, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Discover(enc, Options{DisablePruning: true, CountOnly: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sizeLabel(rows int) string {
+	switch {
+	case rows >= 1000 && rows%1000 == 0:
+		return itoa(rows/1000) + "Krows"
+	default:
+		return itoa(rows) + "rows"
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

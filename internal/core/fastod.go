@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/canonical"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// Discover runs FASTOD (Algorithm 1 of the paper) over an encoded relation
+// instance and returns the complete, minimal set of canonical ODs that hold,
+// or — with Options.DisablePruning — every valid OD, minimal or not.
+func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
+	if enc == nil {
+		return nil, fmt.Errorf("core: nil relation")
+	}
+	if enc.NumCols() == 0 {
+		return nil, fmt.Errorf("core: relation has no columns")
+	}
+	if enc.NumCols() > bitset.MaxAttrs {
+		return nil, fmt.Errorf("core: relation has %d columns, maximum is %d", enc.NumCols(), bitset.MaxAttrs)
+	}
+	start := time.Now()
+	d := newDiscoverer(enc, opts)
+	if opts.DisablePruning {
+		d.runNoPruning()
+	} else {
+		d.run()
+	}
+	res := d.result
+	if !opts.CountOnly {
+		canonical.Sort(res.ODs)
+		res.Counts = canonical.CountByKind(res.ODs)
+	}
+	res.Elapsed = time.Since(start)
+	res.ColumnNames = append([]string(nil), enc.ColumnNames...)
+	return res, nil
+}
+
+// discoverer carries the per-run state of the level-wise traversal.
+type discoverer struct {
+	enc  *relation.Encoded
+	opts Options
+
+	numAttrs int
+	all      bitset.AttrSet // the full schema R
+
+	// Per-level state, keyed by lattice level. Only the last three levels of
+	// partitions and the last two levels of candidate sets are retained.
+	parts map[int]map[bitset.AttrSet]*partition.Partition
+	cc    map[int]map[bitset.AttrSet]bitset.AttrSet
+	cs    map[int]map[bitset.AttrSet]*bitset.PairSet
+
+	result *Result
+}
+
+func newDiscoverer(enc *relation.Encoded, opts Options) *discoverer {
+	d := &discoverer{
+		enc:      enc,
+		opts:     opts,
+		numAttrs: enc.NumCols(),
+		parts:    make(map[int]map[bitset.AttrSet]*partition.Partition),
+		cc:       make(map[int]map[bitset.AttrSet]bitset.AttrSet),
+		cs:       make(map[int]map[bitset.AttrSet]*bitset.PairSet),
+		result:   &Result{},
+	}
+	for a := 0; a < d.numAttrs; a++ {
+		d.all = d.all.Add(a)
+	}
+	return d
+}
+
+// run executes FASTOD with the full candidate-set machinery (Algorithms 1-4).
+func (d *discoverer) run() {
+	empty := bitset.AttrSet(0)
+	d.parts[0] = map[bitset.AttrSet]*partition.Partition{empty: partition.FromConstant(d.enc.NumRows())}
+	d.cc[0] = map[bitset.AttrSet]bitset.AttrSet{empty: d.all}
+	d.cs[0] = map[bitset.AttrSet]*bitset.PairSet{empty: bitset.NewPairSet()}
+
+	level := d.firstLevel()
+	l := 1
+	for len(level) > 0 && (d.opts.MaxLevel <= 0 || l <= d.opts.MaxLevel) {
+		levelStart := time.Now()
+		stat := LevelStat{Level: l, Nodes: len(level)}
+		d.result.Stats.NodesVisited += len(level)
+		d.result.Stats.MaxLevelReached = l
+
+		d.computeODs(level, l, &stat)
+		level = d.pruneLevels(level, l)
+		next := d.calculateNextLevel(level, l)
+
+		stat.Elapsed = time.Since(levelStart)
+		if d.opts.CollectLevelStats {
+			d.result.Levels = append(d.result.Levels, stat)
+		}
+		// Partitions of level l-2 and candidate sets of level l-1 are no
+		// longer needed once level l+1 starts.
+		delete(d.parts, l-2)
+		delete(d.cc, l-1)
+		delete(d.cs, l-1)
+		level = next
+		l++
+	}
+}
+
+// firstLevel builds the singleton attribute sets and their partitions.
+func (d *discoverer) firstLevel() []bitset.AttrSet {
+	level := make([]bitset.AttrSet, 0, d.numAttrs)
+	d.parts[1] = make(map[bitset.AttrSet]*partition.Partition, d.numAttrs)
+	for a := 0; a < d.numAttrs; a++ {
+		s := bitset.NewAttrSet(a)
+		level = append(level, s)
+		d.parts[1][s] = partition.FromColumn(d.enc.Column(a), d.enc.Cardinality[a])
+	}
+	return level
+}
+
+// computeODs is Algorithm 3: it derives the candidate sets C+c(X) and C+s(X)
+// for every node of the level, validates the candidate ODs, and emits the
+// minimal ones.
+func (d *discoverer) computeODs(level []bitset.AttrSet, l int, stat *LevelStat) {
+	ccPrev := d.cc[l-1]
+	csPrev := d.cs[l-1]
+	ccCur := make(map[bitset.AttrSet]bitset.AttrSet, len(level))
+	csCur := make(map[bitset.AttrSet]*bitset.PairSet, len(level))
+
+	// Pass 1 (lines 1-8): candidate sets from the previous level.
+	for _, x := range level {
+		cc := d.all
+		x.ForEach(func(a int) {
+			cc = cc.Intersect(ccPrev[x.Remove(a)])
+		})
+		ccCur[x] = cc
+
+		switch {
+		case l == 2:
+			attrs := x.Attrs()
+			ps := bitset.NewPairSet()
+			ps.Add(bitset.NewPair(attrs[0], attrs[1]))
+			csCur[x] = ps
+		case l > 2:
+			union := bitset.NewPairSet()
+			x.ForEach(func(c int) {
+				union = union.Union(csPrev[x.Remove(c)])
+			})
+			ps := bitset.NewPairSet()
+			for _, p := range union.Pairs() {
+				keep := true
+				x.Diff(p.AsSet()).ForEach(func(dAttr int) {
+					if !keep {
+						return
+					}
+					if !csPrev[x.Remove(dAttr)].Contains(p) {
+						keep = false
+					}
+				})
+				if keep {
+					ps.Add(p)
+				}
+			}
+			csCur[x] = ps
+		default:
+			csCur[x] = bitset.NewPairSet()
+		}
+	}
+
+	// Pass 2 (lines 9-25): validation and emission.
+	for _, x := range level {
+		cc := ccCur[x]
+
+		// Constancy candidates X\A: [] ↦ A for A ∈ X ∩ C+c(X) (Lemma 7).
+		for _, a := range x.Intersect(cc).Attrs() {
+			ctx := x.Remove(a)
+			if d.checkConstancy(ctx, x, a) {
+				d.emit(canonical.NewConstancy(ctx, a), stat)
+				cc = cc.Remove(a)
+				cc = cc.Intersect(x) // remove all B ∈ R \ X (line 14)
+			}
+		}
+		ccCur[x] = cc
+
+		// Order-compatibility candidates X\{A,B}: A ~ B for {A,B} ∈ C+s(X)
+		// (Lemma 8).
+		cs := csCur[x]
+		for _, p := range cs.Pairs() {
+			a, b := p.A, p.B
+			if !ccPrev[x.Remove(b)].Contains(a) || !ccPrev[x.Remove(a)].Contains(b) {
+				cs.Remove(p) // line 19: constancy in a sub-context makes it non-minimal
+				continue
+			}
+			ctx := x.Remove(a).Remove(b)
+			valid, minimal := d.checkOrderCompat(ctx, a, b)
+			if valid {
+				if minimal {
+					d.emit(canonical.NewOrderCompatible(ctx, a, b), stat)
+				}
+				cs.Remove(p) // line 22
+			}
+		}
+	}
+
+	d.cc[l] = ccCur
+	d.cs[l] = csCur
+}
+
+// checkConstancy validates X\A: [] ↦ A using the partition-error criterion of
+// Section 4.6: the FD holds iff e(Π_ctx) == e(Π_x), because Π_x refines
+// Π_ctx. When the context is a superkey the OD holds trivially (Lemma 12) and
+// the comparison is skipped under key pruning.
+func (d *discoverer) checkConstancy(ctx, x bitset.AttrSet, a int) bool {
+	d.result.Stats.FDChecks++
+	ctxPart := d.parts[ctx.Len()][ctx]
+	if !d.opts.DisableKeyPruning && ctxPart.IsSuperkey() {
+		d.result.Stats.KeyPrunes++
+		return true
+	}
+	_ = a
+	return ctxPart.Error() == d.parts[x.Len()][x].Error()
+}
+
+// checkOrderCompat validates X\{A,B}: A ~ B by scanning the equivalence
+// classes of the context partition for swaps. It returns (valid, minimal):
+// when the context is a superkey the OD is valid but never minimal
+// (Lemma 13), so it is removed from the candidate set without being emitted.
+func (d *discoverer) checkOrderCompat(ctx bitset.AttrSet, a, b int) (valid, minimal bool) {
+	d.result.Stats.SwapChecks++
+	ctxPart := d.parts[ctx.Len()][ctx]
+	if !d.opts.DisableKeyPruning && ctxPart.IsSuperkey() {
+		d.result.Stats.KeyPrunes++
+		return true, false
+	}
+	colA, colB := d.enc.Column(a), d.enc.Column(b)
+	if d.opts.NaiveSwapCheck {
+		return !ctxPart.HasSwapNaive(colA, colB), true
+	}
+	return !ctxPart.HasSwap(colA, colB), true
+}
+
+// pruneLevels is Algorithm 4: nodes whose candidate sets are both empty can
+// no longer contribute minimal ODs at any superset (Lemma 11) and are removed
+// from the level before the next level is generated.
+func (d *discoverer) pruneLevels(level []bitset.AttrSet, l int) []bitset.AttrSet {
+	if l < 2 || d.opts.DisableNodePruning {
+		return level
+	}
+	ccCur := d.cc[l]
+	csCur := d.cs[l]
+	kept := level[:0]
+	for _, x := range level {
+		if ccCur[x].IsEmpty() && csCur[x].IsEmpty() {
+			d.result.Stats.NodesPruned++
+			continue
+		}
+		kept = append(kept, x)
+	}
+	return kept
+}
+
+// calculateNextLevel is Algorithm 2: it joins pairs of nodes that share all
+// but one attribute (prefix blocks), keeps only candidates whose every
+// immediate subset survived at the current level, and derives the new node's
+// partition as the product of the two generating nodes' partitions.
+func (d *discoverer) calculateNextLevel(level []bitset.AttrSet, l int) []bitset.AttrSet {
+	if len(level) == 0 {
+		return nil
+	}
+	present := make(map[bitset.AttrSet]bool, len(level))
+	for _, x := range level {
+		present[x] = true
+	}
+	// Prefix blocks: nodes that agree on everything except their largest
+	// attribute. Sorting the block members keeps generation deterministic.
+	blocks := make(map[bitset.AttrSet][]int)
+	for _, x := range level {
+		attrs := x.Attrs()
+		last := attrs[len(attrs)-1]
+		prefix := x.Remove(last)
+		blocks[prefix] = append(blocks[prefix], last)
+	}
+	prefixes := make([]bitset.AttrSet, 0, len(blocks))
+	for prefix := range blocks {
+		prefixes = append(prefixes, prefix)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
+
+	next := make([]bitset.AttrSet, 0)
+	nextParts := make(map[bitset.AttrSet]*partition.Partition)
+	for _, prefix := range prefixes {
+		members := blocks[prefix]
+		sort.Ints(members)
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				b, c := members[i], members[j]
+				x := prefix.Add(b).Add(c)
+				if !allSubsetsPresent(x, present) {
+					continue
+				}
+				next = append(next, x)
+				nextParts[x] = partition.Product(
+					d.parts[l][prefix.Add(b)],
+					d.parts[l][prefix.Add(c)],
+				)
+			}
+		}
+	}
+	d.parts[l+1] = nextParts
+	return next
+}
+
+func allSubsetsPresent(x bitset.AttrSet, present map[bitset.AttrSet]bool) bool {
+	ok := true
+	x.ForEach(func(a int) {
+		if ok && !present[x.Remove(a)] {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// emit records one discovered OD.
+func (d *discoverer) emit(od canonical.OD, stat *LevelStat) {
+	if od.Kind == canonical.Constancy {
+		stat.Constancy++
+		d.result.Counts.Constancy++
+	} else {
+		stat.OrderCompat++
+		d.result.Counts.OrderCompat++
+	}
+	d.result.Counts.Total++
+	if !d.opts.CountOnly {
+		d.result.ODs = append(d.result.ODs, od)
+	}
+}
+
+// runNoPruning enumerates the full set lattice level by level and validates
+// every candidate OD without any minimality reasoning. It reproduces the
+// "FASTOD-No Pruning" configuration of Figure 6: the output contains every
+// valid OD, including all the redundant ones.
+func (d *discoverer) runNoPruning() {
+	empty := bitset.AttrSet(0)
+	d.parts[0] = map[bitset.AttrSet]*partition.Partition{empty: partition.FromConstant(d.enc.NumRows())}
+
+	level := d.firstLevel()
+	l := 1
+	for len(level) > 0 && (d.opts.MaxLevel <= 0 || l <= d.opts.MaxLevel) {
+		levelStart := time.Now()
+		stat := LevelStat{Level: l, Nodes: len(level)}
+		d.result.Stats.NodesVisited += len(level)
+		d.result.Stats.MaxLevelReached = l
+
+		for _, x := range level {
+			attrs := x.Attrs()
+			for _, a := range attrs {
+				ctx := x.Remove(a)
+				if d.checkConstancy(ctx, x, a) {
+					d.emit(canonical.NewConstancy(ctx, a), &stat)
+				}
+			}
+			if l >= 2 {
+				for i := 0; i < len(attrs); i++ {
+					for j := i + 1; j < len(attrs); j++ {
+						a, b := attrs[i], attrs[j]
+						ctx := x.Remove(a).Remove(b)
+						if valid, _ := d.checkOrderCompat(ctx, a, b); valid {
+							d.emit(canonical.NewOrderCompatible(ctx, a, b), &stat)
+						}
+					}
+				}
+			}
+		}
+
+		next := d.calculateNextLevel(level, l)
+		stat.Elapsed = time.Since(levelStart)
+		if d.opts.CollectLevelStats {
+			d.result.Levels = append(d.result.Levels, stat)
+		}
+		delete(d.parts, l-2)
+		level = next
+		l++
+	}
+}

@@ -1,0 +1,110 @@
+package listod
+
+import "repro/internal/relation"
+
+// This file implements the list-based axiomatization of Figure 1 of the paper
+// (originally from Szlichta et al., "Fundamentals of Order Dependencies") as
+// syntactic rewrite rules over order specifications. The set-based axioms in
+// package canonical are what the discovery algorithm uses; these list-based
+// rules exist so that the completeness argument of Theorem 7 (each list axiom
+// is derivable in the set-based system and vice versa) can be exercised by
+// tests, and so that tools can normalize user-written ODs.
+
+// Axiom is one list-based inference: given satisfied premises, the conclusion
+// is satisfied on every instance where the premises are (soundness is checked
+// property-style in the tests).
+type Axiom struct {
+	// Name is the rule's name in Figure 1.
+	Name string
+	// Premises are the ODs that must hold.
+	Premises []OD
+	// Conclusion is the derived OD.
+	Conclusion OD
+}
+
+// Reflexivity returns the axiom XY ↦ X.
+func Reflexivity(x, y Spec) Axiom {
+	return Axiom{
+		Name:       "Reflexivity",
+		Conclusion: OD{Left: x.Concat(y), Right: x},
+	}
+}
+
+// Prefix returns the axiom: from X ↦ Y infer ZX ↦ ZY.
+func Prefix(z, x, y Spec) Axiom {
+	return Axiom{
+		Name:       "Prefix",
+		Premises:   []OD{{Left: x, Right: y}},
+		Conclusion: OD{Left: z.Concat(x), Right: z.Concat(y)},
+	}
+}
+
+// Transitivity returns the axiom: from X ↦ Y and Y ↦ Z infer X ↦ Z.
+func Transitivity(x, y, z Spec) Axiom {
+	return Axiom{
+		Name:       "Transitivity",
+		Premises:   []OD{{Left: x, Right: y}, {Left: y, Right: z}},
+		Conclusion: OD{Left: x, Right: z},
+	}
+}
+
+// NormalizationAxiom returns the axiom WXYXV ↔ WXYV as the forward OD
+// (the backward direction is the same rule with the sides swapped).
+// Repeated occurrences of attributes after their first appearance carry no
+// ordering information and can be dropped.
+func NormalizationAxiom(w, x, y, v Spec) Axiom {
+	left := w.Concat(x).Concat(y).Concat(x).Concat(v)
+	right := w.Concat(x).Concat(y).Concat(v)
+	return Axiom{
+		Name:       "Normalization",
+		Conclusion: OD{Left: left, Right: right},
+	}
+}
+
+// Suffix returns the axiom: from X ↦ Y infer X ↦ YX (stated as X ↔ YX in the
+// paper; the other direction YX ↦ X is Reflexivity).
+func Suffix(x, y Spec) Axiom {
+	return Axiom{
+		Name:       "Suffix",
+		Premises:   []OD{{Left: x, Right: y}},
+		Conclusion: OD{Left: x, Right: y.Concat(x)},
+	}
+}
+
+// ChainStep captures one premise family of the Chain axiom for a fixed
+// sequence Y1..Yn: X ~ Y1, Yi ~ Yi+1, Yn ~ Z and YiX ~ YiZ together imply
+// X ~ Z. Order compatibility A ~ B is expressed as the pair of ODs
+// AB ↦ BA and BA ↦ AB, so the premises and conclusion are returned as OD
+// pairs.
+func ChainStep(x Spec, ys []Spec, z Spec) (premises [][2]OD, conclusion [2]OD) {
+	oc := func(a, b Spec) [2]OD {
+		return [2]OD{
+			{Left: a.Concat(b), Right: b.Concat(a)},
+			{Left: b.Concat(a), Right: a.Concat(b)},
+		}
+	}
+	if len(ys) == 0 {
+		return nil, oc(x, z)
+	}
+	premises = append(premises, oc(x, ys[0]))
+	for i := 0; i+1 < len(ys); i++ {
+		premises = append(premises, oc(ys[i], ys[i+1]))
+	}
+	premises = append(premises, oc(ys[len(ys)-1], z))
+	for _, y := range ys {
+		premises = append(premises, oc(y.Concat(x), y.Concat(z)))
+	}
+	return premises, oc(x, z)
+}
+
+// HoldsAxiom reports whether all premises of the axiom hold on the instance
+// and, if so, whether the conclusion does too. The first return value is
+// false when a premise fails (the axiom is then vacuously satisfied).
+func HoldsAxiom(enc *relation.Encoded, ax Axiom) (premisesHold, conclusionHolds bool) {
+	for _, p := range ax.Premises {
+		if !Holds(enc, p.Left, p.Right) {
+			return false, false
+		}
+	}
+	return true, Holds(enc, ax.Conclusion.Left, ax.Conclusion.Right)
+}

@@ -1,0 +1,302 @@
+// Package listod implements the list-based (lexicographic) order dependency
+// model of Section 2 of the paper: order specifications, the weak total order
+// ⪯X they induce over tuples, order dependencies X ↦ Y, order compatibility
+// X ~ Y, and the two violation witnesses (splits and swaps). It is the
+// ground-truth semantics against which the set-based canonical machinery and
+// the discovery algorithms are validated, and the substrate of the ORDER
+// baseline.
+package listod
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Spec is an order specification: a list of attribute indexes defining a
+// lexicographic order (sort by the first attribute, break ties by the second,
+// and so on), exactly like a SQL ORDER BY list with all-ascending directions.
+type Spec []int
+
+// String renders the spec as [0,2,1].
+func (s Spec) String() string {
+	parts := make([]string, len(s))
+	for i, a := range s {
+		parts[i] = fmt.Sprintf("%d", a)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// Names renders the spec as [year,salary] using the provided attribute names.
+func (s Spec) Names(names []string) string {
+	parts := make([]string, len(s))
+	for i, a := range s {
+		if a >= 0 && a < len(names) {
+			parts[i] = names[a]
+		} else {
+			parts[i] = fmt.Sprintf("#%d", a)
+		}
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// Equal reports whether two specs are identical lists.
+func (s Spec) Equal(t Spec) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether attribute a occurs anywhere in the spec.
+func (s Spec) Contains(a int) bool {
+	for _, x := range s {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Concat returns the concatenation s ◦ t as a new spec.
+func (s Spec) Concat(t Spec) Spec {
+	out := make(Spec, 0, len(s)+len(t))
+	out = append(out, s...)
+	out = append(out, t...)
+	return out
+}
+
+// AttrSetOf returns the set of attributes occurring in the spec (duplicates
+// collapsed), as a sorted slice.
+func (s Spec) AttrSetOf() []int {
+	seen := map[int]bool{}
+	for _, a := range s {
+		seen[a] = true
+	}
+	out := make([]int, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// OD is a list-based order dependency Left ↦ Right ("Left orders Right").
+type OD struct {
+	Left  Spec
+	Right Spec
+}
+
+// String renders the OD as [0] -> [1,2].
+func (od OD) String() string { return od.Left.String() + " -> " + od.Right.String() }
+
+// Names renders the OD using attribute names.
+func (od OD) Names(names []string) string {
+	return od.Left.Names(names) + " -> " + od.Right.Names(names)
+}
+
+// Compare compares tuples s and t under the lexicographic order induced by
+// spec on the encoded relation (Definition 1): it returns a negative number
+// if s ≺X t, zero if the projections are equal, and a positive number if
+// t ≺X s. The empty spec makes all tuples equivalent.
+func Compare(enc *relation.Encoded, spec Spec, s, t int) int {
+	for _, a := range spec {
+		col := enc.Column(a)
+		if col[s] != col[t] {
+			if col[s] < col[t] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Precedes reports s ⪯X t, i.e. Compare(s,t) <= 0.
+func Precedes(enc *relation.Encoded, spec Spec, s, t int) bool {
+	return Compare(enc, spec, s, t) <= 0
+}
+
+// Holds reports whether the order dependency X ↦ Y is satisfied by the
+// relation instance (Definition 2): for every pair of tuples, s ⪯X t implies
+// s ⪯Y t. The check sorts tuples once by (X, Y) and scans, so it runs in
+// O(n log n · (|X|+|Y|)) time.
+func Holds(enc *relation.Encoded, x, y Spec) bool {
+	_, _, ok := evaluate(enc, x, y)
+	return ok
+}
+
+// HoldsBruteForce checks the same property by enumerating all tuple pairs.
+// It exists as an independent oracle for the tests of Holds and of the
+// canonical mapping; it is quadratic and must only be used on small inputs.
+func HoldsBruteForce(enc *relation.Encoded, x, y Spec) bool {
+	n := enc.NumRows()
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if Precedes(enc, x, s, t) && !Precedes(enc, y, s, t) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// OrderEquivalent reports X ↔ Y: X ↦ Y and Y ↦ X.
+func OrderEquivalent(enc *relation.Encoded, x, y Spec) bool {
+	return Holds(enc, x, y) && Holds(enc, y, x)
+}
+
+// OrderCompatible reports X ~ Y, i.e. XY ↔ YX (Definition 3). By Theorem 1
+// this is equivalent to the absence of swaps between X and Y.
+func OrderCompatible(enc *relation.Encoded, x, y Spec) bool {
+	return OrderEquivalent(enc, x.Concat(y), y.Concat(x))
+}
+
+// Split is a pair of tuples witnessing a violation of the FD component of an
+// OD (Definition 4): the tuples agree on X but differ on Y.
+type Split struct {
+	RowS, RowT int
+}
+
+// Swap is a pair of tuples witnessing a violation of order compatibility
+// (Definition 5): s strictly precedes t on X while t strictly precedes s on Y.
+type Swap struct {
+	RowS, RowT int
+}
+
+// FindSplit returns a split witness for X ↦ XY if one exists: two tuples
+// equal on X but different on Y.
+func FindSplit(enc *relation.Encoded, x, y Spec) (Split, bool) {
+	order, groups := sortAndGroup(enc, x)
+	for _, g := range groups {
+		base := order[g.start]
+		for i := g.start + 1; i < g.end; i++ {
+			if Compare(enc, y, base, order[i]) != 0 {
+				return Split{RowS: base, RowT: order[i]}, true
+			}
+		}
+	}
+	return Split{}, false
+}
+
+// FindSwap returns a swap witness for X ~ Y if one exists.
+func FindSwap(enc *relation.Encoded, x, y Spec) (Swap, bool) {
+	order, groups := sortAndGroup(enc, x)
+	// Track the tuple with the lexicographically greatest Y-projection among
+	// all strictly preceding X-groups; any later tuple with a smaller
+	// Y-projection forms a swap with it.
+	haveMax := false
+	maxRow := -1
+	for _, g := range groups {
+		// Check the current group against the running maximum.
+		groupMax := -1
+		for i := g.start; i < g.end; i++ {
+			row := order[i]
+			if haveMax && Compare(enc, y, row, maxRow) < 0 {
+				return Swap{RowS: maxRow, RowT: row}, true
+			}
+			if groupMax < 0 || Compare(enc, y, row, groupMax) > 0 {
+				groupMax = row
+			}
+		}
+		if !haveMax || Compare(enc, y, groupMax, maxRow) > 0 {
+			maxRow = groupMax
+			haveMax = true
+		}
+	}
+	return Swap{}, false
+}
+
+// evaluate sorts by (X,Y) and verifies both the split condition (Y constant
+// within X-groups) and the swap condition (Y non-decreasing across X-groups).
+// It returns the first violating witnesses it encounters.
+func evaluate(enc *relation.Encoded, x, y Spec) (Split, Swap, bool) {
+	order, groups := sortAndGroup(enc, x)
+	prevRow := -1
+	for _, g := range groups {
+		base := order[g.start]
+		for i := g.start + 1; i < g.end; i++ {
+			if Compare(enc, y, base, order[i]) != 0 {
+				return Split{RowS: base, RowT: order[i]}, Swap{}, false
+			}
+		}
+		if prevRow >= 0 && Compare(enc, y, base, prevRow) < 0 {
+			return Split{}, Swap{RowS: prevRow, RowT: base}, false
+		}
+		prevRow = base
+	}
+	return Split{}, Swap{}, true
+}
+
+type group struct{ start, end int }
+
+// sortAndGroup returns row indexes sorted by the spec (stable on row index
+// for determinism) plus the boundaries of the equal-projection groups.
+func sortAndGroup(enc *relation.Encoded, spec Spec) ([]int, []group) {
+	n := enc.NumRows()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		c := Compare(enc, spec, order[i], order[j])
+		if c != 0 {
+			return c < 0
+		}
+		return order[i] < order[j]
+	})
+	var groups []group
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || Compare(enc, spec, order[i], order[start]) != 0 {
+			groups = append(groups, group{start: start, end: i})
+			start = i
+		}
+	}
+	return order, groups
+}
+
+// Trivial reports whether X ↦ Y holds on every relation instance, which for
+// lexicographic ODs is the case exactly when Y is order-implied by a prefix
+// structure of X; the sufficient syntactic condition implemented here is that
+// Y is a prefix of X after removing attributes already seen (Normalization),
+// e.g. XY ↦ X (Reflexivity). It is used by the ORDER baseline to skip
+// candidates that carry no information.
+func Trivial(x, y Spec) bool {
+	// Normalize both sides: drop repeated attributes, keeping first
+	// occurrence (Normalization axiom).
+	nx := normalize(x)
+	ny := normalize(y)
+	if len(ny) > len(nx) {
+		return false
+	}
+	for i := range ny {
+		if nx[i] != ny[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func normalize(s Spec) Spec {
+	seen := map[int]bool{}
+	out := make(Spec, 0, len(s))
+	for _, a := range s {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Normalize exposes the Normalization rewrite (drop repeated attributes,
+// keeping the first occurrence) for use by other packages.
+func Normalize(s Spec) Spec { return normalize(s) }

@@ -1,0 +1,336 @@
+// Package odparse parses and formats textual order-dependency expressions, so
+// that dependencies can be exchanged with users and tools (the cmd/odcheck
+// command reads them from files). Two surface syntaxes are supported, both
+// using attribute names:
+//
+//	list-based ODs and order compatibility:
+//	    [A,B] -> [C,D]        the OD "A,B orders C,D"
+//	    [A] ~ [B]             order compatibility
+//
+//	set-based canonical ODs (the paper's notation):
+//	    {A,B}: [] -> C        constancy OD, C constant per equivalence class
+//	    {A}: B ~ C            order-compatibility OD within context {A}
+//	    {}: [] -> C           empty context
+//
+// Whitespace is insignificant. Attribute names may contain any characters
+// except the delimiters ,]}~> and whitespace; names are matched against the
+// relation's columns during resolution.
+package odparse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/canonical"
+	"repro/internal/listod"
+)
+
+// StatementKind identifies the parsed form.
+type StatementKind int
+
+// Statement kinds.
+const (
+	// ListOD is "[X] -> [Y]".
+	ListOD StatementKind = iota
+	// ListOrderCompat is "[X] ~ [Y]".
+	ListOrderCompat
+	// CanonicalConstancy is "{X}: [] -> A".
+	CanonicalConstancy
+	// CanonicalOrderCompat is "{X}: A ~ B".
+	CanonicalOrderCompat
+)
+
+// String names the statement kind.
+func (k StatementKind) String() string {
+	switch k {
+	case ListOD:
+		return "list OD"
+	case ListOrderCompat:
+		return "list order compatibility"
+	case CanonicalConstancy:
+		return "canonical constancy OD"
+	case CanonicalOrderCompat:
+		return "canonical order-compatibility OD"
+	default:
+		return fmt.Sprintf("StatementKind(%d)", int(k))
+	}
+}
+
+// Statement is a parsed dependency expression over attribute names.
+type Statement struct {
+	Kind StatementKind
+	// Left and Right are the attribute-name lists of list-based statements.
+	Left, Right []string
+	// Context is the context of canonical statements.
+	Context []string
+	// A and B are the right-hand attributes of canonical statements (B is
+	// empty for constancy ODs).
+	A, B string
+	// Source is the original text, for error reporting by callers.
+	Source string
+}
+
+// Parse parses one dependency expression.
+func Parse(input string) (Statement, error) {
+	s := strings.TrimSpace(input)
+	if s == "" {
+		return Statement{}, fmt.Errorf("odparse: empty expression")
+	}
+	if strings.HasPrefix(s, "{") {
+		return parseCanonical(s)
+	}
+	if strings.HasPrefix(s, "[") {
+		return parseList(s)
+	}
+	return Statement{}, fmt.Errorf("odparse: %q: expected '{' (canonical OD) or '[' (list OD)", s)
+}
+
+// ParseAll parses a newline-separated list of expressions, skipping blank
+// lines and lines starting with '#'.
+func ParseAll(input string) ([]Statement, error) {
+	var out []Statement
+	for lineNo, line := range strings.Split(input, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		st, err := Parse(trimmed)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+func parseCanonical(s string) (Statement, error) {
+	end := strings.Index(s, "}")
+	if end < 0 {
+		return Statement{}, fmt.Errorf("odparse: %q: missing '}'", s)
+	}
+	ctx, err := splitNames(s[1:end], true)
+	if err != nil {
+		return Statement{}, fmt.Errorf("odparse: %q: %w", s, err)
+	}
+	rest := strings.TrimSpace(s[end+1:])
+	if !strings.HasPrefix(rest, ":") {
+		return Statement{}, fmt.Errorf("odparse: %q: expected ':' after context", s)
+	}
+	rest = strings.TrimSpace(rest[1:])
+
+	if strings.HasPrefix(rest, "[") {
+		// "{X}: [] -> A"
+		closing := strings.Index(rest, "]")
+		if closing < 0 || strings.TrimSpace(rest[1:closing]) != "" {
+			return Statement{}, fmt.Errorf("odparse: %q: constancy ODs require an empty '[]' left side", s)
+		}
+		rest = strings.TrimSpace(rest[closing+1:])
+		if !strings.HasPrefix(rest, "->") {
+			return Statement{}, fmt.Errorf("odparse: %q: expected '->' in constancy OD", s)
+		}
+		attr := strings.TrimSpace(rest[2:])
+		if err := validName(attr); err != nil {
+			return Statement{}, fmt.Errorf("odparse: %q: %w", s, err)
+		}
+		return Statement{Kind: CanonicalConstancy, Context: ctx, A: attr, Source: s}, nil
+	}
+
+	// "{X}: A ~ B"
+	parts := strings.Split(rest, "~")
+	if len(parts) != 2 {
+		return Statement{}, fmt.Errorf("odparse: %q: expected 'A ~ B' or '[] -> A' after the context", s)
+	}
+	a, b := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+	if err := validName(a); err != nil {
+		return Statement{}, fmt.Errorf("odparse: %q: %w", s, err)
+	}
+	if err := validName(b); err != nil {
+		return Statement{}, fmt.Errorf("odparse: %q: %w", s, err)
+	}
+	return Statement{Kind: CanonicalOrderCompat, Context: ctx, A: a, B: b, Source: s}, nil
+}
+
+func parseList(s string) (Statement, error) {
+	left, rest, err := parseBracketList(s)
+	if err != nil {
+		return Statement{}, fmt.Errorf("odparse: %q: %w", s, err)
+	}
+	rest = strings.TrimSpace(rest)
+	var kind StatementKind
+	switch {
+	case strings.HasPrefix(rest, "->"):
+		kind = ListOD
+		rest = rest[2:]
+	case strings.HasPrefix(rest, "~"):
+		kind = ListOrderCompat
+		rest = rest[1:]
+	default:
+		return Statement{}, fmt.Errorf("odparse: %q: expected '->' or '~' between the sides", s)
+	}
+	rest = strings.TrimSpace(rest)
+	right, tail, err := parseBracketList(rest)
+	if err != nil {
+		return Statement{}, fmt.Errorf("odparse: %q: %w", s, err)
+	}
+	if strings.TrimSpace(tail) != "" {
+		return Statement{}, fmt.Errorf("odparse: %q: unexpected trailing text %q", s, tail)
+	}
+	if len(left) == 0 && len(right) == 0 {
+		return Statement{}, fmt.Errorf("odparse: %q: both sides are empty", s)
+	}
+	return Statement{Kind: kind, Left: left, Right: right, Source: s}, nil
+}
+
+// parseBracketList parses a leading "[a,b,c]" and returns the names plus the
+// remaining text.
+func parseBracketList(s string) ([]string, string, error) {
+	if !strings.HasPrefix(s, "[") {
+		return nil, "", fmt.Errorf("expected '['")
+	}
+	end := strings.Index(s, "]")
+	if end < 0 {
+		return nil, "", fmt.Errorf("missing ']'")
+	}
+	names, err := splitNames(s[1:end], true)
+	if err != nil {
+		return nil, "", err
+	}
+	return names, s[end+1:], nil
+}
+
+func splitNames(s string, allowEmpty bool) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		if allowEmpty {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("empty attribute list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		name := strings.TrimSpace(p)
+		if err := validName(name); err != nil {
+			return nil, err
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty attribute name")
+	}
+	if strings.ContainsAny(name, "{}[],~>:") {
+		return fmt.Errorf("attribute name %q contains a reserved character", name)
+	}
+	return nil
+}
+
+// Resolver maps attribute names to column indexes.
+type Resolver func(name string) int
+
+// ResolvedStatement is a statement with attribute names resolved to indexes.
+type ResolvedStatement struct {
+	Statement Statement
+	// For list statements.
+	Left, Right listod.Spec
+	// For canonical statements.
+	Canonical canonical.OD
+}
+
+// Resolve maps the statement's attribute names through the resolver (such as
+// Dataset.ColumnIndex); unknown names are an error.
+func Resolve(st Statement, resolve Resolver) (ResolvedStatement, error) {
+	lookup := func(name string) (int, error) {
+		idx := resolve(name)
+		if idx < 0 {
+			return 0, fmt.Errorf("odparse: unknown attribute %q in %q", name, st.Source)
+		}
+		return idx, nil
+	}
+	out := ResolvedStatement{Statement: st}
+	switch st.Kind {
+	case ListOD, ListOrderCompat:
+		for _, n := range st.Left {
+			idx, err := lookup(n)
+			if err != nil {
+				return ResolvedStatement{}, err
+			}
+			out.Left = append(out.Left, idx)
+		}
+		for _, n := range st.Right {
+			idx, err := lookup(n)
+			if err != nil {
+				return ResolvedStatement{}, err
+			}
+			out.Right = append(out.Right, idx)
+		}
+		return out, nil
+	case CanonicalConstancy, CanonicalOrderCompat:
+		var ctx bitset.AttrSet
+		for _, n := range st.Context {
+			idx, err := lookup(n)
+			if err != nil {
+				return ResolvedStatement{}, err
+			}
+			ctx = ctx.Add(idx)
+		}
+		a, err := lookup(st.A)
+		if err != nil {
+			return ResolvedStatement{}, err
+		}
+		if st.Kind == CanonicalConstancy {
+			out.Canonical = canonical.NewConstancy(ctx, a)
+			return out, nil
+		}
+		b, err := lookup(st.B)
+		if err != nil {
+			return ResolvedStatement{}, err
+		}
+		if a == b {
+			out.Canonical = canonical.OD{Context: ctx, Kind: canonical.OrderCompatible, A: a, B: b}
+			return out, nil
+		}
+		out.Canonical = canonical.NewOrderCompatible(ctx, a, b)
+		return out, nil
+	default:
+		return ResolvedStatement{}, fmt.Errorf("odparse: unknown statement kind %v", st.Kind)
+	}
+}
+
+// FormatCanonical renders a canonical OD in the parseable syntax using the
+// given attribute names; Parse(FormatCanonical(od)) round-trips.
+func FormatCanonical(od canonical.OD, names []string) string {
+	name := func(a int) string {
+		if a >= 0 && a < len(names) {
+			return names[a]
+		}
+		return fmt.Sprintf("col%d", a)
+	}
+	ctxNames := make([]string, 0, od.Context.Len())
+	od.Context.ForEach(func(a int) { ctxNames = append(ctxNames, name(a)) })
+	ctx := "{" + strings.Join(ctxNames, ",") + "}"
+	if od.Kind == canonical.Constancy {
+		return fmt.Sprintf("%s: [] -> %s", ctx, name(od.A))
+	}
+	return fmt.Sprintf("%s: %s ~ %s", ctx, name(od.A), name(od.B))
+}
+
+// FormatList renders a list OD in the parseable syntax.
+func FormatList(od listod.OD, names []string) string {
+	render := func(spec listod.Spec) string {
+		parts := make([]string, len(spec))
+		for i, a := range spec {
+			if a >= 0 && a < len(names) {
+				parts[i] = names[a]
+			} else {
+				parts[i] = fmt.Sprintf("col%d", a)
+			}
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	}
+	return render(od.Left) + " -> " + render(od.Right)
+}

@@ -1,0 +1,75 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the partition substrate: the partition product and the
+// swap check dominate FASTOD's inner loop (Section 4.6), so their constants
+// matter for every figure.
+
+func randomColumn(n, domain int, seed int64) ([]int32, int) {
+	rng := rand.New(rand.NewSource(seed))
+	col := make([]int32, n)
+	for i := range col {
+		col[i] = int32(rng.Intn(domain))
+	}
+	return col, domain
+}
+
+func BenchmarkFromColumn(b *testing.B) {
+	col, card := randomColumn(100_000, 1000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FromColumn(col, card)
+	}
+}
+
+func BenchmarkProduct(b *testing.B) {
+	colA, cardA := randomColumn(100_000, 100, 1)
+	colB, cardB := randomColumn(100_000, 100, 2)
+	pa := FromColumn(colA, cardA)
+	pb := FromColumn(colB, cardB)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Product(pa, pb)
+	}
+}
+
+func BenchmarkHasSwapSortedScan(b *testing.B) {
+	ctxCol, ctxCard := randomColumn(50_000, 50, 1)
+	colA, _ := randomColumn(50_000, 1000, 2)
+	colB, _ := randomColumn(50_000, 1000, 3)
+	ctx := FromColumn(ctxCol, ctxCard)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.HasSwap(colA, colB)
+	}
+}
+
+func BenchmarkHasSwapNaive(b *testing.B) {
+	// Smaller input: the naive check is quadratic per class.
+	ctxCol, ctxCard := randomColumn(5_000, 50, 1)
+	colA, _ := randomColumn(5_000, 1000, 2)
+	colB, _ := randomColumn(5_000, 1000, 3)
+	ctx := FromColumn(ctxCol, ctxCard)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.HasSwapNaive(colA, colB)
+	}
+}
+
+func BenchmarkConstantInClasses(b *testing.B) {
+	ctxCol, ctxCard := randomColumn(100_000, 100, 1)
+	col, _ := randomColumn(100_000, 5, 2)
+	ctx := FromColumn(ctxCol, ctxCard)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.ConstantInClasses(col)
+	}
+}

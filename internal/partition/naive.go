@@ -1,0 +1,20 @@
+package partition
+
+// HasSwapNaive checks for swaps between colA and colB within every
+// equivalence class by comparing all tuple pairs. It is quadratic per class
+// and exists only as the ablation baseline for the sorted-scan check
+// (Options.NaiveSwapCheck in the discovery algorithm) and as an independent
+// oracle in tests.
+func (p *Partition) HasSwapNaive(colA, colB []int32) bool {
+	for _, cls := range p.Classes {
+		for i := 0; i < len(cls); i++ {
+			for j := 0; j < len(cls); j++ {
+				s, t := cls[i], cls[j]
+				if colA[s] < colA[t] && colB[t] < colB[s] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

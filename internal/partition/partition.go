@@ -1,0 +1,297 @@
+// Package partition implements the partition machinery of Section 4.6 of the
+// paper: equivalence-class partitions ΠX over attribute sets, stripped
+// partitions Π*X (singleton classes removed), linear-time partition products,
+// and the sorted-scan swap check used to validate order-compatibility ODs
+// X: A ~ B. All operations work on rank-encoded columns (see package
+// relation), so value comparisons are integer comparisons.
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition is a stripped partition Π*X of the tuples of a relation with
+// respect to some attribute set X: the list of equivalence classes of size at
+// least two. Singleton classes are omitted because they can neither falsify a
+// constancy OD X: [] ↦ A nor an order-compatibility OD X: A ~ B (Lemma 14).
+type Partition struct {
+	// NumRows is the total number of tuples in the underlying relation,
+	// including those in the dropped singleton classes.
+	NumRows int
+	// Classes holds the equivalence classes with at least two tuples. Each
+	// class is a slice of row indexes in ascending order.
+	Classes [][]int32
+}
+
+// FromColumn builds the stripped partition of a single rank-encoded column.
+// Because ranks are dense (0..cardinality-1), the grouping is a linear-time
+// bucket pass; the resulting classes are ordered by rank, so the partition of
+// a single attribute doubles as the sorted partition τA of Section 4.6.
+func FromColumn(col []int32, cardinality int) *Partition {
+	if cardinality < 0 {
+		cardinality = 0
+	}
+	buckets := make([][]int32, cardinality)
+	for row, v := range col {
+		if int(v) >= len(buckets) {
+			// Defensive growth: callers normally pass the true cardinality.
+			grown := make([][]int32, int(v)+1)
+			copy(grown, buckets)
+			buckets = grown
+		}
+		buckets[v] = append(buckets[v], int32(row))
+	}
+	p := &Partition{NumRows: len(col)}
+	for _, b := range buckets {
+		if len(b) >= 2 {
+			p.Classes = append(p.Classes, b)
+		}
+	}
+	return p
+}
+
+// FromConstant returns the partition for the empty attribute set: all tuples
+// fall into one equivalence class.
+func FromConstant(numRows int) *Partition {
+	p := &Partition{NumRows: numRows}
+	if numRows >= 2 {
+		cls := make([]int32, numRows)
+		for i := range cls {
+			cls[i] = int32(i)
+		}
+		p.Classes = [][]int32{cls}
+	}
+	return p
+}
+
+// NumClasses returns the number of stripped (size >= 2) classes.
+func (p *Partition) NumClasses() int { return len(p.Classes) }
+
+// Size returns the total number of tuples contained in stripped classes.
+func (p *Partition) Size() int {
+	total := 0
+	for _, c := range p.Classes {
+		total += len(c)
+	}
+	return total
+}
+
+// Error returns e(ΠX) = ||Π*X|| - |Π*X|, the number of tuples that would have
+// to be removed to make X a superkey. For partitions over the same relation,
+// the FD X → A holds iff Error(ΠX) == Error(ΠXA) (the TANE criterion), because
+// ΠXA refines ΠX.
+func (p *Partition) Error() int { return p.Size() - p.NumClasses() }
+
+// NumClassesUnstripped returns |ΠX|, the number of equivalence classes
+// including singletons.
+func (p *Partition) NumClassesUnstripped() int {
+	return p.NumRows - p.Size() + p.NumClasses()
+}
+
+// IsSuperkey reports whether X is a superkey: every equivalence class is a
+// singleton, i.e. the stripped partition is empty.
+func (p *Partition) IsSuperkey() bool { return len(p.Classes) == 0 }
+
+// Clone returns a deep copy of the partition.
+func (p *Partition) Clone() *Partition {
+	out := &Partition{NumRows: p.NumRows, Classes: make([][]int32, len(p.Classes))}
+	for i, c := range p.Classes {
+		cc := make([]int32, len(c))
+		copy(cc, c)
+		out.Classes[i] = cc
+	}
+	return out
+}
+
+// String summarizes the partition for diagnostics.
+func (p *Partition) String() string {
+	return fmt.Sprintf("Partition{rows=%d classes=%d size=%d}", p.NumRows, p.NumClasses(), p.Size())
+}
+
+// Product computes the stripped partition of X ∪ Y from the stripped
+// partitions of X and Y in time linear in the partition sizes, using the
+// standard probe-table construction: tuples that share a class in both inputs
+// share a class in the product. This is the only operation FASTOD needs to
+// derive the partitions of level l+1 nodes from level l nodes.
+func Product(a, b *Partition) *Partition {
+	if a.NumRows != b.NumRows {
+		panic(fmt.Sprintf("partition: product over different relations (%d vs %d rows)", a.NumRows, b.NumRows))
+	}
+	// probe[row] = index of row's class in a, or -1 if row is a singleton in a.
+	probe := make([]int32, a.NumRows)
+	for i := range probe {
+		probe[i] = -1
+	}
+	for ci, cls := range a.Classes {
+		for _, row := range cls {
+			probe[row] = int32(ci)
+		}
+	}
+	out := &Partition{NumRows: a.NumRows}
+	// For each class of b, group its rows by their class in a.
+	groups := make(map[int32][]int32)
+	for _, cls := range b.Classes {
+		for _, row := range cls {
+			ca := probe[row]
+			if ca < 0 {
+				continue // singleton in a => singleton in the product
+			}
+			groups[ca] = append(groups[ca], row)
+		}
+		for key, rows := range groups {
+			if len(rows) >= 2 {
+				cc := make([]int32, len(rows))
+				copy(cc, rows)
+				out.Classes = append(out.Classes, cc)
+			}
+			delete(groups, key)
+		}
+	}
+	sortClasses(out.Classes)
+	return out
+}
+
+// sortClasses establishes a deterministic class order (by first row index) so
+// that algorithm output does not depend on map iteration order.
+func sortClasses(classes [][]int32) {
+	sort.Slice(classes, func(i, j int) bool {
+		return classes[i][0] < classes[j][0]
+	})
+}
+
+// ConstantInClasses reports whether attribute col (rank-encoded) is constant
+// within every equivalence class of the partition, i.e. whether the canonical
+// OD X: [] ↦ A holds where the receiver is Π*X. Singleton classes are
+// trivially constant and are not present in a stripped partition.
+func (p *Partition) ConstantInClasses(col []int32) bool {
+	for _, cls := range p.Classes {
+		first := col[cls[0]]
+		for _, row := range cls[1:] {
+			if col[row] != first {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Refines reports whether p refines q: every class of p is contained in some
+// class of q. Both must be partitions over the same relation. Singleton
+// classes trivially refine anything, so only stripped classes are checked.
+func (p *Partition) Refines(q *Partition) bool {
+	if p.NumRows != q.NumRows {
+		return false
+	}
+	probe := make([]int32, q.NumRows)
+	for i := range probe {
+		probe[i] = -1
+	}
+	for ci, cls := range q.Classes {
+		for _, row := range cls {
+			probe[row] = int32(ci)
+		}
+	}
+	for _, cls := range p.Classes {
+		want := probe[cls[0]]
+		if want < 0 {
+			return false
+		}
+		for _, row := range cls[1:] {
+			if probe[row] != want {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SwapWitness identifies a pair of rows (s, t) within one equivalence class
+// such that s precedes t on colA but t precedes s on colB — a "swap" in the
+// sense of Definition 5, restricted to the context defining this partition.
+type SwapWitness struct {
+	RowS, RowT int
+}
+
+// HasSwap reports whether some equivalence class of the context partition
+// contains a swap between colA and colB, i.e. whether the canonical OD
+// X: A ~ B is violated (the receiver being Π*X). It runs one sorted scan per
+// class: rows are ordered by their A-rank, and B-ranks must never decrease
+// across strictly increasing A-ranks.
+func (p *Partition) HasSwap(colA, colB []int32) bool {
+	_, found := p.findSwap(colA, colB, false)
+	return found
+}
+
+// FindSwap returns a witness pair for a swap between colA and colB within the
+// context partition, if one exists.
+func (p *Partition) FindSwap(colA, colB []int32) (SwapWitness, bool) {
+	return p.findSwap(colA, colB, true)
+}
+
+func (p *Partition) findSwap(colA, colB []int32, wantWitness bool) (SwapWitness, bool) {
+	type pair struct{ a, b, row int32 }
+	var buf []pair
+	for _, cls := range p.Classes {
+		buf = buf[:0]
+		for _, row := range cls {
+			buf = append(buf, pair{a: colA[row], b: colB[row], row: row})
+		}
+		sort.Slice(buf, func(i, j int) bool {
+			if buf[i].a != buf[j].a {
+				return buf[i].a < buf[j].a
+			}
+			return buf[i].b < buf[j].b
+		})
+		// Scan groups of equal A-rank. Every B-rank in the current group must
+		// be >= the maximum B-rank seen in strictly smaller A-groups.
+		runningMax := int32(-1)
+		var runningMaxRow int32 = -1
+		i := 0
+		for i < len(buf) {
+			j := i
+			groupMax := buf[i].b
+			groupMaxRow := buf[i].row
+			for j < len(buf) && buf[j].a == buf[i].a {
+				if buf[j].b < runningMax && runningMax >= 0 {
+					if wantWitness {
+						return SwapWitness{RowS: int(runningMaxRow), RowT: int(buf[j].row)}, true
+					}
+					return SwapWitness{}, true
+				}
+				if buf[j].b > groupMax {
+					groupMax = buf[j].b
+					groupMaxRow = buf[j].row
+				}
+				j++
+			}
+			if groupMax > runningMax {
+				runningMax = groupMax
+				runningMaxRow = groupMaxRow
+			}
+			i = j
+		}
+	}
+	return SwapWitness{}, false
+}
+
+// SplitWitness identifies a pair of rows that agree on the context X but
+// disagree on attribute A — a "split" in the sense of Definition 4, i.e. a
+// violation of the FD X → A (equivalently of the canonical OD X: [] ↦ A).
+type SplitWitness struct {
+	RowS, RowT int
+}
+
+// FindSplit returns a witness pair for a violation of X: [] ↦ A within the
+// context partition, if one exists.
+func (p *Partition) FindSplit(col []int32) (SplitWitness, bool) {
+	for _, cls := range p.Classes {
+		first := col[cls[0]]
+		for _, row := range cls[1:] {
+			if col[row] != first {
+				return SplitWitness{RowS: int(cls[0]), RowT: int(row)}, true
+			}
+		}
+	}
+	return SplitWitness{}, false
+}

@@ -1,0 +1,62 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV parses a CSV stream with a header row into a relation, sniffing
+// column types from the data. name is used only for diagnostics.
+func ReadCSV(name string, src io.Reader) (*Relation, error) {
+	reader := csv.NewReader(src)
+	reader.FieldsPerRecord = -1 // validated by FromRows with a clearer error
+	records, err := reader.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading csv %s: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("relation: csv %s is empty", name)
+	}
+	return FromRows(name, records[0], records[1:])
+}
+
+// ReadCSVFile opens path and parses it with ReadCSV.
+func ReadCSVFile(path string) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("relation: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(path, f)
+}
+
+// WriteCSV writes the relation as CSV with a header row.
+func WriteCSV(r *Relation, dst io.Writer) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	w := csv.NewWriter(dst)
+	if err := w.Write(r.ColumnNames()); err != nil {
+		return fmt.Errorf("relation: writing csv header: %w", err)
+	}
+	for _, row := range r.Rows() {
+		if err := w.Write(row); err != nil {
+			return fmt.Errorf("relation: writing csv row: %w", err)
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// WriteCSVFile writes the relation to the given path, creating or truncating
+// the file.
+func WriteCSVFile(r *Relation, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("relation: %w", err)
+	}
+	defer f.Close()
+	return WriteCSV(r, f)
+}

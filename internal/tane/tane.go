@@ -1,0 +1,189 @@
+// Package tane is a clean-room implementation of the TANE functional
+// dependency discovery algorithm (Huhtala et al., ICDE 1998), the FD-only
+// baseline the paper compares FASTOD against in Experiment 4. Like FASTOD it
+// traverses the set-containment lattice level by level with stripped
+// partitions and candidate sets; unlike FASTOD it only looks for splits, so
+// it cannot discover order semantics.
+package tane
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// FD is a minimal functional dependency LHS → RHS with a single right-hand
+// side attribute, the canonical output form of TANE.
+type FD struct {
+	LHS bitset.AttrSet
+	RHS int
+}
+
+// String renders the FD with attribute indexes.
+func (fd FD) String() string { return fmt.Sprintf("%s -> %d", fd.LHS, fd.RHS) }
+
+// NamesString renders the FD with attribute names.
+func (fd FD) NamesString(names []string) string {
+	rhs := fmt.Sprintf("#%d", fd.RHS)
+	if fd.RHS >= 0 && fd.RHS < len(names) {
+		rhs = names[fd.RHS]
+	}
+	return fd.LHS.Names(names) + " -> " + rhs
+}
+
+// Options configures a TANE run.
+type Options struct {
+	// MaxLevel, when positive, bounds the lattice level that is processed.
+	MaxLevel int
+}
+
+// Result is the outcome of a TANE run.
+type Result struct {
+	FDs     []FD
+	Elapsed time.Duration
+	// NodesVisited counts lattice nodes processed, for comparison with FASTOD.
+	NodesVisited int
+}
+
+// Discover runs TANE over an encoded relation and returns the complete set of
+// minimal, non-trivial functional dependencies with singleton right-hand
+// sides.
+func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
+	if enc == nil || enc.NumCols() == 0 {
+		return nil, fmt.Errorf("tane: empty relation")
+	}
+	if enc.NumCols() > bitset.MaxAttrs {
+		return nil, fmt.Errorf("tane: relation has %d columns, maximum is %d", enc.NumCols(), bitset.MaxAttrs)
+	}
+	start := time.Now()
+	n := enc.NumCols()
+	var all bitset.AttrSet
+	for a := 0; a < n; a++ {
+		all = all.Add(a)
+	}
+
+	res := &Result{}
+	empty := bitset.AttrSet(0)
+	parts := map[int]map[bitset.AttrSet]*partition.Partition{
+		0: {empty: partition.FromConstant(enc.NumRows())},
+		1: {},
+	}
+	cplus := map[int]map[bitset.AttrSet]bitset.AttrSet{
+		0: {empty: all},
+	}
+
+	level := make([]bitset.AttrSet, 0, n)
+	for a := 0; a < n; a++ {
+		s := bitset.NewAttrSet(a)
+		level = append(level, s)
+		parts[1][s] = partition.FromColumn(enc.Column(a), enc.Cardinality[a])
+	}
+
+	l := 1
+	for len(level) > 0 && (opts.MaxLevel <= 0 || l <= opts.MaxLevel) {
+		res.NodesVisited += len(level)
+		ccPrev := cplus[l-1]
+		ccCur := make(map[bitset.AttrSet]bitset.AttrSet, len(level))
+
+		// Candidate sets.
+		for _, x := range level {
+			cc := all
+			x.ForEach(func(a int) { cc = cc.Intersect(ccPrev[x.Remove(a)]) })
+			ccCur[x] = cc
+		}
+		// Validation: X\A → A for A ∈ X ∩ C+(X).
+		for _, x := range level {
+			cc := ccCur[x]
+			for _, a := range x.Intersect(cc).Attrs() {
+				ctx := x.Remove(a)
+				ctxPart := parts[l-1][ctx]
+				valid := ctxPart.IsSuperkey() || ctxPart.Error() == parts[l][x].Error()
+				if valid {
+					res.FDs = append(res.FDs, FD{LHS: ctx, RHS: a})
+					cc = cc.Remove(a)
+					cc = cc.Intersect(x)
+				}
+			}
+			ccCur[x] = cc
+		}
+		cplus[l] = ccCur
+
+		// Prune nodes with empty candidate sets, then generate the next level.
+		kept := level[:0]
+		for _, x := range level {
+			if l >= 2 && ccCur[x].IsEmpty() {
+				continue
+			}
+			kept = append(kept, x)
+		}
+		level = kept
+
+		next, nextParts := nextLevel(level, parts[l])
+		parts[l+1] = nextParts
+		delete(parts, l-1)
+		delete(cplus, l-1)
+		level = next
+		l++
+	}
+
+	sort.Slice(res.FDs, func(i, j int) bool {
+		a, b := res.FDs[i], res.FDs[j]
+		if a.LHS.Len() != b.LHS.Len() {
+			return a.LHS.Len() < b.LHS.Len()
+		}
+		if a.LHS != b.LHS {
+			return a.LHS < b.LHS
+		}
+		return a.RHS < b.RHS
+	})
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// nextLevel joins prefix blocks to produce the next lattice level and its
+// partitions, mirroring FASTOD's calculateNextLevel.
+func nextLevel(level []bitset.AttrSet, parts map[bitset.AttrSet]*partition.Partition) ([]bitset.AttrSet, map[bitset.AttrSet]*partition.Partition) {
+	present := make(map[bitset.AttrSet]bool, len(level))
+	for _, x := range level {
+		present[x] = true
+	}
+	blocks := make(map[bitset.AttrSet][]int)
+	for _, x := range level {
+		attrs := x.Attrs()
+		last := attrs[len(attrs)-1]
+		blocks[x.Remove(last)] = append(blocks[x.Remove(last)], last)
+	}
+	prefixes := make([]bitset.AttrSet, 0, len(blocks))
+	for p := range blocks {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
+
+	var next []bitset.AttrSet
+	nextParts := make(map[bitset.AttrSet]*partition.Partition)
+	for _, prefix := range prefixes {
+		members := blocks[prefix]
+		sort.Ints(members)
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				x := prefix.Add(members[i]).Add(members[j])
+				ok := true
+				x.ForEach(func(a int) {
+					if ok && !present[x.Remove(a)] {
+						ok = false
+					}
+				})
+				if !ok {
+					continue
+				}
+				next = append(next, x)
+				nextParts[x] = partition.Product(parts[prefix.Add(members[i])], parts[prefix.Add(members[j])])
+			}
+		}
+	}
+	return next, nextParts
+}

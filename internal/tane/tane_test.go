@@ -1,0 +1,148 @@
+package tane
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/canonical"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/relation"
+)
+
+func encode(t *testing.T, r *relation.Relation) *relation.Encoded {
+	t.Helper()
+	enc, err := relation.Encode(r)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return enc
+}
+
+func TestDiscoverValidation(t *testing.T) {
+	if _, err := Discover(nil, Options{}); err == nil {
+		t.Error("nil relation must be rejected")
+	}
+	if _, err := Discover(&relation.Encoded{}, Options{}); err == nil {
+		t.Error("empty relation must be rejected")
+	}
+}
+
+func TestFDStrings(t *testing.T) {
+	fd := FD{LHS: bitset.NewAttrSet(0, 2), RHS: 1}
+	if fd.String() != "{0,2} -> 1" {
+		t.Errorf("String = %q", fd.String())
+	}
+	if fd.NamesString([]string{"a", "b", "c"}) != "{a,c} -> b" {
+		t.Errorf("NamesString = %q", fd.NamesString([]string{"a", "b", "c"}))
+	}
+	if (FD{LHS: bitset.AttrSet(0), RHS: 9}).NamesString([]string{"a"}) != "{} -> #9" {
+		t.Error("NamesString out of range incorrect")
+	}
+}
+
+func TestDiscoverTable1FDs(t *testing.T) {
+	enc := encode(t, datagen.Employees())
+	idx := map[string]int{}
+	for i, n := range enc.ColumnNames {
+		idx[n] = i
+	}
+	res, err := Discover(enc, Options{})
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	if len(res.FDs) == 0 {
+		t.Fatal("expected FDs on Table 1")
+	}
+	has := func(lhs bitset.AttrSet, rhs int) bool {
+		for _, fd := range res.FDs {
+			if fd.LHS.IsSubsetOf(lhs) && fd.RHS == rhs {
+				return true
+			}
+		}
+		return false
+	}
+	// salary -> tax, salary -> percentage hold (Lemma 1 applied to Example 1).
+	if !has(bitset.NewAttrSet(idx["sal"]), idx["tax"]) {
+		t.Error("sal -> tax missing")
+	}
+	if !has(bitset.NewAttrSet(idx["sal"]), idx["perc"]) {
+		t.Error("sal -> perc missing")
+	}
+	// position does not determine salary.
+	for _, fd := range res.FDs {
+		if fd.LHS.Equal(bitset.NewAttrSet(idx["posit"])) && fd.RHS == idx["sal"] {
+			t.Error("posit -> sal must not be reported")
+		}
+	}
+	if res.Elapsed <= 0 || res.NodesVisited == 0 {
+		t.Error("stats not recorded")
+	}
+}
+
+// TestTANEMatchesFASTODFDs: the FD fragment of FASTOD's output (constancy ODs)
+// must coincide with TANE's minimal FDs — Experiment 4's premise that the FD
+// counts of the two algorithms agree.
+func TestTANEMatchesFASTODFDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		rel := datagen.RandomStructuredRelation(2+rng.Intn(20), 2+rng.Intn(4), 3, rng.Int63())
+		enc := encode(t, rel)
+
+		taneRes, err := Discover(enc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fastodRes, err := core.Discover(enc, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fastodFDs := fastodRes.ConstancyODs()
+		if len(taneRes.FDs) != len(fastodFDs) {
+			t.Fatalf("trial %d: TANE found %d FDs, FASTOD found %d constancy ODs\nTANE: %v\nFASTOD: %v",
+				trial, len(taneRes.FDs), len(fastodFDs), taneRes.FDs, fastodFDs)
+		}
+		for i, fd := range taneRes.FDs {
+			want := canonical.NewConstancy(fd.LHS, fd.RHS)
+			if !fastodFDs[i].Equal(want) {
+				t.Fatalf("trial %d: FD %d mismatch: TANE %v, FASTOD %v", trial, i, want, fastodFDs[i])
+			}
+		}
+	}
+}
+
+func TestDiscoverMaxLevel(t *testing.T) {
+	enc := encode(t, datagen.Employees())
+	res, err := Discover(enc, Options{MaxLevel: 2})
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	for _, fd := range res.FDs {
+		if fd.LHS.Len() > 1 {
+			t.Errorf("FD %v exceeds MaxLevel=2", fd)
+		}
+	}
+}
+
+func TestDiscoverKeyRelation(t *testing.T) {
+	// A relation whose first column is a key: every other attribute is
+	// determined by it, and minimality keeps the LHS at the key column alone.
+	rel := datagen.DBTesmaLike(50, 5, 3)
+	enc := encode(t, rel)
+	res, err := Discover(enc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover := map[int]bool{}
+	for _, fd := range res.FDs {
+		if fd.LHS.Equal(bitset.NewAttrSet(0)) {
+			cover[fd.RHS] = true
+		}
+	}
+	for a := 1; a < enc.NumCols(); a++ {
+		if !cover[a] {
+			t.Errorf("pk -> column %d missing", a)
+		}
+	}
+}
