@@ -16,6 +16,13 @@ import (
 	fastod "repro"
 )
 
+// seqOpts pins the paper-figure benchmarks to the sequential engine: they
+// compare FASTOD against the single-threaded TANE/ORDER baselines, so the
+// series stay comparable with the paper (and with runs recorded before the
+// parallel engine existed). BenchmarkParallelWorkers measures the parallel
+// trajectory explicitly.
+func seqOpts() fastod.Options { return fastod.Options{Workers: 1} }
+
 // figureDataset builds one synthetic dataset by paper name.
 func figureDataset(name string, rows, cols int) *fastod.Dataset {
 	const seed = 2017
@@ -81,7 +88,7 @@ func BenchmarkFigure4(b *testing.B) {
 		for _, rows := range []int{500, 1000, 2000} {
 			ds := figureDataset(name, rows, cols)
 			b.Run(fmt.Sprintf("%s/rows=%d/TANE", name, rows), func(b *testing.B) { runTANE(b, ds) })
-			b.Run(fmt.Sprintf("%s/rows=%d/FASTOD", name, rows), func(b *testing.B) { runFASTOD(b, ds, fastod.Options{}) })
+			b.Run(fmt.Sprintf("%s/rows=%d/FASTOD", name, rows), func(b *testing.B) { runFASTOD(b, ds, seqOpts()) })
 			b.Run(fmt.Sprintf("%s/rows=%d/ORDER", name, rows), func(b *testing.B) { runORDER(b, ds) })
 		}
 	}
@@ -101,7 +108,7 @@ func BenchmarkFigure5(b *testing.B) {
 		for _, cols := range colsFor[name] {
 			ds := figureDataset(name, rowsFor[name], cols)
 			b.Run(fmt.Sprintf("%s/cols=%d/TANE", name, cols), func(b *testing.B) { runTANE(b, ds) })
-			b.Run(fmt.Sprintf("%s/cols=%d/FASTOD", name, cols), func(b *testing.B) { runFASTOD(b, ds, fastod.Options{}) })
+			b.Run(fmt.Sprintf("%s/cols=%d/FASTOD", name, cols), func(b *testing.B) { runFASTOD(b, ds, seqOpts()) })
 			b.Run(fmt.Sprintf("%s/cols=%d/ORDER", name, cols), func(b *testing.B) { runORDER(b, ds) })
 		}
 	}
@@ -113,16 +120,16 @@ func BenchmarkFigure5(b *testing.B) {
 func BenchmarkFigure6(b *testing.B) {
 	for _, rows := range []int{500, 1000, 2000} {
 		ds := figureDataset("flight", rows, 8)
-		b.Run(fmt.Sprintf("rows=%d/FASTOD", rows), func(b *testing.B) { runFASTOD(b, ds, fastod.Options{}) })
+		b.Run(fmt.Sprintf("rows=%d/FASTOD", rows), func(b *testing.B) { runFASTOD(b, ds, seqOpts()) })
 		b.Run(fmt.Sprintf("rows=%d/NoPruning", rows), func(b *testing.B) {
-			runFASTOD(b, ds, fastod.Options{DisablePruning: true, CountOnly: true})
+			runFASTOD(b, ds, fastod.Options{Workers: 1, DisablePruning: true, CountOnly: true})
 		})
 	}
 	for _, cols := range []int{6, 8, 10} {
 		ds := figureDataset("flight", 500, cols)
-		b.Run(fmt.Sprintf("cols=%d/FASTOD", cols), func(b *testing.B) { runFASTOD(b, ds, fastod.Options{}) })
+		b.Run(fmt.Sprintf("cols=%d/FASTOD", cols), func(b *testing.B) { runFASTOD(b, ds, seqOpts()) })
 		b.Run(fmt.Sprintf("cols=%d/NoPruning", cols), func(b *testing.B) {
-			runFASTOD(b, ds, fastod.Options{DisablePruning: true, CountOnly: true})
+			runFASTOD(b, ds, fastod.Options{Workers: 1, DisablePruning: true, CountOnly: true})
 		})
 	}
 }
@@ -131,28 +138,41 @@ func BenchmarkFigure6(b *testing.B) {
 // a wider flight-like table; cmd/odbench -fig 7 prints the per-level series.
 func BenchmarkFigure7(b *testing.B) {
 	ds := figureDataset("flight", 500, 12)
-	runFASTOD(b, ds, fastod.Options{CollectLevelStats: true})
+	runFASTOD(b, ds, fastod.Options{Workers: 1, CollectLevelStats: true})
 }
 
 // BenchmarkTable1 measures discovery on the paper's running example.
 func BenchmarkTable1(b *testing.B) {
 	ds := fastod.EmployeesExample()
-	runFASTOD(b, ds, fastod.Options{})
+	runFASTOD(b, ds, seqOpts())
 }
 
 // BenchmarkAblation measures the individual optimizations called out in
 // DESIGN.md: key pruning, node pruning and the sorted-scan swap check.
 func BenchmarkAblation(b *testing.B) {
 	ds := figureDataset("flight", 1000, 10)
-	b.Run("baseline", func(b *testing.B) { runFASTOD(b, ds, fastod.Options{}) })
-	b.Run("no-key-pruning", func(b *testing.B) { runFASTOD(b, ds, fastod.Options{DisableKeyPruning: true}) })
-	b.Run("no-node-pruning", func(b *testing.B) { runFASTOD(b, ds, fastod.Options{DisableNodePruning: true}) })
-	b.Run("naive-swap-check", func(b *testing.B) { runFASTOD(b, ds, fastod.Options{NaiveSwapCheck: true}) })
+	b.Run("baseline", func(b *testing.B) { runFASTOD(b, ds, seqOpts()) })
+	b.Run("no-key-pruning", func(b *testing.B) { runFASTOD(b, ds, fastod.Options{Workers: 1, DisableKeyPruning: true}) })
+	b.Run("no-node-pruning", func(b *testing.B) { runFASTOD(b, ds, fastod.Options{Workers: 1, DisableNodePruning: true}) })
+	b.Run("naive-swap-check", func(b *testing.B) { runFASTOD(b, ds, fastod.Options{Workers: 1, NaiveSwapCheck: true}) })
 }
 
 // BenchmarkQueryOptWorkload measures discovery on the date-dimension table of
 // the query-optimization example (Query 1 of the paper's introduction).
 func BenchmarkQueryOptWorkload(b *testing.B) {
 	ds := fastod.DateDimExample(3 * 365)
-	runFASTOD(b, ds, fastod.Options{})
+	runFASTOD(b, ds, seqOpts())
+}
+
+// BenchmarkParallelWorkers captures the sequential-vs-parallel trajectory of
+// the engine: the same flight-like discovery at increasing worker counts
+// (Workers=1 is the sequential path). The output of every run is identical;
+// only the wall-clock time changes.
+func BenchmarkParallelWorkers(b *testing.B) {
+	ds := figureDataset("flight", 2000, 10)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			runFASTOD(b, ds, fastod.Options{Workers: w})
+		})
+	}
 }

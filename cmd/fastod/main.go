@@ -3,7 +3,7 @@
 // Usage:
 //
 //	fastod -input data.csv [-algorithm fastod|tane|order] [-max-level N]
-//	       [-no-pruning] [-count-only] [-levels] [-limit N]
+//	       [-workers N] [-no-pruning] [-count-only] [-levels] [-limit N]
 //
 // By default it runs the FASTOD algorithm and prints the complete, minimal
 // set of canonical ODs with attribute names. The TANE baseline reports only
@@ -25,6 +25,7 @@ func main() {
 		input     = flag.String("input", "", "path to a CSV file with a header row (required)")
 		algorithm = flag.String("algorithm", "fastod", "algorithm to run: fastod, tane or order")
 		maxLevel  = flag.Int("max-level", 0, "stop after this lattice level (0 = unlimited)")
+		workers   = flag.Int("workers", 0, "worker goroutines per lattice level (0 = all CPUs, 1 = sequential; FASTOD only)")
 		noPrune   = flag.Bool("no-pruning", false, "disable pruning and report every valid OD (FASTOD only)")
 		countOnly = flag.Bool("count-only", false, "only report OD counts, not the ODs themselves")
 		levels    = flag.Bool("levels", false, "print per-lattice-level statistics (FASTOD only)")
@@ -37,33 +38,59 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*input, *algorithm, *maxLevel, *noPrune, *countOnly, *levels, *limit, *timeout); err != nil {
+	cfg := config{
+		input:     *input,
+		algorithm: *algorithm,
+		maxLevel:  *maxLevel,
+		workers:   *workers,
+		noPrune:   *noPrune,
+		countOnly: *countOnly,
+		levels:    *levels,
+		limit:     *limit,
+		timeout:   *timeout,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "fastod: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(input, algorithm string, maxLevel int, noPrune, countOnly, levels bool, limit int, timeout time.Duration) error {
-	ds, err := fastod.LoadCSVFile(input)
+// config mirrors the command-line flags; passing it as a struct keeps the
+// call sites readable and lets new options ride along without signature churn.
+type config struct {
+	input     string
+	algorithm string
+	maxLevel  int
+	workers   int
+	noPrune   bool
+	countOnly bool
+	levels    bool
+	limit     int
+	timeout   time.Duration
+}
+
+func run(cfg config) error {
+	ds, err := fastod.LoadCSVFile(cfg.input)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("dataset %s: %d tuples, %d attributes\n", ds.Name(), ds.NumRows(), ds.NumCols())
 	names := ds.ColumnNames()
 
-	switch algorithm {
+	switch cfg.algorithm {
 	case "fastod":
 		res, err := ds.Discover(fastod.Options{
-			DisablePruning:    noPrune,
-			CountOnly:         countOnly,
-			MaxLevel:          maxLevel,
-			CollectLevelStats: levels,
+			Workers:           cfg.workers,
+			DisablePruning:    cfg.noPrune,
+			CountOnly:         cfg.countOnly,
+			MaxLevel:          cfg.maxLevel,
+			CollectLevelStats: cfg.levels,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("discovered %s canonical ODs in %v\n", res.Counts, res.Elapsed.Round(time.Microsecond))
-		if levels {
+		if cfg.levels {
 			fmt.Println("level  nodes  time           #ODs (#FDs + #OCDs)")
 			for _, ls := range res.Levels {
 				fmt.Printf("%-6d %-6d %-14v %d (%d + %d)\n",
@@ -71,10 +98,10 @@ func run(input, algorithm string, maxLevel int, noPrune, countOnly, levels bool,
 					ls.Constancy+ls.OrderCompat, ls.Constancy, ls.OrderCompat)
 			}
 		}
-		if !countOnly {
+		if !cfg.countOnly {
 			for i, od := range res.ODs {
-				if limit > 0 && i >= limit {
-					fmt.Printf("... (%d more)\n", len(res.ODs)-limit)
+				if cfg.limit > 0 && i >= cfg.limit {
+					fmt.Printf("... (%d more)\n", len(res.ODs)-cfg.limit)
 					break
 				}
 				fmt.Println(" ", od.NamesString(names))
@@ -83,15 +110,15 @@ func run(input, algorithm string, maxLevel int, noPrune, countOnly, levels bool,
 		return nil
 
 	case "tane":
-		res, err := ds.DiscoverFDs(fastod.TANEOptions{MaxLevel: maxLevel})
+		res, err := ds.DiscoverFDs(fastod.TANEOptions{MaxLevel: cfg.maxLevel})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("discovered %d minimal FDs in %v\n", len(res.FDs), res.Elapsed.Round(time.Microsecond))
-		if !countOnly {
+		if !cfg.countOnly {
 			for i, fd := range res.FDs {
-				if limit > 0 && i >= limit {
-					fmt.Printf("... (%d more)\n", len(res.FDs)-limit)
+				if cfg.limit > 0 && i >= cfg.limit {
+					fmt.Printf("... (%d more)\n", len(res.FDs)-cfg.limit)
 					break
 				}
 				fmt.Println(" ", fd.NamesString(names))
@@ -100,7 +127,7 @@ func run(input, algorithm string, maxLevel int, noPrune, countOnly, levels bool,
 		return nil
 
 	case "order":
-		res, err := ds.DiscoverWithORDER(fastod.ORDEROptions{Timeout: timeout, MaxNodes: 5_000_000})
+		res, err := ds.DiscoverWithORDER(fastod.ORDEROptions{Timeout: cfg.timeout, MaxNodes: 5_000_000})
 		if err != nil {
 			return err
 		}
@@ -110,10 +137,10 @@ func run(input, algorithm string, maxLevel int, noPrune, countOnly, levels bool,
 		}
 		fmt.Printf("discovered %d list ODs mapping to %s canonical ODs in %v%s\n",
 			len(res.ODs), res.Counts, res.Elapsed.Round(time.Microsecond), status)
-		if !countOnly {
+		if !cfg.countOnly {
 			for i, od := range res.ODs {
-				if limit > 0 && i >= limit {
-					fmt.Printf("... (%d more)\n", len(res.ODs)-limit)
+				if cfg.limit > 0 && i >= cfg.limit {
+					fmt.Printf("... (%d more)\n", len(res.ODs)-cfg.limit)
 					break
 				}
 				fmt.Println(" ", od.Names(names))
@@ -122,6 +149,6 @@ func run(input, algorithm string, maxLevel int, noPrune, countOnly, levels bool,
 		return nil
 
 	default:
-		return fmt.Errorf("unknown algorithm %q (want fastod, tane or order)", algorithm)
+		return fmt.Errorf("unknown algorithm %q (want fastod, tane or order)", cfg.algorithm)
 	}
 }

@@ -20,22 +20,28 @@ func writeFixture(t *testing.T) string {
 func TestRunAlgorithms(t *testing.T) {
 	path := writeFixture(t)
 	for _, alg := range []string{"fastod", "tane", "order"} {
-		if err := run(path, alg, 0, false, false, false, 2, time.Second); err != nil {
+		if err := run(config{input: path, algorithm: alg, limit: 2, timeout: time.Second}); err != nil {
 			t.Errorf("run(%s): %v", alg, err)
 		}
 	}
 	// Level stats, count-only and no-pruning paths.
-	if err := run(path, "fastod", 2, true, true, true, 0, time.Second); err != nil {
+	if err := run(config{input: path, algorithm: "fastod", maxLevel: 2, noPrune: true, countOnly: true, levels: true, timeout: time.Second}); err != nil {
 		t.Errorf("run(fastod, options): %v", err)
+	}
+	// Explicit sequential and parallel worker counts.
+	for _, workers := range []int{1, 4} {
+		if err := run(config{input: path, algorithm: "fastod", workers: workers, timeout: time.Second}); err != nil {
+			t.Errorf("run(fastod, workers=%d): %v", workers, err)
+		}
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	path := writeFixture(t)
-	if err := run(path, "bogus", 0, false, false, false, 0, time.Second); err == nil {
+	if err := run(config{input: path, algorithm: "bogus", timeout: time.Second}); err == nil {
 		t.Error("expected error for unknown algorithm")
 	}
-	if err := run(path+".missing", "fastod", 0, false, false, false, 0, time.Second); err == nil {
+	if err := run(config{input: path + ".missing", algorithm: "fastod", timeout: time.Second}); err == nil {
 		t.Error("expected error for missing input")
 	}
 }

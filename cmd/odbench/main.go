@@ -24,10 +24,11 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "which experiment to run: 4, 5, 6, 7, all or single")
-		quick = flag.Bool("quick", false, "use the reduced-scale configuration")
-		input = flag.String("input", "", "CSV file for -fig single")
-		seed  = flag.Int64("seed", 2017, "random seed for dataset generation")
+		fig     = flag.String("fig", "all", "which experiment to run: 4, 5, 6, 7, all or single")
+		quick   = flag.Bool("quick", false, "use the reduced-scale configuration")
+		input   = flag.String("input", "", "CSV file for -fig single")
+		seed    = flag.Int64("seed", 2017, "random seed for dataset generation")
+		workers = flag.Int("workers", 1, "FASTOD worker goroutines per lattice level (1 = sequential, matching the single-threaded baselines; 0 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -36,6 +37,7 @@ func main() {
 		cfg = bench.QuickConfig()
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	if err := run(*fig, *input, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "odbench: %v\n", err)
@@ -125,7 +127,7 @@ func runSingle(input string, cfg bench.Config) error {
 	if err != nil {
 		return err
 	}
-	ms, err := bench.Table1(enc, rel.Name, cfg.ORDERBudget)
+	ms, err := bench.Table1(enc, rel.Name, cfg.ORDERBudget, cfg.Workers)
 	if err != nil {
 		return err
 	}

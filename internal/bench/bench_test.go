@@ -158,7 +158,7 @@ func TestFiguresQuickConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := Table1(enc, "flight", cfg.ORDERBudget)
+	single, err := Table1(enc, "flight", cfg.ORDERBudget, 4)
 	if err != nil {
 		t.Fatalf("Table1: %v", err)
 	}

@@ -17,6 +17,12 @@ import (
 type Config struct {
 	// Seed makes dataset generation deterministic.
 	Seed int64
+	// Workers is passed through to core.Options.Workers for every FASTOD run.
+	// DefaultConfig and QuickConfig pin it to 1 (sequential): the figures
+	// compare FASTOD against the single-threaded TANE/ORDER baselines, so a
+	// parallel FASTOD would inflate the speedup relative to the paper. Set 0
+	// (all CPUs) or higher explicitly to measure the parallel engine.
+	Workers int
 	// ORDERBudget bounds each ORDER run (it is factorial in attributes).
 	ORDERBudget order.Options
 	// RowScales lists the tuple counts for the row-scalability experiment
@@ -39,6 +45,7 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{
 		Seed:         2017,
+		Workers:      1,
 		ORDERBudget:  order.Options{Timeout: 20 * time.Second, MaxNodes: 1_500_000},
 		RowScales:    []int{2000, 4000, 6000, 8000, 10000},
 		RowScaleCols: 10,
@@ -60,6 +67,7 @@ func DefaultConfig() Config {
 func QuickConfig() Config {
 	return Config{
 		Seed:         2017,
+		Workers:      1,
 		ORDERBudget:  order.Options{Timeout: 2 * time.Second, MaxNodes: 100_000},
 		RowScales:    []int{200, 400, 600, 800, 1000},
 		RowScaleCols: 8,
@@ -97,7 +105,7 @@ func Figure4(cfg Config) ([]Measurement, error) {
 				return nil, err
 			}
 			out = append(out, m)
-			m, err = RunFASTOD(enc, name, core.Options{})
+			m, err = RunFASTOD(enc, name, core.Options{Workers: cfg.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -132,7 +140,7 @@ func Figure5(cfg Config) ([]Measurement, error) {
 				return nil, err
 			}
 			out = append(out, m)
-			m, err = RunFASTOD(enc, gen.Name, core.Options{})
+			m, err = RunFASTOD(enc, gen.Name, core.Options{Workers: cfg.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -162,12 +170,12 @@ func Figure6(cfg Config) ([]Measurement, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := RunFASTOD(enc, "flight", core.Options{})
+		m, err := RunFASTOD(enc, "flight", core.Options{Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, m)
-		m, err = RunFASTOD(enc, "flight", core.Options{DisablePruning: true, CountOnly: true})
+		m, err = RunFASTOD(enc, "flight", core.Options{Workers: cfg.Workers, DisablePruning: true, CountOnly: true})
 		if err != nil {
 			return nil, err
 		}
@@ -178,12 +186,12 @@ func Figure6(cfg Config) ([]Measurement, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := RunFASTOD(enc, "flight", core.Options{})
+		m, err := RunFASTOD(enc, "flight", core.Options{Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, m)
-		m, err = RunFASTOD(enc, "flight", core.Options{DisablePruning: true, CountOnly: true})
+		m, err = RunFASTOD(enc, "flight", core.Options{Workers: cfg.Workers, DisablePruning: true, CountOnly: true})
 		if err != nil {
 			return nil, err
 		}
@@ -213,7 +221,7 @@ func Figure7(cfg Config) ([]LevelMeasurement, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Discover(enc, core.Options{CollectLevelStats: true})
+	res, err := core.Discover(enc, core.Options{Workers: cfg.Workers, CollectLevelStats: true})
 	if err != nil {
 		return nil, err
 	}
@@ -245,14 +253,14 @@ func FormatLevelTable(title string, ms []LevelMeasurement) string {
 
 // Table1 runs the three algorithms on one dataset configuration; it backs the
 // odbench "single" mode used for ad-hoc comparisons on user CSV files.
-func Table1(enc *relation.Encoded, name string, budget order.Options) ([]Measurement, error) {
+func Table1(enc *relation.Encoded, name string, budget order.Options, workers int) ([]Measurement, error) {
 	var out []Measurement
 	m, err := RunTANE(enc, name)
 	if err != nil {
 		return nil, err
 	}
 	out = append(out, m)
-	m, err = RunFASTOD(enc, name, core.Options{})
+	m, err = RunFASTOD(enc, name, core.Options{Workers: workers})
 	if err != nil {
 		return nil, err
 	}

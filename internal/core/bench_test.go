@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strconv"
 	"testing"
 
 	"repro/internal/datagen"
@@ -19,24 +20,54 @@ func benchRelation(b *testing.B, rows, cols int) *relation.Encoded {
 	return enc
 }
 
+// Single-configuration benchmarks pin Workers: 1 so their series stay
+// comparable with runs recorded before the parallel engine existed; the
+// scaling benchmarks below measure the parallel trajectory explicitly.
+
 func BenchmarkDiscoverFlight1Kx10(b *testing.B) {
 	enc := benchRelation(b, 1000, 10)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Discover(enc, Options{}); err != nil {
+		if _, err := Discover(enc, Options{Workers: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
+// BenchmarkDiscoverRowsScaling tracks the sequential-vs-parallel trajectory
+// of the engine as the row count grows: each size runs with Workers=1 (the
+// sequential path) and Workers=4 (the sharded level-parallel path). On a
+// multi-core machine the parallel series should pull ahead as rows grow; on a
+// single-core machine the two series bound the pool's scheduling overhead.
 func BenchmarkDiscoverRowsScaling(b *testing.B) {
 	for _, rows := range []int{1000, 2000, 4000, 8000} {
 		enc := benchRelation(b, rows, 8)
-		b.Run(sizeLabel(rows), func(b *testing.B) {
+		for _, cfg := range []struct {
+			name    string
+			workers int
+		}{{"seq", 1}, {"par4", 4}} {
+			b.Run(sizeLabel(rows)+"/"+cfg.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := Discover(enc, Options{Workers: cfg.workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDiscoverWorkersScaling sweeps the worker count at a fixed shape,
+// capturing the speedup curve of the level-parallel engine.
+func BenchmarkDiscoverWorkersScaling(b *testing.B) {
+	enc := benchRelation(b, 4000, 10)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run("workers="+strconv.Itoa(w), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := Discover(enc, Options{}); err != nil {
+				if _, err := Discover(enc, Options{Workers: w}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -49,7 +80,7 @@ func BenchmarkDiscoverNoPruning(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Discover(enc, Options{DisablePruning: true, CountOnly: true}); err != nil {
+		if _, err := Discover(enc, Options{Workers: 1, DisablePruning: true, CountOnly: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -58,22 +89,8 @@ func BenchmarkDiscoverNoPruning(b *testing.B) {
 func sizeLabel(rows int) string {
 	switch {
 	case rows >= 1000 && rows%1000 == 0:
-		return itoa(rows/1000) + "Krows"
+		return strconv.Itoa(rows/1000) + "Krows"
 	default:
-		return itoa(rows) + "rows"
+		return strconv.Itoa(rows) + "rows"
 	}
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [12]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
 }

@@ -48,12 +48,19 @@ type discoverer struct {
 
 	numAttrs int
 	all      bitset.AttrSet // the full schema R
+	workers  int            // resolved worker count (>= 1)
 
 	// Per-level state, keyed by lattice level. Only the last three levels of
 	// partitions and the last two levels of candidate sets are retained.
+	// These maps are written solely at level barriers and are read-only while
+	// a level's nodes are being processed in parallel.
 	parts map[int]map[bitset.AttrSet]*partition.Partition
 	cc    map[int]map[bitset.AttrSet]bitset.AttrSet
 	cs    map[int]map[bitset.AttrSet]*bitset.PairSet
+
+	// scratch holds one partition-product workspace per worker, reused across
+	// all levels of the run.
+	scratch []*partition.Scratch
 
 	result *Result
 }
@@ -63,10 +70,15 @@ func newDiscoverer(enc *relation.Encoded, opts Options) *discoverer {
 		enc:      enc,
 		opts:     opts,
 		numAttrs: enc.NumCols(),
+		workers:  resolveWorkers(opts.Workers),
 		parts:    make(map[int]map[bitset.AttrSet]*partition.Partition),
 		cc:       make(map[int]map[bitset.AttrSet]bitset.AttrSet),
 		cs:       make(map[int]map[bitset.AttrSet]*bitset.PairSet),
 		result:   &Result{},
+	}
+	d.scratch = make([]*partition.Scratch, d.workers)
+	for i := range d.scratch {
+		d.scratch[i] = partition.NewScratch()
 	}
 	for a := 0; a < d.numAttrs; a++ {
 		d.all = d.all.Add(a)
@@ -107,14 +119,19 @@ func (d *discoverer) run() {
 	}
 }
 
-// firstLevel builds the singleton attribute sets and their partitions.
+// firstLevel builds the singleton attribute sets and their partitions; the
+// per-column partitions are independent and built in parallel.
 func (d *discoverer) firstLevel() []bitset.AttrSet {
 	level := make([]bitset.AttrSet, 0, d.numAttrs)
+	partsArr := make([]*partition.Partition, d.numAttrs)
+	parallelFor(d.workers, d.numAttrs, func(_, a int) {
+		partsArr[a] = partition.FromColumn(d.enc.Column(a), d.enc.Cardinality[a])
+	})
 	d.parts[1] = make(map[bitset.AttrSet]*partition.Partition, d.numAttrs)
 	for a := 0; a < d.numAttrs; a++ {
 		s := bitset.NewAttrSet(a)
 		level = append(level, s)
-		d.parts[1][s] = partition.FromColumn(d.enc.Column(a), d.enc.Cardinality[a])
+		d.parts[1][s] = partsArr[a]
 	}
 	return level
 }
@@ -122,32 +139,42 @@ func (d *discoverer) firstLevel() []bitset.AttrSet {
 // computeODs is Algorithm 3: it derives the candidate sets C+c(X) and C+s(X)
 // for every node of the level, validates the candidate ODs, and emits the
 // minimal ones.
+//
+// Both passes of the algorithm only read previous-level state (ccPrev/csPrev,
+// the partition maps) plus the node's own candidate sets, so the per-node
+// work is sharded across the worker pool: each node writes its results into
+// slots indexed by its position in the level (no locks, no shared maps), and
+// the level barrier below merges them back deterministically.
 func (d *discoverer) computeODs(level []bitset.AttrSet, l int, stat *LevelStat) {
 	ccPrev := d.cc[l-1]
 	csPrev := d.cs[l-1]
-	ccCur := make(map[bitset.AttrSet]bitset.AttrSet, len(level))
-	csCur := make(map[bitset.AttrSet]*bitset.PairSet, len(level))
+	n := len(level)
+	ccArr := make([]bitset.AttrSet, n)
+	csArr := make([]*bitset.PairSet, n)
+	emitted := make([]emitBuffer, n)
+	shards := make([]checkShard, d.workers)
 
-	// Pass 1 (lines 1-8): candidate sets from the previous level.
-	for _, x := range level {
+	parallelFor(d.workers, n, func(wk, i int) {
+		x := level[i]
+		sh := &shards[wk]
+
+		// Pass 1 (lines 1-8): candidate sets from the previous level.
 		cc := d.all
 		x.ForEach(func(a int) {
 			cc = cc.Intersect(ccPrev[x.Remove(a)])
 		})
-		ccCur[x] = cc
-
+		var cs *bitset.PairSet
 		switch {
 		case l == 2:
 			attrs := x.Attrs()
-			ps := bitset.NewPairSet()
-			ps.Add(bitset.NewPair(attrs[0], attrs[1]))
-			csCur[x] = ps
+			cs = bitset.NewPairSet()
+			cs.Add(bitset.NewPair(attrs[0], attrs[1]))
 		case l > 2:
 			union := bitset.NewPairSet()
 			x.ForEach(func(c int) {
 				union = union.Union(csPrev[x.Remove(c)])
 			})
-			ps := bitset.NewPairSet()
+			cs = bitset.NewPairSet()
 			for _, p := range union.Pairs() {
 				keep := true
 				x.Diff(p.AsSet()).ForEach(func(dAttr int) {
@@ -159,33 +186,27 @@ func (d *discoverer) computeODs(level []bitset.AttrSet, l int, stat *LevelStat) 
 					}
 				})
 				if keep {
-					ps.Add(p)
+					cs.Add(p)
 				}
 			}
-			csCur[x] = ps
 		default:
-			csCur[x] = bitset.NewPairSet()
+			cs = bitset.NewPairSet()
 		}
-	}
 
-	// Pass 2 (lines 9-25): validation and emission.
-	for _, x := range level {
-		cc := ccCur[x]
+		// Pass 2 (lines 9-25): validation and emission.
 
 		// Constancy candidates X\A: [] ↦ A for A ∈ X ∩ C+c(X) (Lemma 7).
 		for _, a := range x.Intersect(cc).Attrs() {
 			ctx := x.Remove(a)
-			if d.checkConstancy(ctx, x, a) {
-				d.emit(canonical.NewConstancy(ctx, a), stat)
+			if d.checkConstancy(ctx, x, sh) {
+				d.bufferOD(&emitted[i], canonical.NewConstancy(ctx, a))
 				cc = cc.Remove(a)
 				cc = cc.Intersect(x) // remove all B ∈ R \ X (line 14)
 			}
 		}
-		ccCur[x] = cc
 
 		// Order-compatibility candidates X\{A,B}: A ~ B for {A,B} ∈ C+s(X)
 		// (Lemma 8).
-		cs := csCur[x]
 		for _, p := range cs.Pairs() {
 			a, b := p.A, p.B
 			if !ccPrev[x.Remove(b)].Contains(a) || !ccPrev[x.Remove(a)].Contains(b) {
@@ -193,16 +214,30 @@ func (d *discoverer) computeODs(level []bitset.AttrSet, l int, stat *LevelStat) 
 				continue
 			}
 			ctx := x.Remove(a).Remove(b)
-			valid, minimal := d.checkOrderCompat(ctx, a, b)
+			valid, minimal := d.checkOrderCompat(ctx, a, b, sh)
 			if valid {
 				if minimal {
-					d.emit(canonical.NewOrderCompatible(ctx, a, b), stat)
+					d.bufferOD(&emitted[i], canonical.NewOrderCompatible(ctx, a, b))
 				}
 				cs.Remove(p) // line 22
 			}
 		}
-	}
 
+		ccArr[i] = cc
+		csArr[i] = cs
+	})
+
+	// Level barrier: fold worker counters into the run totals, emit buffered
+	// ODs in node order, and publish the per-node candidate sets as the maps
+	// the next level's derivations read.
+	d.mergeShards(shards)
+	d.flushEmits(emitted, stat)
+	ccCur := make(map[bitset.AttrSet]bitset.AttrSet, n)
+	csCur := make(map[bitset.AttrSet]*bitset.PairSet, n)
+	for i, x := range level {
+		ccCur[x] = ccArr[i]
+		csCur[x] = csArr[i]
+	}
 	d.cc[l] = ccCur
 	d.cs[l] = csCur
 }
@@ -210,15 +245,15 @@ func (d *discoverer) computeODs(level []bitset.AttrSet, l int, stat *LevelStat) 
 // checkConstancy validates X\A: [] ↦ A using the partition-error criterion of
 // Section 4.6: the FD holds iff e(Π_ctx) == e(Π_x), because Π_x refines
 // Π_ctx. When the context is a superkey the OD holds trivially (Lemma 12) and
-// the comparison is skipped under key pruning.
-func (d *discoverer) checkConstancy(ctx, x bitset.AttrSet, a int) bool {
-	d.result.Stats.FDChecks++
+// the comparison is skipped under key pruning. Counters go to the calling
+// worker's shard; the partition maps are read-only during a level.
+func (d *discoverer) checkConstancy(ctx, x bitset.AttrSet, sh *checkShard) bool {
+	sh.fdChecks++
 	ctxPart := d.parts[ctx.Len()][ctx]
 	if !d.opts.DisableKeyPruning && ctxPart.IsSuperkey() {
-		d.result.Stats.KeyPrunes++
+		sh.keyPrunes++
 		return true
 	}
-	_ = a
 	return ctxPart.Error() == d.parts[x.Len()][x].Error()
 }
 
@@ -226,11 +261,11 @@ func (d *discoverer) checkConstancy(ctx, x bitset.AttrSet, a int) bool {
 // classes of the context partition for swaps. It returns (valid, minimal):
 // when the context is a superkey the OD is valid but never minimal
 // (Lemma 13), so it is removed from the candidate set without being emitted.
-func (d *discoverer) checkOrderCompat(ctx bitset.AttrSet, a, b int) (valid, minimal bool) {
-	d.result.Stats.SwapChecks++
+func (d *discoverer) checkOrderCompat(ctx bitset.AttrSet, a, b int, sh *checkShard) (valid, minimal bool) {
+	sh.swapChecks++
 	ctxPart := d.parts[ctx.Len()][ctx]
 	if !d.opts.DisableKeyPruning && ctxPart.IsSuperkey() {
-		d.result.Stats.KeyPrunes++
+		sh.keyPrunes++
 		return true, false
 	}
 	colA, colB := d.enc.Column(a), d.enc.Column(b)
@@ -287,8 +322,13 @@ func (d *discoverer) calculateNextLevel(level []bitset.AttrSet, l int) []bitset.
 	}
 	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
 
+	// Enumerate the surviving joins sequentially (cheap bit-set work), then
+	// compute the partition products — the dominant cost of level generation —
+	// in parallel, each worker reusing its own scratch buffer.
+	curParts := d.parts[l]
 	next := make([]bitset.AttrSet, 0)
-	nextParts := make(map[bitset.AttrSet]*partition.Partition)
+	type join struct{ left, right *partition.Partition }
+	joins := make([]join, 0)
 	for _, prefix := range prefixes {
 		members := blocks[prefix]
 		sort.Ints(members)
@@ -300,12 +340,17 @@ func (d *discoverer) calculateNextLevel(level []bitset.AttrSet, l int) []bitset.
 					continue
 				}
 				next = append(next, x)
-				nextParts[x] = partition.Product(
-					d.parts[l][prefix.Add(b)],
-					d.parts[l][prefix.Add(c)],
-				)
+				joins = append(joins, join{curParts[prefix.Add(b)], curParts[prefix.Add(c)]})
 			}
 		}
+	}
+	partsArr := make([]*partition.Partition, len(next))
+	parallelFor(d.workers, len(next), func(wk, i int) {
+		partsArr[i] = joins[i].left.ProductWith(joins[i].right, d.scratch[wk])
+	})
+	nextParts := make(map[bitset.AttrSet]*partition.Partition, len(next))
+	for i, x := range next {
+		nextParts[x] = partsArr[i]
 	}
 	d.parts[l+1] = nextParts
 	return next
@@ -321,25 +366,11 @@ func allSubsetsPresent(x bitset.AttrSet, present map[bitset.AttrSet]bool) bool {
 	return ok
 }
 
-// emit records one discovered OD.
-func (d *discoverer) emit(od canonical.OD, stat *LevelStat) {
-	if od.Kind == canonical.Constancy {
-		stat.Constancy++
-		d.result.Counts.Constancy++
-	} else {
-		stat.OrderCompat++
-		d.result.Counts.OrderCompat++
-	}
-	d.result.Counts.Total++
-	if !d.opts.CountOnly {
-		d.result.ODs = append(d.result.ODs, od)
-	}
-}
-
 // runNoPruning enumerates the full set lattice level by level and validates
 // every candidate OD without any minimality reasoning. It reproduces the
 // "FASTOD-No Pruning" configuration of Figure 6: the output contains every
-// valid OD, including all the redundant ones.
+// valid OD, including all the redundant ones. The per-node validation uses
+// the same sharded worker pool as the pruned traversal.
 func (d *discoverer) runNoPruning() {
 	empty := bitset.AttrSet(0)
 	d.parts[0] = map[bitset.AttrSet]*partition.Partition{empty: partition.FromConstant(d.enc.NumRows())}
@@ -352,26 +383,32 @@ func (d *discoverer) runNoPruning() {
 		d.result.Stats.NodesVisited += len(level)
 		d.result.Stats.MaxLevelReached = l
 
-		for _, x := range level {
+		emitted := make([]emitBuffer, len(level))
+		shards := make([]checkShard, d.workers)
+		parallelFor(d.workers, len(level), func(wk, i int) {
+			x := level[i]
+			sh := &shards[wk]
 			attrs := x.Attrs()
 			for _, a := range attrs {
 				ctx := x.Remove(a)
-				if d.checkConstancy(ctx, x, a) {
-					d.emit(canonical.NewConstancy(ctx, a), &stat)
+				if d.checkConstancy(ctx, x, sh) {
+					d.bufferOD(&emitted[i], canonical.NewConstancy(ctx, a))
 				}
 			}
 			if l >= 2 {
-				for i := 0; i < len(attrs); i++ {
-					for j := i + 1; j < len(attrs); j++ {
-						a, b := attrs[i], attrs[j]
+				for p := 0; p < len(attrs); p++ {
+					for q := p + 1; q < len(attrs); q++ {
+						a, b := attrs[p], attrs[q]
 						ctx := x.Remove(a).Remove(b)
-						if valid, _ := d.checkOrderCompat(ctx, a, b); valid {
-							d.emit(canonical.NewOrderCompatible(ctx, a, b), &stat)
+						if valid, _ := d.checkOrderCompat(ctx, a, b, sh); valid {
+							d.bufferOD(&emitted[i], canonical.NewOrderCompatible(ctx, a, b))
 						}
 					}
 				}
 			}
-		}
+		})
+		d.mergeShards(shards)
+		d.flushEmits(emitted, &stat)
 
 		next := d.calculateNextLevel(level, l)
 		stat.Elapsed = time.Since(levelStart)

@@ -13,8 +13,19 @@ import (
 )
 
 // Options configures a discovery run. The zero value is the paper's FASTOD
-// configuration with all optimizations enabled.
+// configuration with all optimizations enabled, running one worker per
+// available CPU.
 type Options struct {
+	// Workers is the number of goroutines used to process each lattice level.
+	// Every node within a level is independent of its siblings, so the three
+	// per-node phases — candidate-set derivation, FD/swap validation and
+	// partition products — are sharded across the pool and merged
+	// deterministically at a per-level barrier: the result (ODs, counts and
+	// work counters) is identical to a sequential run regardless of the
+	// setting. 0 selects runtime.GOMAXPROCS(0); 1 forces the fully sequential
+	// path with no goroutines; values below zero are treated as 1.
+	Workers int
+
 	// DisablePruning turns off the minimality machinery entirely (candidate
 	// sets C+c/C+s, node deletion, key pruning). Every valid OD — minimal or
 	// not — is then enumerated and verified, which reproduces the

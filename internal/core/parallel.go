@@ -1,0 +1,126 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/canonical"
+)
+
+// The per-level work of FASTOD — candidate-set derivation, OD validation and
+// partition products — is embarrassingly parallel: every lattice node of a
+// level only reads state produced by previous levels. The engine therefore
+// shards each level's nodes across a small worker pool and merges the
+// per-worker results at a level barrier. All merge points are deterministic
+// (per-node output slots, counter addition in worker order), so a parallel
+// run is byte-identical to a sequential one.
+
+// resolveWorkers maps Options.Workers onto a concrete worker count:
+// 0 selects runtime.GOMAXPROCS(0), anything below 1 is clamped to 1.
+func resolveWorkers(requested int) int {
+	if requested == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if requested < 1 {
+		return 1
+	}
+	return requested
+}
+
+// parallelFor runs fn for every item index in [0, n) using at most w
+// goroutines. Items are handed out one at a time through an atomic cursor so
+// that uneven per-item costs (partition sizes vary wildly across nodes)
+// balance out without any up-front partitioning. fn receives the worker index
+// (0..w-1), which callers use to address per-worker scratch buffers and
+// counter shards without locks, and the item index, which callers use to
+// write results into per-item output slots.
+//
+// With w <= 1 or a single item the call degenerates to an inline loop with no
+// goroutines — the sequential path of the engine.
+func parallelFor(w, n int, fn func(worker, item int)) {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for wk := 0; wk < w; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(wk, i)
+			}
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// checkShard accumulates the validation counters of one worker during a
+// level. Shards are padded to a cache line so that concurrent increments by
+// neighbouring workers do not false-share; they are summed into Result.Stats
+// at the level barrier (addition commutes, so totals match the sequential
+// run exactly).
+type checkShard struct {
+	fdChecks   int
+	swapChecks int
+	keyPrunes  int
+	_          [40]byte
+}
+
+// mergeShards folds per-worker validation counters into the run totals.
+func (d *discoverer) mergeShards(shards []checkShard) {
+	for i := range shards {
+		d.result.Stats.FDChecks += shards[i].fdChecks
+		d.result.Stats.SwapChecks += shards[i].swapChecks
+		d.result.Stats.KeyPrunes += shards[i].keyPrunes
+	}
+}
+
+// emitBuffer collects the ODs discovered at a single lattice node. Each node
+// owns one buffer (indexed by its position in the level), so workers never
+// contend; buffers are flushed in node order at the level barrier, which
+// keeps the emission order identical to the sequential traversal. In
+// CountOnly mode only the per-kind counters are kept, so the no-pruning runs
+// (whose OD counts explode into the millions) stay within memory budget.
+type emitBuffer struct {
+	constancy   int
+	orderCompat int
+	ods         []canonical.OD
+}
+
+// bufferOD parks one discovered OD in a node's emission buffer.
+func (d *discoverer) bufferOD(buf *emitBuffer, od canonical.OD) {
+	if od.Kind == canonical.Constancy {
+		buf.constancy++
+	} else {
+		buf.orderCompat++
+	}
+	if !d.opts.CountOnly {
+		buf.ods = append(buf.ods, od)
+	}
+}
+
+// flushEmits merges the per-node emission buffers into the result in node
+// order — the same order the sequential traversal emits in.
+func (d *discoverer) flushEmits(bufs []emitBuffer, stat *LevelStat) {
+	for i := range bufs {
+		b := &bufs[i]
+		stat.Constancy += b.constancy
+		stat.OrderCompat += b.orderCompat
+		d.result.Counts.Constancy += b.constancy
+		d.result.Counts.OrderCompat += b.orderCompat
+		d.result.Counts.Total += b.constancy + b.orderCompat
+		d.result.ODs = append(d.result.ODs, b.ods...)
+	}
+}

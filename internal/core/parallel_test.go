@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/relation"
+)
+
+// Differential tests for the parallel engine: a parallel run must be
+// indistinguishable from a sequential one — same sorted OD list, same counts,
+// same work counters — on every dataset shape and option combination.
+
+// assertResultsEqual compares everything about two discovery results except
+// wall-clock timings.
+func assertResultsEqual(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Counts != want.Counts {
+		t.Errorf("%s: counts = %+v, want %+v", label, got.Counts, want.Counts)
+	}
+	if len(got.ODs) != len(want.ODs) {
+		t.Fatalf("%s: %d ODs, want %d", label, len(got.ODs), len(want.ODs))
+	}
+	for i := range want.ODs {
+		if !got.ODs[i].Equal(want.ODs[i]) {
+			t.Fatalf("%s: OD %d = %v, want %v", label, i, got.ODs[i], want.ODs[i])
+		}
+	}
+	if got.Stats != want.Stats {
+		t.Errorf("%s: stats = %+v, want %+v", label, got.Stats, want.Stats)
+	}
+	if len(got.Levels) != len(want.Levels) {
+		t.Fatalf("%s: %d level stats, want %d", label, len(got.Levels), len(want.Levels))
+	}
+	for i := range want.Levels {
+		g, w := got.Levels[i], want.Levels[i]
+		g.Elapsed, w.Elapsed = 0, 0
+		if g != w {
+			t.Errorf("%s: level stat %d = %+v, want %+v", label, i, got.Levels[i], want.Levels[i])
+		}
+	}
+}
+
+// differentialRelations builds the seeded datagen relations the differential
+// suite runs over: varying row counts, column counts and cardinality
+// profiles (constants, keys, FD chains, monotone families, random noise).
+func differentialRelations(t *testing.T) map[string]*relation.Encoded {
+	t.Helper()
+	rels := map[string]*relation.Relation{
+		"flight-2000x8":    datagen.FlightLike(2000, 8, 2017),
+		"flight-300x10":    datagen.FlightLike(300, 10, 7),
+		"ncvoter-1000x6":   datagen.NCVoterLike(1000, 6, 2017),
+		"hepatitis-155x8":  datagen.HepatitisLike(155, 8, 2017),
+		"dbtesma-500x8":    datagen.DBTesmaLike(500, 8, 2017),
+		"random-200x5":     datagen.RandomRelation(200, 5, 4, 42),
+		"structured-400x6": datagen.RandomStructuredRelation(400, 6, 3, 99),
+	}
+	out := make(map[string]*relation.Encoded, len(rels))
+	for name, r := range rels {
+		out[name] = encode(t, r)
+	}
+	return out
+}
+
+func TestParallelMatchesSequentialDifferential(t *testing.T) {
+	for name, enc := range differentialRelations(t) {
+		seq := discover(t, enc, Options{Workers: 1, CollectLevelStats: true})
+		par := discover(t, enc, Options{Workers: 4, CollectLevelStats: true})
+		assertResultsEqual(t, name, par, seq)
+	}
+}
+
+// TestParallelWorkerCounts sweeps worker counts, including 0 (GOMAXPROCS)
+// and counts exceeding the number of lattice nodes per level.
+func TestParallelWorkerCounts(t *testing.T) {
+	enc := encode(t, datagen.FlightLike(500, 8, 2017))
+	want := discover(t, enc, Options{Workers: 1})
+	for _, w := range []int{0, 2, 3, 4, 8, 64} {
+		got := discover(t, enc, Options{Workers: w})
+		assertResultsEqual(t, fmt.Sprintf("workers=%d", w), got, want)
+	}
+	// Negative values clamp to the sequential path.
+	got := discover(t, enc, Options{Workers: -3})
+	assertResultsEqual(t, "workers=-3", got, want)
+}
+
+// TestParallelOptionVariants runs the differential check across the engine's
+// option surface: ablations, no-pruning, count-only and depth limits all must
+// be worker-count invariant.
+func TestParallelOptionVariants(t *testing.T) {
+	enc := encode(t, datagen.FlightLike(400, 8, 2017))
+	variants := map[string]Options{
+		"default":           {},
+		"no-pruning":        {DisablePruning: true},
+		"no-pruning-counts": {DisablePruning: true, CountOnly: true},
+		"count-only":        {CountOnly: true},
+		"no-key-pruning":    {DisableKeyPruning: true},
+		"no-node-pruning":   {DisableNodePruning: true},
+		"naive-swap":        {NaiveSwapCheck: true},
+		"max-level-3":       {MaxLevel: 3, CollectLevelStats: true},
+	}
+	for name, opts := range variants {
+		seqOpts, parOpts := opts, opts
+		seqOpts.Workers = 1
+		parOpts.Workers = 4
+		seq := discover(t, enc, seqOpts)
+		par := discover(t, enc, parOpts)
+		assertResultsEqual(t, name, par, seq)
+	}
+}
+
+// TestParallelDiscoverConcurrentCallers exercises the engine's only intended
+// sharing model — none: independent discoveries, each internally parallel,
+// run concurrently over the same encoded relation. Run under -race this
+// doubles as the data-race probe for the level-barrier design.
+func TestParallelDiscoverConcurrentCallers(t *testing.T) {
+	enc := encode(t, datagen.FlightLike(300, 8, 2017))
+	want := discover(t, enc, Options{Workers: 1})
+
+	const callers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := Discover(enc, Options{Workers: 4})
+			if err != nil {
+				errs <- fmt.Errorf("caller %d: %v", g, err)
+				return
+			}
+			if res.Counts != want.Counts || len(res.ODs) != len(want.ODs) {
+				errs <- fmt.Errorf("caller %d: counts %+v, want %+v", g, res.Counts, want.Counts)
+				return
+			}
+			for i := range want.ODs {
+				if !res.ODs[i].Equal(want.ODs[i]) {
+					errs <- fmt.Errorf("caller %d: OD %d = %v, want %v", g, i, res.ODs[i], want.ODs[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := resolveWorkers(1); got != 1 {
+		t.Errorf("resolveWorkers(1) = %d", got)
+	}
+	if got := resolveWorkers(7); got != 7 {
+		t.Errorf("resolveWorkers(7) = %d", got)
+	}
+	if got := resolveWorkers(-2); got != 1 {
+		t.Errorf("resolveWorkers(-2) = %d", got)
+	}
+	if got := resolveWorkers(0); got < 1 {
+		t.Errorf("resolveWorkers(0) = %d, want >= 1", got)
+	}
+}
+
+func TestParallelForCoversAllItems(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 9} {
+		const n = 1000
+		hits := make([]int32, n)
+		var mu sync.Mutex
+		workersSeen := map[int]bool{}
+		parallelFor(w, n, func(wk, i int) {
+			mu.Lock()
+			hits[i]++
+			workersSeen[wk] = true
+			mu.Unlock()
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("w=%d: item %d processed %d times", w, i, h)
+			}
+		}
+		for wk := range workersSeen {
+			if wk < 0 || wk >= w {
+				t.Fatalf("w=%d: worker index %d out of range", w, wk)
+			}
+		}
+	}
+	// Zero items must not call fn at all.
+	parallelFor(4, 0, func(_, _ int) { t.Fatal("fn called for empty range") })
+}

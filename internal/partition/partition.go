@@ -114,38 +114,90 @@ func (p *Partition) String() string {
 // standard probe-table construction: tuples that share a class in both inputs
 // share a class in the product. This is the only operation FASTOD needs to
 // derive the partitions of level l+1 nodes from level l nodes.
+//
+// Product allocates a fresh workspace per call; hot loops that compute many
+// products (the level-generation phase of FASTOD) should hold a Scratch and
+// call ProductWith instead.
 func Product(a, b *Partition) *Partition {
+	return a.ProductWith(b, nil)
+}
+
+// Scratch is a reusable workspace for ProductWith. A single Scratch may be
+// reused across any number of products, over relations of any size — it grows
+// as needed and cleans up after itself — but it must not be shared between
+// goroutines: parallel callers hold one Scratch per worker.
+type Scratch struct {
+	// probe[row] = index of row's class in the left operand, or -1 if the row
+	// is a singleton there. All entries are -1 between calls.
+	probe []int32
+	// groups[ci] collects the rows of the current right-operand class that
+	// fall into left class ci. Each bucket is emptied (length reset, capacity
+	// kept) before the next class, so its backing arrays amortize across the
+	// whole run.
+	groups [][]int32
+	// touched lists the left classes dirtied by the current right class.
+	touched []int32
+}
+
+// NewScratch returns an empty workspace ready for ProductWith.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// ProductWith computes Product(a, b) using s as scratch space, avoiding the
+// per-call probe-table and grouping allocations. A nil scratch is allowed and
+// makes the call equivalent to Product(a, b). The result is a freshly
+// allocated Partition identical to Product's.
+func (a *Partition) ProductWith(b *Partition, s *Scratch) *Partition {
 	if a.NumRows != b.NumRows {
 		panic(fmt.Sprintf("partition: product over different relations (%d vs %d rows)", a.NumRows, b.NumRows))
 	}
-	// probe[row] = index of row's class in a, or -1 if row is a singleton in a.
-	probe := make([]int32, a.NumRows)
-	for i := range probe {
-		probe[i] = -1
+	if s == nil {
+		s = NewScratch()
+	}
+	if len(s.probe) < a.NumRows {
+		grown := make([]int32, a.NumRows)
+		for i := range grown {
+			grown[i] = -1
+		}
+		s.probe = grown
+	}
+	if len(s.groups) < len(a.Classes) {
+		grown := make([][]int32, len(a.Classes))
+		copy(grown, s.groups)
+		s.groups = grown
 	}
 	for ci, cls := range a.Classes {
 		for _, row := range cls {
-			probe[row] = int32(ci)
+			s.probe[row] = int32(ci)
 		}
 	}
 	out := &Partition{NumRows: a.NumRows}
 	// For each class of b, group its rows by their class in a.
-	groups := make(map[int32][]int32)
 	for _, cls := range b.Classes {
+		s.touched = s.touched[:0]
 		for _, row := range cls {
-			ca := probe[row]
+			ca := s.probe[row]
 			if ca < 0 {
 				continue // singleton in a => singleton in the product
 			}
-			groups[ca] = append(groups[ca], row)
+			if len(s.groups[ca]) == 0 {
+				s.touched = append(s.touched, ca)
+			}
+			s.groups[ca] = append(s.groups[ca], row)
 		}
-		for key, rows := range groups {
+		for _, ca := range s.touched {
+			rows := s.groups[ca]
 			if len(rows) >= 2 {
 				cc := make([]int32, len(rows))
 				copy(cc, rows)
 				out.Classes = append(out.Classes, cc)
 			}
-			delete(groups, key)
+			s.groups[ca] = rows[:0]
+		}
+	}
+	// Restore the all--1 probe invariant for the next call.
+	for _, cls := range a.Classes {
+		for _, row := range cls {
+			s.probe[row] = -1
 		}
 	}
 	sortClasses(out.Classes)
