@@ -28,6 +28,7 @@ type (
 // comparison point of the paper's Experiment 4; it cannot see order
 // semantics.
 func (d *Dataset) DiscoverFDs(opts TANEOptions) (*TANEResult, error) {
+	opts.Partitions = d.partitions(opts.Partitions)
 	return tane.Discover(d.enc, opts)
 }
 

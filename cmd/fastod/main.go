@@ -25,7 +25,7 @@ func main() {
 		input     = flag.String("input", "", "path to a CSV file with a header row (required)")
 		algorithm = flag.String("algorithm", "fastod", "algorithm to run: fastod, tane or order")
 		maxLevel  = flag.Int("max-level", 0, "stop after this lattice level (0 = unlimited)")
-		workers   = flag.Int("workers", 0, "worker goroutines per lattice level (0 = all CPUs, 1 = sequential; FASTOD only)")
+		workers   = flag.Int("workers", 0, "worker goroutines per lattice level (0 = all CPUs, 1 = sequential; FASTOD and TANE)")
 		noPrune   = flag.Bool("no-pruning", false, "disable pruning and report every valid OD (FASTOD only)")
 		countOnly = flag.Bool("count-only", false, "only report OD counts, not the ODs themselves")
 		levels    = flag.Bool("levels", false, "print per-lattice-level statistics (FASTOD only)")
@@ -110,7 +110,7 @@ func run(cfg config) error {
 		return nil
 
 	case "tane":
-		res, err := ds.DiscoverFDs(fastod.TANEOptions{MaxLevel: cfg.maxLevel})
+		res, err := ds.DiscoverFDs(fastod.TANEOptions{MaxLevel: cfg.maxLevel, Workers: cfg.workers})
 		if err != nil {
 			return err
 		}

@@ -28,7 +28,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "use the reduced-scale configuration")
 		input   = flag.String("input", "", "CSV file for -fig single")
 		seed    = flag.Int64("seed", 2017, "random seed for dataset generation")
-		workers = flag.Int("workers", 1, "FASTOD worker goroutines per lattice level (1 = sequential, matching the single-threaded baselines; 0 = all CPUs)")
+		workers = flag.Int("workers", 1, "FASTOD/TANE worker goroutines per lattice level (1 = sequential, matching the paper's single-threaded runs; 0 = all CPUs)")
 	)
 	flag.Parse()
 

@@ -31,6 +31,7 @@ type (
 // fraction of tuples that must be removed for the OD to hold exactly) is at
 // most the configured threshold. Threshold 0 coincides with exact discovery.
 func (d *Dataset) DiscoverApproximate(opts ApproxOptions) (*ApproxResult, error) {
+	opts.Partitions = d.partitions(opts.Partitions)
 	return approx.Discover(d.enc, opts)
 }
 
@@ -76,6 +77,7 @@ const (
 // constancy ODs plus order-compatibility ODs annotated with whether the two
 // attributes move together or in opposite directions.
 func (d *Dataset) DiscoverBidirectional(opts BidirOptions) (*BidirResult, error) {
+	opts.Partitions = d.partitions(opts.Partitions)
 	return bidir.Discover(d.enc, opts)
 }
 

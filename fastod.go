@@ -32,6 +32,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/canonical"
 	"repro/internal/core"
+	"repro/internal/lattice"
 	"repro/internal/listod"
 	"repro/internal/relation"
 )
@@ -62,7 +63,22 @@ type (
 	Spec = listod.Spec
 	// ListOD is a list-based order dependency Left ↦ Right.
 	ListOD = listod.OD
+	// PartitionStore is a bounded, concurrency-safe cache of stripped
+	// partitions keyed by attribute set, shared between discovery runs over
+	// the same relation (see Dataset.EnablePartitionCache and
+	// Options.Partitions).
+	PartitionStore = lattice.PartitionStore
+	// StoreStats is a snapshot of a PartitionStore's accounting.
+	StoreStats = lattice.StoreStats
 )
+
+// NewPartitionStore builds an empty partition store bounded to maxCost
+// retained row references; maxCost <= 0 selects a ~16 MiB default. A store
+// must only ever be shared between discovery runs over the same relation
+// instance.
+func NewPartitionStore(maxCost int) *PartitionStore {
+	return lattice.NewPartitionStore(maxCost)
+}
 
 // Kinds of canonical ODs.
 const (
@@ -92,10 +108,12 @@ func NewCover(ods []OD) *Cover { return canonical.NewCover(ods) }
 func MinimizeODs(ods []OD) []OD { return canonical.Minimize(ods) }
 
 // Dataset is a loaded relation instance ready for discovery: the raw typed
-// table plus its order-preserving integer encoding.
+// table plus its order-preserving integer encoding, and optionally a shared
+// partition cache (see EnablePartitionCache).
 type Dataset struct {
-	rel *relation.Relation
-	enc *relation.Encoded
+	rel   *relation.Relation
+	enc   *relation.Encoded
+	parts *lattice.PartitionStore
 }
 
 // LoadCSVFile reads a CSV file with a header row, sniffs column types
@@ -165,9 +183,37 @@ func (d *Dataset) HeadRows(n int) *Dataset {
 	return &Dataset{rel: d.rel, enc: d.enc.HeadRows(n)}
 }
 
+// EnablePartitionCache attaches a bounded partition store to the dataset:
+// every subsequent discovery run on it — FASTOD (pruned or un-pruned), TANE,
+// approximate and bidirectional — reuses the stripped partitions earlier
+// runs computed instead of re-deriving them, which is what repeated
+// profiling workloads (e.g. discovery behind the advisor, or comparing
+// algorithms on one table) spend most of their time on. maxCost bounds the
+// cache in retained row references (<= 0 selects a ~16 MiB default), and
+// least-recently-used partitions are evicted beyond it. The first call wins:
+// once the dataset carries a store, later calls return it unchanged and
+// their maxCost is ignored. The store is returned so callers can inspect
+// its Stats. Discovery output is identical with and without the cache.
+func (d *Dataset) EnablePartitionCache(maxCost int) *PartitionStore {
+	if d.parts == nil {
+		d.parts = lattice.NewPartitionStore(maxCost)
+	}
+	return d.parts
+}
+
+// partitions returns the dataset's shared store unless the caller supplied
+// its own in the run options.
+func (d *Dataset) partitions(explicit *lattice.PartitionStore) *lattice.PartitionStore {
+	if explicit != nil {
+		return explicit
+	}
+	return d.parts
+}
+
 // Discover runs FASTOD over the dataset and returns the complete, minimal set
 // of canonical ODs (or all valid ODs with Options.DisablePruning).
 func (d *Dataset) Discover(opts Options) (*Result, error) {
+	opts.Partitions = d.partitions(opts.Partitions)
 	return core.Discover(d.enc, opts)
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/canonical"
+	"repro/internal/lattice"
 	"repro/internal/partition"
 	"repro/internal/relation"
 )
@@ -19,6 +20,13 @@ type Options struct {
 	// MaxLevel, when positive, bounds the lattice level processed (context
 	// size + right-hand attributes), which bounds cost on wide schemas.
 	MaxLevel int
+	// Workers is the number of goroutines used per lattice level, with the
+	// same convention as core.Options.Workers (0 = GOMAXPROCS, 1 =
+	// sequential). The output is identical regardless of the setting.
+	Workers int
+	// Partitions, when non-nil, shares stripped partitions with other runs
+	// over the same relation; see core.Options.Partitions.
+	Partitions *lattice.PartitionStore
 }
 
 // Discovered is one approximate OD in the output, together with its error.
@@ -53,10 +61,11 @@ func (r *Result) Counts() canonical.Count {
 // analogue of the Propagate rule, which holds because removing the tuples
 // that break the constancy of A also removes every swap between A and B.
 //
-// The traversal is level-wise over the set-containment lattice like FASTOD,
-// but validates candidates by computing their error directly; it trades some
-// of FASTOD's pruning for simplicity since thresholds are typically used on
-// modest schemas during data profiling.
+// The traversal is level-wise over the set-containment lattice — driven by
+// the shared engine in internal/lattice, like FASTOD — but validates
+// candidates by computing their error directly; it trades some of FASTOD's
+// pruning for simplicity since thresholds are typically used on modest
+// schemas during data profiling.
 func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 	if enc == nil || enc.NumCols() == 0 {
 		return nil, fmt.Errorf("approx: empty relation")
@@ -68,8 +77,16 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("approx: threshold %v outside [0, 1)", opts.Threshold)
 	}
 	start := time.Now()
-	n := enc.NumCols()
 	res := &Result{}
+
+	eng, err := lattice.New(enc, lattice.Config{
+		Workers:  opts.Workers,
+		MaxLevel: opts.MaxLevel,
+		Store:    opts.Partitions,
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	// satisfiedConst[a] lists contexts where a is approximately constant;
 	// satisfiedOC[pair] lists contexts where the pair is approximately order
@@ -83,17 +100,6 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 			}
 		}
 		return false
-	}
-
-	parts := map[int]map[bitset.AttrSet]*partition.Partition{
-		0: {bitset.AttrSet(0): partition.FromConstant(enc.NumRows())},
-		1: {},
-	}
-	var level []bitset.AttrSet
-	for a := 0; a < n; a++ {
-		s := bitset.NewAttrSet(a)
-		level = append(level, s)
-		parts[1][s] = partition.FromColumn(enc.Column(a), enc.Cardinality[a])
 	}
 
 	colErr := func(ctxPart *partition.Partition, a int) Error {
@@ -124,81 +130,67 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 		return newError(removals, enc.NumRows())
 	}
 
-	for l := 1; len(level) > 0 && (opts.MaxLevel <= 0 || l <= opts.MaxLevel); l++ {
-		res.NodesVisited += len(level)
-		for _, x := range level {
-			xPart := parts[l][x]
-			_ = xPart
+	// Per-node validation reads only the satisfied-lists as frozen at the
+	// level barrier — equivalent to the sequential in-level ordering, since
+	// everything a level adds has a context of the level's own candidate
+	// sizes (l-1 / l-2) and a same-sized subset is an equal set, which only
+	// the same node could have produced. Nodes are therefore sharded across
+	// the worker pool, with per-node emission buffers merged in node order.
+	eng.Run(func(l int, level []bitset.AttrSet) []bitset.AttrSet {
+		bufs := make([][]Discovered, len(level))
+		eng.ParallelFor(len(level), func(_, i int) {
+			x := level[i]
 			// Constancy candidates: X\A: [] ↦ A.
 			for _, a := range x.Attrs() {
 				ctx := x.Remove(a)
 				if hasSubset(satisfiedConst[a], ctx) {
 					continue // not minimal
 				}
-				e := colErr(parts[l-1][ctx], a)
+				e := colErr(eng.Partition(ctx), a)
 				if e.Rate <= opts.Threshold {
-					satisfiedConst[a] = append(satisfiedConst[a], ctx)
-					res.ODs = append(res.ODs, Discovered{OD: canonical.NewConstancy(ctx, a), Error: e})
+					bufs[i] = append(bufs[i], Discovered{OD: canonical.NewConstancy(ctx, a), Error: e})
 				}
 			}
 			// Order-compatibility candidates: X\{A,B}: A ~ B.
-			if l >= 2 {
-				attrs := x.Attrs()
-				for i := 0; i < len(attrs); i++ {
-					for j := i + 1; j < len(attrs); j++ {
-						a, b := attrs[i], attrs[j]
-						ctx := x.Remove(a).Remove(b)
-						p := bitset.NewPair(a, b)
-						if hasSubset(satisfiedOC[p], ctx) {
-							continue // not minimal (Augmentation-II analogue)
-						}
-						if hasSubset(satisfiedConst[a], ctx) || hasSubset(satisfiedConst[b], ctx) {
-							continue // not minimal (Propagate analogue)
-						}
-						e := pairErr(parts[l-2][ctx], a, b)
-						if e.Rate <= opts.Threshold {
-							satisfiedOC[p] = append(satisfiedOC[p], ctx)
-							res.ODs = append(res.ODs, Discovered{OD: canonical.NewOrderCompatible(ctx, a, b), Error: e})
-						}
+			if l < 2 {
+				return
+			}
+			attrs := x.Attrs()
+			for p := 0; p < len(attrs); p++ {
+				for q := p + 1; q < len(attrs); q++ {
+					a, b := attrs[p], attrs[q]
+					ctx := x.Remove(a).Remove(b)
+					if hasSubset(satisfiedOC[bitset.NewPair(a, b)], ctx) {
+						continue // not minimal (Augmentation-II analogue)
+					}
+					if hasSubset(satisfiedConst[a], ctx) || hasSubset(satisfiedConst[b], ctx) {
+						continue // not minimal (Propagate analogue)
+					}
+					e := pairErr(eng.Partition(ctx), a, b)
+					if e.Rate <= opts.Threshold {
+						bufs[i] = append(bufs[i], Discovered{OD: canonical.NewOrderCompatible(ctx, a, b), Error: e})
 					}
 				}
 			}
+		})
+		// Level barrier: emit in node order and fold the discoveries into the
+		// satisfied-lists the next level's minimality checks read.
+		for _, buf := range bufs {
+			for _, d := range buf {
+				res.ODs = append(res.ODs, d)
+				if d.OD.Kind == canonical.Constancy {
+					satisfiedConst[d.OD.A] = append(satisfiedConst[d.OD.A], d.OD.Context)
+				} else {
+					pair := bitset.NewPair(d.OD.A, d.OD.B)
+					satisfiedOC[pair] = append(satisfiedOC[pair], d.OD.Context)
+				}
+			}
 		}
-		level, parts[l+1] = nextLevel(level, parts[l])
-		delete(parts, l-2)
-	}
+		return level
+	})
+	res.NodesVisited = eng.Stats().NodesVisited
 
 	sort.Slice(res.ODs, func(i, j int) bool { return canonical.Less(res.ODs[i].OD, res.ODs[j].OD) })
 	res.Elapsed = time.Since(start)
 	return res, nil
-}
-
-// nextLevel joins prefix blocks exactly like the exact algorithms do.
-func nextLevel(level []bitset.AttrSet, parts map[bitset.AttrSet]*partition.Partition) ([]bitset.AttrSet, map[bitset.AttrSet]*partition.Partition) {
-	blocks := make(map[bitset.AttrSet][]int)
-	for _, x := range level {
-		attrs := x.Attrs()
-		last := attrs[len(attrs)-1]
-		blocks[x.Remove(last)] = append(blocks[x.Remove(last)], last)
-	}
-	prefixes := make([]bitset.AttrSet, 0, len(blocks))
-	for p := range blocks {
-		prefixes = append(prefixes, p)
-	}
-	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
-
-	var next []bitset.AttrSet
-	nextParts := make(map[bitset.AttrSet]*partition.Partition)
-	for _, prefix := range prefixes {
-		members := blocks[prefix]
-		sort.Ints(members)
-		for i := 0; i < len(members); i++ {
-			for j := i + 1; j < len(members); j++ {
-				x := prefix.Add(members[i]).Add(members[j])
-				next = append(next, x)
-				nextParts[x] = partition.Product(parts[prefix.Add(members[i])], parts[prefix.Add(members[j])])
-			}
-		}
-	}
-	return next, nextParts
 }

@@ -169,3 +169,82 @@ func TestDiscoverReportedODsAreMinimal(t *testing.T) {
 		}
 	}
 }
+
+// differentialRelations builds the seeded datagen relations the differential
+// suite runs over, mirroring internal/core/parallel_test.go (approximate
+// discovery enumerates the full lattice, so the shapes are kept moderate).
+func differentialRelations(t *testing.T) map[string]*relation.Encoded {
+	t.Helper()
+	rels := map[string]*relation.Relation{
+		"flight-500x8":     datagen.FlightLike(500, 8, 2017),
+		"ncvoter-400x6":    datagen.NCVoterLike(400, 6, 2017),
+		"hepatitis-155x8":  datagen.HepatitisLike(155, 8, 2017),
+		"random-200x5":     datagen.RandomRelation(200, 5, 4, 42),
+		"structured-400x6": datagen.RandomStructuredRelation(400, 6, 3, 99),
+	}
+	out := make(map[string]*relation.Encoded, len(rels))
+	for name, r := range rels {
+		out[name] = encode(t, r)
+	}
+	return out
+}
+
+// TestParallelMatchesSequentialDifferential: a Workers=4 run must be
+// indistinguishable from a Workers=1 run — same sorted OD list with the same
+// measured errors, same node counter — on every seeded dataset, at an exact
+// and a lenient threshold.
+func TestParallelMatchesSequentialDifferential(t *testing.T) {
+	for name, enc := range differentialRelations(t) {
+		for _, threshold := range []float64{0, 0.05} {
+			seq, err := Discover(enc, Options{Workers: 1, Threshold: threshold})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			par, err := Discover(enc, Options{Workers: 4, Threshold: threshold})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if par.NodesVisited != seq.NodesVisited {
+				t.Errorf("%s@%v: NodesVisited = %d, want %d", name, threshold, par.NodesVisited, seq.NodesVisited)
+			}
+			if len(par.ODs) != len(seq.ODs) {
+				t.Fatalf("%s@%v: %d ODs, want %d", name, threshold, len(par.ODs), len(seq.ODs))
+			}
+			for i := range seq.ODs {
+				if par.ODs[i] != seq.ODs[i] {
+					t.Fatalf("%s@%v: OD %d = %+v, want %+v", name, threshold, i, par.ODs[i], seq.ODs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelWorkerCounts sweeps worker counts on one dataset, including 0
+// (GOMAXPROCS), oversubscription and the MaxLevel bound.
+func TestParallelWorkerCounts(t *testing.T) {
+	enc := encode(t, datagen.FlightLike(300, 6, 2017))
+	for _, opts := range []Options{{Threshold: 0.02}, {Threshold: 0.02, MaxLevel: 3}} {
+		seqOpts := opts
+		seqOpts.Workers = 1
+		want, err := Discover(enc, seqOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{0, 2, 8, 64, -3} {
+			parOpts := opts
+			parOpts.Workers = w
+			got, err := Discover(enc, parOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.ODs) != len(want.ODs) {
+				t.Fatalf("workers=%d maxlevel=%d: %d ODs, want %d", w, opts.MaxLevel, len(got.ODs), len(want.ODs))
+			}
+			for i := range want.ODs {
+				if got.ODs[i] != want.ODs[i] {
+					t.Fatalf("workers=%d: OD %d = %+v, want %+v", w, i, got.ODs[i], want.ODs[i])
+				}
+			}
+		}
+	}
+}

@@ -120,8 +120,8 @@ func RunFASTOD(enc *relation.Encoded, dataset string, opts core.Options) (Measur
 }
 
 // RunTANE measures one TANE run.
-func RunTANE(enc *relation.Encoded, dataset string) (Measurement, error) {
-	res, err := tane.Discover(enc, tane.Options{})
+func RunTANE(enc *relation.Encoded, dataset string, opts tane.Options) (Measurement, error) {
+	res, err := tane.Discover(enc, opts)
 	if err != nil {
 		return Measurement{}, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/order"
+	"repro/internal/tane"
 )
 
 func TestGenerators(t *testing.T) {
@@ -60,7 +61,7 @@ func TestRunnersProduceMeasurements(t *testing.T) {
 		t.Errorf("no-pruning found fewer ODs (%d) than pruned (%d)", mNP.Counts.Total, mF.Counts.Total)
 	}
 
-	mT, err := RunTANE(enc, "flight")
+	mT, err := RunTANE(enc, "flight", tane.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

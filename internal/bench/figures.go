@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/order"
 	"repro/internal/relation"
+	"repro/internal/tane"
 )
 
 // Config scales the experiments. The paper runs on hundreds of thousands of
@@ -17,11 +18,13 @@ import (
 type Config struct {
 	// Seed makes dataset generation deterministic.
 	Seed int64
-	// Workers is passed through to core.Options.Workers for every FASTOD run.
-	// DefaultConfig and QuickConfig pin it to 1 (sequential): the figures
-	// compare FASTOD against the single-threaded TANE/ORDER baselines, so a
-	// parallel FASTOD would inflate the speedup relative to the paper. Set 0
-	// (all CPUs) or higher explicitly to measure the parallel engine.
+	// Workers is passed through to Options.Workers for every FASTOD and TANE
+	// run (both share the level-parallel lattice engine). DefaultConfig and
+	// QuickConfig pin it to 1 (sequential) so the figures stay comparable
+	// with the paper's single-threaded measurements; set 0 (all CPUs) or
+	// higher explicitly to measure the parallel engine. ORDER remains
+	// single-threaded (its depth-first list-lattice search does not go
+	// through the engine).
 	Workers int
 	// ORDERBudget bounds each ORDER run (it is factorial in attributes).
 	ORDERBudget order.Options
@@ -100,7 +103,7 @@ func Figure4(cfg Config) ([]Measurement, error) {
 			if err != nil {
 				return nil, err
 			}
-			m, err := RunTANE(enc, name)
+			m, err := RunTANE(enc, name, tane.Options{Workers: cfg.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -135,7 +138,7 @@ func Figure5(cfg Config) ([]Measurement, error) {
 			if err != nil {
 				return nil, err
 			}
-			m, err := RunTANE(enc, gen.Name)
+			m, err := RunTANE(enc, gen.Name, tane.Options{Workers: cfg.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -255,7 +258,7 @@ func FormatLevelTable(title string, ms []LevelMeasurement) string {
 // odbench "single" mode used for ad-hoc comparisons on user CSV files.
 func Table1(enc *relation.Encoded, name string, budget order.Options, workers int) ([]Measurement, error) {
 	var out []Measurement
-	m, err := RunTANE(enc, name)
+	m, err := RunTANE(enc, name, tane.Options{Workers: workers})
 	if err != nil {
 		return nil, err
 	}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/canonical"
+	"repro/internal/lattice"
 	"repro/internal/partition"
 	"repro/internal/relation"
 )
@@ -283,6 +284,13 @@ func checkAttrs(enc *relation.Encoded, od OD) error {
 type Options struct {
 	// MaxLevel, when positive, bounds the processed lattice level.
 	MaxLevel int
+	// Workers is the number of goroutines used per lattice level, with the
+	// same convention as core.Options.Workers (0 = GOMAXPROCS, 1 =
+	// sequential). The output is identical regardless of the setting.
+	Workers int
+	// Partitions, when non-nil, shares stripped partitions with other runs
+	// over the same relation; see core.Options.Partitions.
+	Partitions *lattice.PartitionStore
 }
 
 // Result is the outcome of bidirectional discovery.
@@ -311,6 +319,15 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 	n := enc.NumCols()
 	res := &Result{}
 
+	eng, err := lattice.New(enc, lattice.Config{
+		Workers:  opts.Workers,
+		MaxLevel: opts.MaxLevel,
+		Store:    opts.Partitions,
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	type polKey struct {
 		pair bitset.Pair
 		pol  Polarity
@@ -332,46 +349,42 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 		reversed[a] = reverseRanks(enc.Column(a), enc.Cardinality[a])
 	}
 
-	parts := map[int]map[bitset.AttrSet]*partition.Partition{
-		0: {bitset.AttrSet(0): partition.FromConstant(enc.NumRows())},
-		1: {},
-	}
-	var level []bitset.AttrSet
-	for a := 0; a < n; a++ {
-		s := bitset.NewAttrSet(a)
-		level = append(level, s)
-		parts[1][s] = partition.FromColumn(enc.Column(a), enc.Cardinality[a])
-	}
-
-	for l := 1; len(level) > 0 && (opts.MaxLevel <= 0 || l <= opts.MaxLevel); l++ {
-		res.NodesVisited += len(level)
-		for _, x := range level {
+	// Per-node discovery only reads the satisfied-lists as frozen at the
+	// level barrier, which is equivalent to the sequential in-level ordering:
+	// everything a level adds has a context of the level's own candidate
+	// sizes (l-1 for constancy, l-2 for order compatibility), and a
+	// same-sized subset is an equal set — which can only originate from the
+	// same (unique) node. Nodes therefore never observe each other's in-level
+	// discoveries, and the engine shards them across the worker pool with
+	// per-node emission buffers merged back in node order.
+	eng.Run(func(l int, level []bitset.AttrSet) []bitset.AttrSet {
+		bufs := make([][]OD, len(level))
+		eng.ParallelFor(len(level), func(_, i int) {
+			x := level[i]
 			for _, a := range x.Attrs() {
 				ctx := x.Remove(a)
 				if hasSubset(satisfiedConst[a], ctx) {
 					continue
 				}
-				if parts[l-1][ctx].ConstantInClasses(enc.Column(a)) {
-					satisfiedConst[a] = append(satisfiedConst[a], ctx)
-					res.ODs = append(res.ODs, NewConstancy(ctx, a))
+				if eng.Partition(ctx).ConstantInClasses(enc.Column(a)) {
+					bufs[i] = append(bufs[i], NewConstancy(ctx, a))
 				}
 			}
 			if l < 2 {
-				continue
+				return
 			}
 			attrs := x.Attrs()
-			for i := 0; i < len(attrs); i++ {
-				for j := i + 1; j < len(attrs); j++ {
-					a, b := attrs[i], attrs[j]
+			for p := 0; p < len(attrs); p++ {
+				for q := p + 1; q < len(attrs); q++ {
+					a, b := attrs[p], attrs[q]
 					ctx := x.Remove(a).Remove(b)
 					if hasSubset(satisfiedConst[a], ctx) || hasSubset(satisfiedConst[b], ctx) {
 						continue // Propagate: constant attributes are compatible both ways
 					}
-					ctxPart := parts[l-2][ctx]
+					ctxPart := eng.Partition(ctx)
 					pair := bitset.NewPair(a, b)
 					for _, pol := range []Polarity{SameDirection, OppositeDirection} {
-						key := polKey{pair: pair, pol: pol}
-						if hasSubset(satisfiedOC[key], ctx) {
+						if hasSubset(satisfiedOC[polKey{pair: pair, pol: pol}], ctx) {
 							continue
 						}
 						colB := enc.Column(b)
@@ -379,16 +392,28 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 							colB = reversed[b]
 						}
 						if !ctxPart.HasSwap(enc.Column(a), colB) {
-							satisfiedOC[key] = append(satisfiedOC[key], ctx)
-							res.ODs = append(res.ODs, NewOrderCompatible(ctx, a, b, pol))
+							bufs[i] = append(bufs[i], NewOrderCompatible(ctx, a, b, pol))
 						}
 					}
 				}
 			}
+		})
+		// Level barrier: emit in node order and fold the discoveries into the
+		// satisfied-lists the next level's minimality checks read.
+		for _, buf := range bufs {
+			for _, od := range buf {
+				res.ODs = append(res.ODs, od)
+				if od.Kind == canonical.Constancy {
+					satisfiedConst[od.A] = append(satisfiedConst[od.A], od.Context)
+				} else {
+					key := polKey{pair: bitset.NewPair(od.A, od.B), pol: od.Polarity}
+					satisfiedOC[key] = append(satisfiedOC[key], od.Context)
+				}
+			}
 		}
-		level, parts[l+1] = nextLevel(level, parts[l])
-		delete(parts, l-2)
-	}
+		return level
+	})
+	res.NodesVisited = eng.Stats().NodesVisited
 
 	sort.Slice(res.ODs, func(i, j int) bool { return less(res.ODs[i], res.ODs[j]) })
 	res.Elapsed = time.Since(start)
@@ -414,31 +439,3 @@ func less(a, b OD) bool {
 	return a.Polarity < b.Polarity
 }
 
-func nextLevel(level []bitset.AttrSet, parts map[bitset.AttrSet]*partition.Partition) ([]bitset.AttrSet, map[bitset.AttrSet]*partition.Partition) {
-	blocks := make(map[bitset.AttrSet][]int)
-	for _, x := range level {
-		attrs := x.Attrs()
-		last := attrs[len(attrs)-1]
-		blocks[x.Remove(last)] = append(blocks[x.Remove(last)], last)
-	}
-	prefixes := make([]bitset.AttrSet, 0, len(blocks))
-	for p := range blocks {
-		prefixes = append(prefixes, p)
-	}
-	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
-
-	var next []bitset.AttrSet
-	nextParts := make(map[bitset.AttrSet]*partition.Partition)
-	for _, prefix := range prefixes {
-		members := blocks[prefix]
-		sort.Ints(members)
-		for i := 0; i < len(members); i++ {
-			for j := i + 1; j < len(members); j++ {
-				x := prefix.Add(members[i]).Add(members[j])
-				next = append(next, x)
-				nextParts[x] = partition.Product(parts[prefix.Add(members[i])], parts[prefix.Add(members[j])])
-			}
-		}
-	}
-	return next, nextParts
-}

@@ -85,6 +85,11 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Condition slices are distinct relations; a partition store supplied for
+	// the global run must not leak into them (a store is bound to exactly one
+	// relation instance).
+	sliceOpts := opts.Discovery
+	sliceOpts.Partitions = nil
 	globalCover := canonical.NewCover(global.ODs)
 	res := &Result{Global: global}
 
@@ -121,7 +126,7 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			sliceRes, err := core.Discover(slice, opts.Discovery)
+			sliceRes, err := core.Discover(slice, sliceOpts)
 			if err != nil {
 				return nil, err
 			}

@@ -2,12 +2,11 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/canonical"
-	"repro/internal/partition"
+	"repro/internal/lattice"
 	"repro/internal/relation"
 )
 
@@ -25,7 +24,10 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: relation has %d columns, maximum is %d", enc.NumCols(), bitset.MaxAttrs)
 	}
 	start := time.Now()
-	d := newDiscoverer(enc, opts)
+	d, err := newDiscoverer(enc, opts)
+	if err != nil {
+		return nil, err
+	}
 	if opts.DisablePruning {
 		d.runNoPruning()
 	} else {
@@ -41,99 +43,96 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// discoverer carries the per-run state of the level-wise traversal.
+// discoverer carries the per-run state of the level-wise traversal. The
+// traversal itself — node generation, partition products and retention, the
+// worker pool — is owned by the shared lattice engine; this type contributes
+// FASTOD's candidate-set bookkeeping (Algorithms 3 and 4) through the
+// engine's per-level visit callback.
 type discoverer struct {
 	enc  *relation.Encoded
 	opts Options
 
 	numAttrs int
 	all      bitset.AttrSet // the full schema R
-	workers  int            // resolved worker count (>= 1)
+	eng      *lattice.Engine
 
-	// Per-level state, keyed by lattice level. Only the last three levels of
-	// partitions and the last two levels of candidate sets are retained.
-	// These maps are written solely at level barriers and are read-only while
-	// a level's nodes are being processed in parallel.
-	parts map[int]map[bitset.AttrSet]*partition.Partition
-	cc    map[int]map[bitset.AttrSet]bitset.AttrSet
-	cs    map[int]map[bitset.AttrSet]*bitset.PairSet
+	// Candidate sets per level: only the last two levels are retained. The
+	// maps are written solely at level barriers and are read-only while a
+	// level's nodes are being processed in parallel.
+	cc map[int]map[bitset.AttrSet]bitset.AttrSet
+	cs map[int]map[bitset.AttrSet]*bitset.PairSet
 
-	// scratch holds one partition-product workspace per worker, reused across
-	// all levels of the run.
-	scratch []*partition.Scratch
+	// pending is the LevelStat of the level currently being visited; the
+	// engine's OnLevelEnd hook stamps its elapsed time (which includes
+	// next-level generation, as before the engine extraction).
+	pending *LevelStat
 
 	result *Result
 }
 
-func newDiscoverer(enc *relation.Encoded, opts Options) *discoverer {
+func newDiscoverer(enc *relation.Encoded, opts Options) (*discoverer, error) {
 	d := &discoverer{
 		enc:      enc,
 		opts:     opts,
 		numAttrs: enc.NumCols(),
-		workers:  resolveWorkers(opts.Workers),
-		parts:    make(map[int]map[bitset.AttrSet]*partition.Partition),
 		cc:       make(map[int]map[bitset.AttrSet]bitset.AttrSet),
 		cs:       make(map[int]map[bitset.AttrSet]*bitset.PairSet),
 		result:   &Result{},
 	}
-	d.scratch = make([]*partition.Scratch, d.workers)
-	for i := range d.scratch {
-		d.scratch[i] = partition.NewScratch()
+	eng, err := lattice.New(enc, lattice.Config{
+		Workers:    opts.Workers,
+		MaxLevel:   opts.MaxLevel,
+		Store:      opts.Partitions,
+		OnLevelEnd: d.levelEnd,
+	})
+	if err != nil {
+		return nil, err
 	}
-	for a := 0; a < d.numAttrs; a++ {
-		d.all = d.all.Add(a)
+	d.eng = eng
+	d.all = eng.All()
+	return d, nil
+}
+
+// levelEnd stamps the pending level's wall-clock time once the engine has
+// finished generating its successor level.
+func (d *discoverer) levelEnd(_ int, elapsed time.Duration) {
+	if d.pending == nil {
+		return
 	}
-	return d
+	d.pending.Elapsed = elapsed
+	if d.opts.CollectLevelStats {
+		d.result.Levels = append(d.result.Levels, *d.pending)
+	}
+	d.pending = nil
+}
+
+// finish folds the engine's traversal counters into the result.
+func (d *discoverer) finish() {
+	st := d.eng.Stats()
+	d.result.Stats.NodesVisited = st.NodesVisited
+	d.result.Stats.MaxLevelReached = st.MaxLevelReached
+	d.result.Stats.PartitionHits = st.PartitionHits
+	d.result.Stats.PartitionMisses = st.PartitionMisses
 }
 
 // run executes FASTOD with the full candidate-set machinery (Algorithms 1-4).
 func (d *discoverer) run() {
 	empty := bitset.AttrSet(0)
-	d.parts[0] = map[bitset.AttrSet]*partition.Partition{empty: partition.FromConstant(d.enc.NumRows())}
 	d.cc[0] = map[bitset.AttrSet]bitset.AttrSet{empty: d.all}
 	d.cs[0] = map[bitset.AttrSet]*bitset.PairSet{empty: bitset.NewPairSet()}
 
-	level := d.firstLevel()
-	l := 1
-	for len(level) > 0 && (d.opts.MaxLevel <= 0 || l <= d.opts.MaxLevel) {
-		levelStart := time.Now()
+	d.eng.Run(func(l int, level []bitset.AttrSet) []bitset.AttrSet {
 		stat := LevelStat{Level: l, Nodes: len(level)}
-		d.result.Stats.NodesVisited += len(level)
-		d.result.Stats.MaxLevelReached = l
-
+		d.pending = &stat
 		d.computeODs(level, l, &stat)
-		level = d.pruneLevels(level, l)
-		next := d.calculateNextLevel(level, l)
-
-		stat.Elapsed = time.Since(levelStart)
-		if d.opts.CollectLevelStats {
-			d.result.Levels = append(d.result.Levels, stat)
-		}
-		// Partitions of level l-2 and candidate sets of level l-1 are no
-		// longer needed once level l+1 starts.
-		delete(d.parts, l-2)
+		kept := d.pruneLevels(level, l)
+		// Candidate sets of level l-1 are no longer needed once level l+1
+		// starts.
 		delete(d.cc, l-1)
 		delete(d.cs, l-1)
-		level = next
-		l++
-	}
-}
-
-// firstLevel builds the singleton attribute sets and their partitions; the
-// per-column partitions are independent and built in parallel.
-func (d *discoverer) firstLevel() []bitset.AttrSet {
-	level := make([]bitset.AttrSet, 0, d.numAttrs)
-	partsArr := make([]*partition.Partition, d.numAttrs)
-	parallelFor(d.workers, d.numAttrs, func(_, a int) {
-		partsArr[a] = partition.FromColumn(d.enc.Column(a), d.enc.Cardinality[a])
+		return kept
 	})
-	d.parts[1] = make(map[bitset.AttrSet]*partition.Partition, d.numAttrs)
-	for a := 0; a < d.numAttrs; a++ {
-		s := bitset.NewAttrSet(a)
-		level = append(level, s)
-		d.parts[1][s] = partsArr[a]
-	}
-	return level
+	d.finish()
 }
 
 // computeODs is Algorithm 3: it derives the candidate sets C+c(X) and C+s(X)
@@ -141,10 +140,11 @@ func (d *discoverer) firstLevel() []bitset.AttrSet {
 // minimal ones.
 //
 // Both passes of the algorithm only read previous-level state (ccPrev/csPrev,
-// the partition maps) plus the node's own candidate sets, so the per-node
-// work is sharded across the worker pool: each node writes its results into
-// slots indexed by its position in the level (no locks, no shared maps), and
-// the level barrier below merges them back deterministically.
+// the engine's partition window) plus the node's own candidate sets, so the
+// per-node work is sharded across the worker pool: each node writes its
+// results into slots indexed by its position in the level (no locks, no
+// shared maps), and the level barrier below merges them back
+// deterministically.
 func (d *discoverer) computeODs(level []bitset.AttrSet, l int, stat *LevelStat) {
 	ccPrev := d.cc[l-1]
 	csPrev := d.cs[l-1]
@@ -152,9 +152,9 @@ func (d *discoverer) computeODs(level []bitset.AttrSet, l int, stat *LevelStat) 
 	ccArr := make([]bitset.AttrSet, n)
 	csArr := make([]*bitset.PairSet, n)
 	emitted := make([]emitBuffer, n)
-	shards := make([]checkShard, d.workers)
+	shards := make([]checkShard, d.eng.Workers())
 
-	parallelFor(d.workers, n, func(wk, i int) {
+	d.eng.ParallelFor(n, func(wk, i int) {
 		x := level[i]
 		sh := &shards[wk]
 
@@ -246,15 +246,15 @@ func (d *discoverer) computeODs(level []bitset.AttrSet, l int, stat *LevelStat) 
 // Section 4.6: the FD holds iff e(Π_ctx) == e(Π_x), because Π_x refines
 // Π_ctx. When the context is a superkey the OD holds trivially (Lemma 12) and
 // the comparison is skipped under key pruning. Counters go to the calling
-// worker's shard; the partition maps are read-only during a level.
+// worker's shard; the engine's partition window is read-only during a level.
 func (d *discoverer) checkConstancy(ctx, x bitset.AttrSet, sh *checkShard) bool {
 	sh.fdChecks++
-	ctxPart := d.parts[ctx.Len()][ctx]
+	ctxPart := d.eng.Partition(ctx)
 	if !d.opts.DisableKeyPruning && ctxPart.IsSuperkey() {
 		sh.keyPrunes++
 		return true
 	}
-	return ctxPart.Error() == d.parts[x.Len()][x].Error()
+	return ctxPart.Error() == d.eng.Partition(x).Error()
 }
 
 // checkOrderCompat validates X\{A,B}: A ~ B by scanning the equivalence
@@ -263,7 +263,7 @@ func (d *discoverer) checkConstancy(ctx, x bitset.AttrSet, sh *checkShard) bool 
 // (Lemma 13), so it is removed from the candidate set without being emitted.
 func (d *discoverer) checkOrderCompat(ctx bitset.AttrSet, a, b int, sh *checkShard) (valid, minimal bool) {
 	sh.swapChecks++
-	ctxPart := d.parts[ctx.Len()][ctx]
+	ctxPart := d.eng.Partition(ctx)
 	if !d.opts.DisableKeyPruning && ctxPart.IsSuperkey() {
 		sh.keyPrunes++
 		return true, false
@@ -277,7 +277,7 @@ func (d *discoverer) checkOrderCompat(ctx bitset.AttrSet, a, b int, sh *checkSha
 
 // pruneLevels is Algorithm 4: nodes whose candidate sets are both empty can
 // no longer contribute minimal ODs at any superset (Lemma 11) and are removed
-// from the level before the next level is generated.
+// from the level before the engine generates the next one.
 func (d *discoverer) pruneLevels(level []bitset.AttrSet, l int) []bitset.AttrSet {
 	if l < 2 || d.opts.DisableNodePruning {
 		return level
@@ -295,97 +295,19 @@ func (d *discoverer) pruneLevels(level []bitset.AttrSet, l int) []bitset.AttrSet
 	return kept
 }
 
-// calculateNextLevel is Algorithm 2: it joins pairs of nodes that share all
-// but one attribute (prefix blocks), keeps only candidates whose every
-// immediate subset survived at the current level, and derives the new node's
-// partition as the product of the two generating nodes' partitions.
-func (d *discoverer) calculateNextLevel(level []bitset.AttrSet, l int) []bitset.AttrSet {
-	if len(level) == 0 {
-		return nil
-	}
-	present := make(map[bitset.AttrSet]bool, len(level))
-	for _, x := range level {
-		present[x] = true
-	}
-	// Prefix blocks: nodes that agree on everything except their largest
-	// attribute. Sorting the block members keeps generation deterministic.
-	blocks := make(map[bitset.AttrSet][]int)
-	for _, x := range level {
-		attrs := x.Attrs()
-		last := attrs[len(attrs)-1]
-		prefix := x.Remove(last)
-		blocks[prefix] = append(blocks[prefix], last)
-	}
-	prefixes := make([]bitset.AttrSet, 0, len(blocks))
-	for prefix := range blocks {
-		prefixes = append(prefixes, prefix)
-	}
-	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
-
-	// Enumerate the surviving joins sequentially (cheap bit-set work), then
-	// compute the partition products — the dominant cost of level generation —
-	// in parallel, each worker reusing its own scratch buffer.
-	curParts := d.parts[l]
-	next := make([]bitset.AttrSet, 0)
-	type join struct{ left, right *partition.Partition }
-	joins := make([]join, 0)
-	for _, prefix := range prefixes {
-		members := blocks[prefix]
-		sort.Ints(members)
-		for i := 0; i < len(members); i++ {
-			for j := i + 1; j < len(members); j++ {
-				b, c := members[i], members[j]
-				x := prefix.Add(b).Add(c)
-				if !allSubsetsPresent(x, present) {
-					continue
-				}
-				next = append(next, x)
-				joins = append(joins, join{curParts[prefix.Add(b)], curParts[prefix.Add(c)]})
-			}
-		}
-	}
-	partsArr := make([]*partition.Partition, len(next))
-	parallelFor(d.workers, len(next), func(wk, i int) {
-		partsArr[i] = joins[i].left.ProductWith(joins[i].right, d.scratch[wk])
-	})
-	nextParts := make(map[bitset.AttrSet]*partition.Partition, len(next))
-	for i, x := range next {
-		nextParts[x] = partsArr[i]
-	}
-	d.parts[l+1] = nextParts
-	return next
-}
-
-func allSubsetsPresent(x bitset.AttrSet, present map[bitset.AttrSet]bool) bool {
-	ok := true
-	x.ForEach(func(a int) {
-		if ok && !present[x.Remove(a)] {
-			ok = false
-		}
-	})
-	return ok
-}
-
 // runNoPruning enumerates the full set lattice level by level and validates
 // every candidate OD without any minimality reasoning. It reproduces the
 // "FASTOD-No Pruning" configuration of Figure 6: the output contains every
 // valid OD, including all the redundant ones. The per-node validation uses
 // the same sharded worker pool as the pruned traversal.
 func (d *discoverer) runNoPruning() {
-	empty := bitset.AttrSet(0)
-	d.parts[0] = map[bitset.AttrSet]*partition.Partition{empty: partition.FromConstant(d.enc.NumRows())}
-
-	level := d.firstLevel()
-	l := 1
-	for len(level) > 0 && (d.opts.MaxLevel <= 0 || l <= d.opts.MaxLevel) {
-		levelStart := time.Now()
+	d.eng.Run(func(l int, level []bitset.AttrSet) []bitset.AttrSet {
 		stat := LevelStat{Level: l, Nodes: len(level)}
-		d.result.Stats.NodesVisited += len(level)
-		d.result.Stats.MaxLevelReached = l
+		d.pending = &stat
 
 		emitted := make([]emitBuffer, len(level))
-		shards := make([]checkShard, d.workers)
-		parallelFor(d.workers, len(level), func(wk, i int) {
+		shards := make([]checkShard, d.eng.Workers())
+		d.eng.ParallelFor(len(level), func(wk, i int) {
 			x := level[i]
 			sh := &shards[wk]
 			attrs := x.Attrs()
@@ -409,14 +331,7 @@ func (d *discoverer) runNoPruning() {
 		})
 		d.mergeShards(shards)
 		d.flushEmits(emitted, &stat)
-
-		next := d.calculateNextLevel(level, l)
-		stat.Elapsed = time.Since(levelStart)
-		if d.opts.CollectLevelStats {
-			d.result.Levels = append(d.result.Levels, stat)
-		}
-		delete(d.parts, l-2)
-		level = next
-		l++
-	}
+		return level
+	})
+	d.finish()
 }

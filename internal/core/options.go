@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/canonical"
+	"repro/internal/lattice"
 )
 
 // Options configures a discovery run. The zero value is the paper's FASTOD
@@ -25,6 +26,17 @@ type Options struct {
 	// setting. 0 selects runtime.GOMAXPROCS(0); 1 forces the fully sequential
 	// path with no goroutines; values below zero are treated as 1.
 	Workers int
+
+	// Partitions, when non-nil, is a shared partition store: the run consults
+	// it before computing any stripped partition and records every partition
+	// it derives, so partitions are reused across runs that pass the same
+	// store — the pruned and un-pruned passes of one experiment, repeated
+	// Discover calls on the same dataset, or the TANE/approximate/
+	// bidirectional algorithms profiling the same relation. The store is
+	// bounded (see lattice.NewPartitionStore) and must only ever be shared
+	// between runs over the same relation instance. Nil disables cross-run
+	// caching; the output is identical either way.
+	Partitions *lattice.PartitionStore
 
 	// DisablePruning turns off the minimality machinery entirely (candidate
 	// sets C+c/C+s, node deletion, key pruning). Every valid OD — minimal or
@@ -93,6 +105,11 @@ type Stats struct {
 	NodesPruned int
 	// MaxLevelReached is the deepest lattice level that produced candidates.
 	MaxLevelReached int
+	// PartitionHits and PartitionMisses count lattice-node partitions served
+	// from and missing in the shared partition store (Options.Partitions)
+	// during this run. Both are zero when no store is configured.
+	PartitionHits   int
+	PartitionMisses int
 }
 
 // Result is the outcome of a discovery run.

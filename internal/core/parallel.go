@@ -1,70 +1,14 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"repro/internal/canonical"
 )
 
-// The per-level work of FASTOD — candidate-set derivation, OD validation and
-// partition products — is embarrassingly parallel: every lattice node of a
-// level only reads state produced by previous levels. The engine therefore
-// shards each level's nodes across a small worker pool and merges the
-// per-worker results at a level barrier. All merge points are deterministic
-// (per-node output slots, counter addition in worker order), so a parallel
-// run is byte-identical to a sequential one.
-
-// resolveWorkers maps Options.Workers onto a concrete worker count:
-// 0 selects runtime.GOMAXPROCS(0), anything below 1 is clamped to 1.
-func resolveWorkers(requested int) int {
-	if requested == 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	if requested < 1 {
-		return 1
-	}
-	return requested
-}
-
-// parallelFor runs fn for every item index in [0, n) using at most w
-// goroutines. Items are handed out one at a time through an atomic cursor so
-// that uneven per-item costs (partition sizes vary wildly across nodes)
-// balance out without any up-front partitioning. fn receives the worker index
-// (0..w-1), which callers use to address per-worker scratch buffers and
-// counter shards without locks, and the item index, which callers use to
-// write results into per-item output slots.
-//
-// With w <= 1 or a single item the call degenerates to an inline loop with no
-// goroutines — the sequential path of the engine.
-func parallelFor(w, n int, fn func(worker, item int)) {
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
-		for i := 0; i < n; i++ {
-			fn(0, i)
-		}
-		return
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for wk := 0; wk < w; wk++ {
-		go func(wk int) {
-			defer wg.Done()
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(wk, i)
-			}
-		}(wk)
-	}
-	wg.Wait()
-}
+// The worker pool and level-wise scheduling live in internal/lattice since
+// the engine extraction; this file keeps FASTOD's deterministic merge
+// machinery: per-worker counter shards and per-node emission buffers that are
+// folded into the result at each level barrier, so a parallel run is
+// byte-identical to a sequential one.
 
 // checkShard accumulates the validation counters of one worker during a
 // level. Shards are padded to a cache line so that concurrent increments by

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/datagen"
+	"repro/internal/lattice"
 	"repro/internal/relation"
 )
 
@@ -150,44 +151,108 @@ func TestParallelDiscoverConcurrentCallers(t *testing.T) {
 	}
 }
 
-func TestResolveWorkers(t *testing.T) {
-	if got := resolveWorkers(1); got != 1 {
-		t.Errorf("resolveWorkers(1) = %d", got)
+// The parallelFor/resolveWorkers unit tests moved to internal/lattice with
+// the executor itself; the tests below cover what core still owns — the
+// deterministic merge of per-worker results — plus the partition store's
+// cross-run behaviour as seen through Discover.
+
+// assertSameODs compares only the discovered dependencies and counts,
+// ignoring work counters — used where cache warmth legitimately changes
+// Stats (PartitionHits/Misses) but must never change the output.
+func assertSameODs(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Counts != want.Counts {
+		t.Errorf("%s: counts = %+v, want %+v", label, got.Counts, want.Counts)
 	}
-	if got := resolveWorkers(7); got != 7 {
-		t.Errorf("resolveWorkers(7) = %d", got)
+	if len(got.ODs) != len(want.ODs) {
+		t.Fatalf("%s: %d ODs, want %d", label, len(got.ODs), len(want.ODs))
 	}
-	if got := resolveWorkers(-2); got != 1 {
-		t.Errorf("resolveWorkers(-2) = %d", got)
-	}
-	if got := resolveWorkers(0); got < 1 {
-		t.Errorf("resolveWorkers(0) = %d, want >= 1", got)
+	for i := range want.ODs {
+		if !got.ODs[i].Equal(want.ODs[i]) {
+			t.Fatalf("%s: OD %d = %v, want %v", label, i, got.ODs[i], want.ODs[i])
+		}
 	}
 }
 
-func TestParallelForCoversAllItems(t *testing.T) {
-	for _, w := range []int{1, 2, 4, 9} {
-		const n = 1000
-		hits := make([]int32, n)
-		var mu sync.Mutex
-		workersSeen := map[int]bool{}
-		parallelFor(w, n, func(wk, i int) {
-			mu.Lock()
-			hits[i]++
-			workersSeen[wk] = true
-			mu.Unlock()
-		})
-		for i, h := range hits {
-			if h != 1 {
-				t.Fatalf("w=%d: item %d processed %d times", w, i, h)
-			}
-		}
-		for wk := range workersSeen {
-			if wk < 0 || wk >= w {
-				t.Fatalf("w=%d: worker index %d out of range", w, wk)
-			}
-		}
+// TestPartitionStoreSharedAcrossPasses exercises the Figure 6 pattern: the
+// pruned and un-pruned FASTOD passes over one relation sharing a partition
+// store. The second pass must reuse the first pass's partitions (measured
+// cache hits) and both outputs must be identical to store-less runs.
+func TestPartitionStoreSharedAcrossPasses(t *testing.T) {
+	enc := encode(t, datagen.FlightLike(500, 8, 2017))
+	store := lattice.NewPartitionStore(0)
+
+	pruned, err := Discover(enc, Options{Workers: 1, Partitions: store})
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Zero items must not call fn at all.
-	parallelFor(4, 0, func(_, _ int) { t.Fatal("fn called for empty range") })
+	if pruned.Stats.PartitionHits != 0 {
+		t.Errorf("cold pass: %d hits, want 0", pruned.Stats.PartitionHits)
+	}
+	if pruned.Stats.PartitionMisses == 0 {
+		t.Error("cold pass recorded no misses")
+	}
+	assertSameODs(t, "pruned+store", pruned, discover(t, enc, Options{Workers: 1}))
+
+	unpruned, err := Discover(enc, Options{Workers: 4, Partitions: store, DisablePruning: true, CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unpruned.Stats.PartitionHits == 0 {
+		t.Error("un-pruned pass over a shared store recorded no cache hits")
+	}
+	noStore := discover(t, enc, Options{Workers: 1, DisablePruning: true, CountOnly: true})
+	if unpruned.Counts != noStore.Counts {
+		t.Errorf("un-pruned counts with store = %+v, want %+v", unpruned.Counts, noStore.Counts)
+	}
+
+	st := store.Stats()
+	if st.Hits != pruned.Stats.PartitionHits+unpruned.Stats.PartitionHits {
+		t.Errorf("store hits = %d, want %d", st.Hits, pruned.Stats.PartitionHits+unpruned.Stats.PartitionHits)
+	}
+	if st.Misses != pruned.Stats.PartitionMisses+unpruned.Stats.PartitionMisses {
+		t.Errorf("store misses = %d, want %d", st.Misses, pruned.Stats.PartitionMisses+unpruned.Stats.PartitionMisses)
+	}
+}
+
+// TestPartitionStoreRepeatedDiscover: a second identical run over a warm
+// store must compute no partitions at all and still produce identical output
+// — the advisor's repeated-Discover pattern.
+func TestPartitionStoreRepeatedDiscover(t *testing.T) {
+	enc := encode(t, datagen.FlightLike(400, 8, 2017))
+	store := lattice.NewPartitionStore(0)
+	first, err := Discover(enc, Options{Workers: 1, Partitions: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Discover(enc, Options{Workers: 1, Partitions: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.PartitionMisses != 0 {
+		t.Errorf("warm run: %d misses, want 0", second.Stats.PartitionMisses)
+	}
+	if second.Stats.PartitionHits != first.Stats.PartitionMisses {
+		t.Errorf("warm run: %d hits, want %d", second.Stats.PartitionHits, first.Stats.PartitionMisses)
+	}
+	assertSameODs(t, "warm", second, first)
+}
+
+// TestPartitionStoreBoundedDiscover: a store far too small for the lattice
+// must evict rather than grow, and must not perturb the output.
+func TestPartitionStoreBoundedDiscover(t *testing.T) {
+	enc := encode(t, datagen.FlightLike(300, 8, 2017))
+	store := lattice.NewPartitionStore(2048) // a handful of 300-row partitions
+	res, err := Discover(enc, Options{Workers: 1, Partitions: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameODs(t, "bounded", res, discover(t, enc, Options{Workers: 1}))
+	st := store.Stats()
+	if st.Cost > st.MaxCost {
+		t.Errorf("store cost %d exceeds bound %d", st.Cost, st.MaxCost)
+	}
+	if st.Evictions == 0 {
+		t.Error("undersized store recorded no evictions")
+	}
 }

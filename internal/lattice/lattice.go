@@ -1,0 +1,319 @@
+// Package lattice owns the level-wise apriori driver shared by every
+// algorithm in this repository that traverses the set-containment lattice of
+// attribute sets with stripped partitions: FASTOD (internal/core), the TANE
+// baseline (internal/tane), and the approximate and bidirectional extensions
+// (internal/approx, internal/bidir).
+//
+// The Engine factors out what those traversals have in common — singleton
+// seeding, prefix-block joins for the next level (Algorithm 2 of the paper),
+// partition products, the bounded per-level partition retention window, and a
+// chunked parallel executor — while each algorithm keeps ownership of its
+// candidate-set bookkeeping, validation and pruning inside a per-level visit
+// callback. A shared PartitionStore memoizes stripped partitions across runs
+// (e.g. the pruned and un-pruned FASTOD passes of Figure 6, or repeated
+// Discover calls behind the advisor) under a configurable memory bound.
+package lattice
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Workers is the number of goroutines used per lattice level, with the
+	// same convention as core.Options.Workers: 0 selects runtime.GOMAXPROCS,
+	// 1 forces the fully sequential path, negatives clamp to 1.
+	Workers int
+	// MaxLevel, when positive, stops the traversal after processing the given
+	// lattice level.
+	MaxLevel int
+	// Store, when non-nil, is consulted before any stripped partition is
+	// computed and receives every partition the run derives, so partitions are
+	// reused across runs that share the store. Nil disables cross-run caching;
+	// the per-run retention window still guarantees every partition a level
+	// needs is available.
+	Store *PartitionStore
+	// OnLevelEnd, when non-nil, is invoked after each level has been visited
+	// and the next level generated, with the wall-clock time the whole level
+	// took. Clients use it to record per-level statistics.
+	OnLevelEnd func(level int, elapsed time.Duration)
+}
+
+// Stats aggregates the work counters the engine maintains on behalf of its
+// clients.
+type Stats struct {
+	// NodesVisited is the total number of lattice nodes handed to visit
+	// callbacks.
+	NodesVisited int
+	// MaxLevelReached is the deepest lattice level that produced nodes.
+	MaxLevelReached int
+	// PartitionHits and PartitionMisses count the store lookups for lattice
+	// node partitions during this run. Both stay zero without a Store.
+	PartitionHits   int
+	PartitionMisses int
+}
+
+// Engine drives one level-wise traversal over one encoded relation. It is not
+// safe for concurrent use; concurrent discoveries each build their own Engine
+// (they may share a PartitionStore, which is internally synchronized).
+type Engine struct {
+	enc      *relation.Encoded
+	workers  int
+	maxLevel int
+	store    *PartitionStore
+	onEnd    func(int, time.Duration)
+
+	numAttrs int
+	all      bitset.AttrSet
+
+	// scratch holds one partition-product workspace per worker, reused across
+	// all levels of the run.
+	scratch []*partition.Scratch
+
+	// parts retains the stripped partitions of the last three lattice levels,
+	// keyed by level then attribute set. The maps are written only at level
+	// barriers and are read-only while a level's nodes are being visited, so
+	// visit callbacks may read them from any worker goroutine.
+	parts map[int]map[bitset.AttrSet]*partition.Partition
+
+	stats Stats
+}
+
+// New validates the relation and builds an engine.
+func New(enc *relation.Encoded, cfg Config) (*Engine, error) {
+	if enc == nil {
+		return nil, fmt.Errorf("lattice: nil relation")
+	}
+	if enc.NumCols() == 0 {
+		return nil, fmt.Errorf("lattice: relation has no columns")
+	}
+	if enc.NumCols() > bitset.MaxAttrs {
+		return nil, fmt.Errorf("lattice: relation has %d columns, maximum is %d", enc.NumCols(), bitset.MaxAttrs)
+	}
+	if cfg.Store != nil {
+		if err := cfg.Store.bind(enc); err != nil {
+			return nil, err
+		}
+	}
+	e := &Engine{
+		enc:      enc,
+		workers:  ResolveWorkers(cfg.Workers),
+		maxLevel: cfg.MaxLevel,
+		store:    cfg.Store,
+		onEnd:    cfg.OnLevelEnd,
+		numAttrs: enc.NumCols(),
+		parts:    make(map[int]map[bitset.AttrSet]*partition.Partition),
+	}
+	e.scratch = make([]*partition.Scratch, e.workers)
+	for i := range e.scratch {
+		e.scratch[i] = partition.NewScratch()
+	}
+	for a := 0; a < e.numAttrs; a++ {
+		e.all = e.all.Add(a)
+	}
+	return e, nil
+}
+
+// Workers returns the resolved worker count (>= 1). Clients size per-worker
+// shards (counters, buffers) with it.
+func (e *Engine) Workers() int { return e.workers }
+
+// All returns the full schema R as an attribute set.
+func (e *Engine) All() bitset.AttrSet { return e.all }
+
+// Stats returns the engine's work counters accumulated so far.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Partition returns the stripped partition of an attribute set from the
+// retention window. During the visit of level l, the partitions of levels
+// l-2, l-1 and l are available — exactly what constancy (context size l-1)
+// and order-compatibility (context size l-2) validation need. It is safe to
+// call from visit worker goroutines.
+func (e *Engine) Partition(x bitset.AttrSet) *partition.Partition {
+	return e.parts[x.Len()][x]
+}
+
+// ParallelFor shards n items across the engine's worker pool; see the
+// package-level ParallelFor for the contract.
+func (e *Engine) ParallelFor(n int, fn func(worker, item int)) {
+	ParallelFor(e.workers, n, fn)
+}
+
+// Run executes the level-wise traversal. Starting from the singleton level,
+// it calls visit once per level with the level number and its nodes; visit
+// returns the surviving nodes (its pruning decision — return the input slice
+// unchanged to keep everything), and Run generates the next level by joining
+// prefix blocks of the survivors, keeping only candidates whose every
+// immediate subset survived, and deriving each new node's partition (from the
+// store when shared, as a parallel partition product otherwise).
+func (e *Engine) Run(visit func(level int, nodes []bitset.AttrSet) []bitset.AttrSet) {
+	level := e.firstLevel()
+	for l := 1; len(level) > 0 && (e.maxLevel <= 0 || l <= e.maxLevel); l++ {
+		start := time.Now()
+		e.stats.NodesVisited += len(level)
+		e.stats.MaxLevelReached = l
+		kept := visit(l, level)
+		if e.maxLevel > 0 && l == e.maxLevel {
+			// The loop is about to terminate; don't pay for the partition
+			// products of a level that will never be visited.
+			level = nil
+		} else {
+			level = e.nextLevel(kept, l)
+		}
+		// Partitions of level l-2 are no longer needed once level l+1 starts.
+		delete(e.parts, l-2)
+		if e.onEnd != nil {
+			e.onEnd(l, time.Since(start))
+		}
+	}
+}
+
+// storeGet consults the shared store, counting hits and misses. New has
+// bound the store to this engine's relation, so a stored partition is always
+// the right one.
+func (e *Engine) storeGet(x bitset.AttrSet) (*partition.Partition, bool) {
+	if e.store == nil {
+		return nil, false
+	}
+	p, ok := e.store.Get(x)
+	if ok {
+		e.stats.PartitionHits++
+	} else {
+		e.stats.PartitionMisses++
+	}
+	return p, ok
+}
+
+func (e *Engine) storePut(x bitset.AttrSet, p *partition.Partition) {
+	if e.store != nil {
+		e.store.Put(x, p)
+	}
+}
+
+// firstLevel seeds the empty-set partition and the singleton attribute sets;
+// per-column partitions are independent and are built in parallel, except
+// those already present in the shared store.
+func (e *Engine) firstLevel() []bitset.AttrSet {
+	empty := bitset.AttrSet(0)
+	p0, ok := e.storeGet(empty)
+	if !ok {
+		p0 = partition.FromConstant(e.enc.NumRows())
+		e.storePut(empty, p0)
+	}
+	e.parts[0] = map[bitset.AttrSet]*partition.Partition{empty: p0}
+
+	level := make([]bitset.AttrSet, e.numAttrs)
+	partsArr := make([]*partition.Partition, e.numAttrs)
+	miss := make([]int, 0, e.numAttrs)
+	for a := 0; a < e.numAttrs; a++ {
+		x := bitset.NewAttrSet(a)
+		level[a] = x
+		if p, ok := e.storeGet(x); ok {
+			partsArr[a] = p
+		} else {
+			miss = append(miss, a)
+		}
+	}
+	e.ParallelFor(len(miss), func(_, k int) {
+		a := miss[k]
+		partsArr[a] = partition.FromColumn(e.enc.Column(a), e.enc.Cardinality[a])
+	})
+	e.parts[1] = make(map[bitset.AttrSet]*partition.Partition, e.numAttrs)
+	for a := 0; a < e.numAttrs; a++ {
+		e.parts[1][level[a]] = partsArr[a]
+	}
+	for _, a := range miss {
+		e.storePut(level[a], partsArr[a])
+	}
+	return level
+}
+
+// nextLevel is Algorithm 2 of the paper: it joins pairs of surviving nodes
+// that share all but one attribute (prefix blocks), keeps only candidates
+// whose every immediate subset survived, and derives the new nodes'
+// partitions. Join enumeration is sequential (cheap bit-set work); the
+// partition products — the dominant cost of level generation — run in
+// parallel, each worker reusing its own scratch buffer. Store lookups happen
+// sequentially before the parallel phase so only genuine misses are computed.
+func (e *Engine) nextLevel(level []bitset.AttrSet, l int) []bitset.AttrSet {
+	if len(level) == 0 {
+		return nil
+	}
+	present := make(map[bitset.AttrSet]bool, len(level))
+	for _, x := range level {
+		present[x] = true
+	}
+	// Prefix blocks: nodes that agree on everything except their largest
+	// attribute. Sorting the block members keeps generation deterministic.
+	blocks := make(map[bitset.AttrSet][]int)
+	for _, x := range level {
+		attrs := x.Attrs()
+		last := attrs[len(attrs)-1]
+		prefix := x.Remove(last)
+		blocks[prefix] = append(blocks[prefix], last)
+	}
+	prefixes := make([]bitset.AttrSet, 0, len(blocks))
+	for prefix := range blocks {
+		prefixes = append(prefixes, prefix)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
+
+	curParts := e.parts[l]
+	next := make([]bitset.AttrSet, 0)
+	type join struct{ left, right *partition.Partition }
+	joins := make([]join, 0)
+	for _, prefix := range prefixes {
+		members := blocks[prefix]
+		sort.Ints(members)
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				b, c := members[i], members[j]
+				x := prefix.Add(b).Add(c)
+				if !allSubsetsPresent(x, present) {
+					continue
+				}
+				next = append(next, x)
+				joins = append(joins, join{curParts[prefix.Add(b)], curParts[prefix.Add(c)]})
+			}
+		}
+	}
+
+	partsArr := make([]*partition.Partition, len(next))
+	miss := make([]int, 0, len(next))
+	for i, x := range next {
+		if p, ok := e.storeGet(x); ok {
+			partsArr[i] = p
+		} else {
+			miss = append(miss, i)
+		}
+	}
+	e.ParallelFor(len(miss), func(wk, k int) {
+		i := miss[k]
+		partsArr[i] = joins[i].left.ProductWith(joins[i].right, e.scratch[wk])
+	})
+	for _, i := range miss {
+		e.storePut(next[i], partsArr[i])
+	}
+	nextParts := make(map[bitset.AttrSet]*partition.Partition, len(next))
+	for i, x := range next {
+		nextParts[x] = partsArr[i]
+	}
+	e.parts[l+1] = nextParts
+	return next
+}
+
+func allSubsetsPresent(x bitset.AttrSet, present map[bitset.AttrSet]bool) bool {
+	ok := true
+	x.ForEach(func(a int) {
+		if ok && !present[x.Remove(a)] {
+			ok = false
+		}
+	})
+	return ok
+}

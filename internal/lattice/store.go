@@ -1,0 +1,194 @@
+package lattice
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// DefaultStoreCost is the default memory bound of a PartitionStore, measured
+// in retained row references (each costs one int32 plus class overhead); it
+// corresponds to roughly 16 MiB of class data.
+const DefaultStoreCost = 4 << 20
+
+// PartitionStore memoizes stripped partitions keyed by attribute set, so they
+// are computed once and reused across discovery runs: the pruned and
+// un-pruned FASTOD passes of one experiment, repeated Discover calls on the
+// same dataset (e.g. behind the advisor), or different algorithms (FASTOD,
+// TANE, approximate, bidirectional) profiling the same relation.
+//
+// The store is bounded: every entry is charged its stripped size in row
+// references, and least-recently-used entries are evicted once the total
+// exceeds the bound, so memory stays predictable on wide relations whose
+// lattices materialize millions of attribute sets.
+//
+// A store belongs to one relation instance: the first engine run binds it to
+// its *relation.Encoded, and building an engine over a different relation
+// with the same store fails loudly rather than silently serving the wrong
+// partitions. (As a second line of defense for direct Put callers, the row
+// count is also pinned and mismatching puts are dropped.) Partitions handed
+// out are shared and must be treated as immutable — every algorithm in this
+// repository already does, since partitions are never mutated after
+// construction.
+//
+// All methods are safe for concurrent use.
+type PartitionStore struct {
+	mu      sync.Mutex
+	maxCost int
+	owner   *relation.Encoded // pinned by the first engine bind; nil before
+	rows    int               // pinned by the first Put; -1 before
+	cost    int
+	entries map[bitset.AttrSet]*list.Element
+	lru     *list.List // front = most recently used; values are *storeEntry
+	stats   StoreStats
+}
+
+type storeEntry struct {
+	key  bitset.AttrSet
+	p    *partition.Partition
+	cost int
+}
+
+// StoreStats describes a store's accounting at one point in time.
+type StoreStats struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses int
+	// Puts counts partitions accepted into the store; Evictions counts
+	// entries removed to respect the bound.
+	Puts, Evictions int
+	// Entries and Cost describe the current contents; Cost never exceeds
+	// MaxCost.
+	Entries, Cost, MaxCost int
+}
+
+// NewPartitionStore builds an empty store bounded to maxCost retained row
+// references; maxCost <= 0 selects DefaultStoreCost.
+func NewPartitionStore(maxCost int) *PartitionStore {
+	if maxCost <= 0 {
+		maxCost = DefaultStoreCost
+	}
+	return &PartitionStore{
+		maxCost: maxCost,
+		rows:    -1,
+		entries: make(map[bitset.AttrSet]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// entryCost charges a partition its stripped size in row references, plus one
+// so that empty (superkey) partitions — cheap but very valuable to cache —
+// still carry accounting weight.
+func entryCost(p *partition.Partition) int { return p.Size() + 1 }
+
+// bind pins the store to one relation instance. The first bind wins;
+// binding to a different relation is an error, which engines surface from
+// New so misuse fails before any wrong partition can be served.
+func (s *PartitionStore) bind(enc *relation.Encoded) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.owner == nil {
+		s.owner = enc
+		return nil
+	}
+	if s.owner != enc {
+		return fmt.Errorf("lattice: partition store is bound to a different relation (a store must only be shared between runs over the same relation instance)")
+	}
+	return nil
+}
+
+// Get returns the memoized partition for an attribute set, refreshing its
+// recency.
+func (s *PartitionStore) Get(x bitset.AttrSet) (*partition.Partition, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[x]
+	if !ok {
+		s.stats.Misses++
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	s.stats.Hits++
+	return el.Value.(*storeEntry).p, true
+}
+
+// Put memoizes a partition. Puts for a different relation (row-count
+// mismatch with the pinned one) and partitions larger than the whole bound
+// are dropped; otherwise least-recently-used entries are evicted until the
+// new entry fits.
+func (s *PartitionStore) Put(x bitset.AttrSet, p *partition.Partition) {
+	if p == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rows == -1 {
+		s.rows = p.NumRows
+	} else if s.rows != p.NumRows {
+		return
+	}
+	cost := entryCost(p)
+	if cost > s.maxCost {
+		return
+	}
+	if el, ok := s.entries[x]; ok {
+		// Refresh: another run recomputed the same partition (e.g. after an
+		// eviction race); keep the existing entry, update recency.
+		s.lru.MoveToFront(el)
+		return
+	}
+	for s.cost+cost > s.maxCost {
+		s.evictOldest()
+	}
+	el := s.lru.PushFront(&storeEntry{key: x, p: p, cost: cost})
+	s.entries[x] = el
+	s.cost += cost
+	s.stats.Puts++
+}
+
+// evictOldest removes the least-recently-used entry; callers hold the lock
+// and guarantee the store is non-empty (cost > 0 whenever the loop runs).
+func (s *PartitionStore) evictOldest() {
+	el := s.lru.Back()
+	if el == nil {
+		return
+	}
+	ent := el.Value.(*storeEntry)
+	s.lru.Remove(el)
+	delete(s.entries, ent.key)
+	s.cost -= ent.cost
+	s.stats.Evictions++
+}
+
+// Len returns the number of memoized partitions.
+func (s *PartitionStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats returns a snapshot of the store's accounting.
+func (s *PartitionStore) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Cost = s.cost
+	st.MaxCost = s.maxCost
+	return st
+}
+
+// Reset drops every entry and the pinned relation but keeps the cumulative
+// hit/miss counters, so a store can be reused for a different relation.
+func (s *PartitionStore) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = make(map[bitset.AttrSet]*list.Element)
+	s.lru.Init()
+	s.cost = 0
+	s.rows = -1
+	s.owner = nil
+}

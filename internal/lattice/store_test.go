@@ -1,0 +1,143 @@
+package lattice
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/partition"
+)
+
+// colPartition builds a small partition with the given number of rows, all in
+// one class (cost = rows + 1).
+func colPartition(rows int) *partition.Partition {
+	return partition.FromConstant(rows)
+}
+
+func TestStoreHitMissAccounting(t *testing.T) {
+	s := NewPartitionStore(0)
+	x := bitset.NewAttrSet(0)
+	if _, ok := s.Get(x); ok {
+		t.Fatal("Get on empty store must miss")
+	}
+	p := colPartition(10)
+	s.Put(x, p)
+	got, ok := s.Get(x)
+	if !ok || got != p {
+		t.Fatalf("Get after Put = (%v, %v), want the stored partition", got, ok)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 put, 1 entry", st)
+	}
+	if st.Cost != p.Size()+1 {
+		t.Errorf("cost = %d, want %d", st.Cost, p.Size()+1)
+	}
+	if st.MaxCost != DefaultStoreCost {
+		t.Errorf("maxCost = %d, want default %d", st.MaxCost, DefaultStoreCost)
+	}
+}
+
+func TestStoreCrossCallReuse(t *testing.T) {
+	// Two engine runs over the same relation sharing a store: the second run
+	// must find every partition the first one computed.
+	enc := encodeFlight(t, 300, 6)
+	store := NewPartitionStore(0)
+	run := func() Stats {
+		eng, err := New(enc, Config{Workers: 1, Store: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(func(_ int, nodes []bitset.AttrSet) []bitset.AttrSet { return nodes })
+		return eng.Stats()
+	}
+	first := run()
+	if first.PartitionHits != 0 {
+		t.Errorf("first run: %d hits, want 0 (cold store)", first.PartitionHits)
+	}
+	if first.PartitionMisses == 0 {
+		t.Error("first run: no misses recorded on a cold store")
+	}
+	second := run()
+	if second.PartitionMisses != 0 {
+		t.Errorf("second run: %d misses, want 0 (warm store)", second.PartitionMisses)
+	}
+	if second.PartitionHits != first.PartitionMisses {
+		t.Errorf("second run: %d hits, want every first-run miss (%d)", second.PartitionHits, first.PartitionMisses)
+	}
+}
+
+func TestStoreBoundEvicts(t *testing.T) {
+	// Each entry costs rows+1 = 11; a bound of 34 fits three entries.
+	s := NewPartitionStore(34)
+	keys := []bitset.AttrSet{}
+	for a := 0; a < 6; a++ {
+		x := bitset.NewAttrSet(a)
+		keys = append(keys, x)
+		s.Put(x, colPartition(10))
+	}
+	st := s.Stats()
+	if st.Entries > 3 {
+		t.Errorf("entries = %d, want <= 3 under the bound", st.Entries)
+	}
+	if st.Cost > st.MaxCost {
+		t.Errorf("cost %d exceeds bound %d", st.Cost, st.MaxCost)
+	}
+	if st.Evictions != 3 {
+		t.Errorf("evictions = %d, want 3", st.Evictions)
+	}
+	// LRU order: the oldest keys were evicted, the newest survive.
+	for _, x := range keys[:3] {
+		if _, ok := s.Get(x); ok {
+			t.Errorf("key %v should have been evicted", x)
+		}
+	}
+	for _, x := range keys[3:] {
+		if _, ok := s.Get(x); !ok {
+			t.Errorf("key %v should have survived", x)
+		}
+	}
+}
+
+func TestStoreLRURefreshOnGet(t *testing.T) {
+	s := NewPartitionStore(34) // three 11-cost entries fit
+	a, b, c, d := bitset.NewAttrSet(0), bitset.NewAttrSet(1), bitset.NewAttrSet(2), bitset.NewAttrSet(3)
+	s.Put(a, colPartition(10))
+	s.Put(b, colPartition(10))
+	s.Put(c, colPartition(10))
+	s.Get(a) // refresh a; b becomes the eviction candidate
+	s.Put(d, colPartition(10))
+	if _, ok := s.Get(b); ok {
+		t.Error("b should have been evicted as least recently used")
+	}
+	if _, ok := s.Get(a); !ok {
+		t.Error("a was refreshed and should have survived")
+	}
+}
+
+func TestStoreOversizedEntryRejected(t *testing.T) {
+	s := NewPartitionStore(5)
+	s.Put(bitset.NewAttrSet(0), colPartition(100)) // cost 101 > bound 5
+	if s.Len() != 0 {
+		t.Errorf("oversized entry stored; len = %d", s.Len())
+	}
+}
+
+func TestStoreRowMismatchRejected(t *testing.T) {
+	s := NewPartitionStore(0)
+	s.Put(bitset.NewAttrSet(0), colPartition(10)) // pins rows=10
+	s.Put(bitset.NewAttrSet(1), colPartition(20)) // different relation: dropped
+	if _, ok := s.Get(bitset.NewAttrSet(1)); ok {
+		t.Error("partition with mismatched row count must not be stored")
+	}
+	if s.Len() != 1 {
+		t.Errorf("len = %d, want 1", s.Len())
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Errorf("len after Reset = %d, want 0", s.Len())
+	}
+	s.Put(bitset.NewAttrSet(1), colPartition(20)) // re-pinned after Reset
+	if _, ok := s.Get(bitset.NewAttrSet(1)); !ok {
+		t.Error("Reset must unpin the row count")
+	}
+}

@@ -2,8 +2,10 @@
 // dependency discovery algorithm (Huhtala et al., ICDE 1998), the FD-only
 // baseline the paper compares FASTOD against in Experiment 4. Like FASTOD it
 // traverses the set-containment lattice level by level with stripped
-// partitions and candidate sets; unlike FASTOD it only looks for splits, so
-// it cannot discover order semantics.
+// partitions and candidate sets — the traversal itself (node generation,
+// partition products, the worker pool) is the shared engine in
+// internal/lattice — but it only looks for splits, so it cannot discover
+// order semantics.
 package tane
 
 import (
@@ -12,7 +14,7 @@ import (
 	"time"
 
 	"repro/internal/bitset"
-	"repro/internal/partition"
+	"repro/internal/lattice"
 	"repro/internal/relation"
 )
 
@@ -39,6 +41,13 @@ func (fd FD) NamesString(names []string) string {
 type Options struct {
 	// MaxLevel, when positive, bounds the lattice level that is processed.
 	MaxLevel int
+	// Workers is the number of goroutines used per lattice level, with the
+	// same convention as core.Options.Workers (0 = GOMAXPROCS, 1 =
+	// sequential). The output is identical regardless of the setting.
+	Workers int
+	// Partitions, when non-nil, shares stripped partitions with other runs
+	// over the same relation; see core.Options.Partitions.
+	Partitions *lattice.PartitionStore
 }
 
 // Result is the outcome of a TANE run.
@@ -60,59 +69,56 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("tane: relation has %d columns, maximum is %d", enc.NumCols(), bitset.MaxAttrs)
 	}
 	start := time.Now()
-	n := enc.NumCols()
-	var all bitset.AttrSet
-	for a := 0; a < n; a++ {
-		all = all.Add(a)
+	eng, err := lattice.New(enc, lattice.Config{
+		Workers:  opts.Workers,
+		MaxLevel: opts.MaxLevel,
+		Store:    opts.Partitions,
+	})
+	if err != nil {
+		return nil, err
 	}
-
+	all := eng.All()
 	res := &Result{}
+
 	empty := bitset.AttrSet(0)
-	parts := map[int]map[bitset.AttrSet]*partition.Partition{
-		0: {empty: partition.FromConstant(enc.NumRows())},
-		1: {},
-	}
-	cplus := map[int]map[bitset.AttrSet]bitset.AttrSet{
-		0: {empty: all},
-	}
+	ccPrev := map[bitset.AttrSet]bitset.AttrSet{empty: all}
 
-	level := make([]bitset.AttrSet, 0, n)
-	for a := 0; a < n; a++ {
-		s := bitset.NewAttrSet(a)
-		level = append(level, s)
-		parts[1][s] = partition.FromColumn(enc.Column(a), enc.Cardinality[a])
-	}
+	eng.Run(func(l int, level []bitset.AttrSet) []bitset.AttrSet {
+		n := len(level)
+		ccArr := make([]bitset.AttrSet, n)
+		fdBufs := make([][]FD, n)
 
-	l := 1
-	for len(level) > 0 && (opts.MaxLevel <= 0 || l <= opts.MaxLevel) {
-		res.NodesVisited += len(level)
-		ccPrev := cplus[l-1]
-		ccCur := make(map[bitset.AttrSet]bitset.AttrSet, len(level))
-
-		// Candidate sets.
-		for _, x := range level {
+		// Candidate sets and validation (X\A → A for A ∈ X ∩ C+(X)). Every
+		// node only reads previous-level candidate sets and the engine's
+		// partition window, so nodes are sharded across the worker pool; each
+		// writes its surviving candidate set and discovered FDs into per-node
+		// slots that the level barrier below merges back in node order.
+		eng.ParallelFor(n, func(_, i int) {
+			x := level[i]
 			cc := all
 			x.ForEach(func(a int) { cc = cc.Intersect(ccPrev[x.Remove(a)]) })
-			ccCur[x] = cc
-		}
-		// Validation: X\A → A for A ∈ X ∩ C+(X).
-		for _, x := range level {
-			cc := ccCur[x]
 			for _, a := range x.Intersect(cc).Attrs() {
 				ctx := x.Remove(a)
-				ctxPart := parts[l-1][ctx]
-				valid := ctxPart.IsSuperkey() || ctxPart.Error() == parts[l][x].Error()
+				ctxPart := eng.Partition(ctx)
+				valid := ctxPart.IsSuperkey() || ctxPart.Error() == eng.Partition(x).Error()
 				if valid {
-					res.FDs = append(res.FDs, FD{LHS: ctx, RHS: a})
+					fdBufs[i] = append(fdBufs[i], FD{LHS: ctx, RHS: a})
 					cc = cc.Remove(a)
 					cc = cc.Intersect(x)
 				}
 			}
-			ccCur[x] = cc
-		}
-		cplus[l] = ccCur
+			ccArr[i] = cc
+		})
 
-		// Prune nodes with empty candidate sets, then generate the next level.
+		// Level barrier: emit FDs in node order, publish the candidate sets
+		// the next level reads, and prune nodes with empty candidate sets.
+		ccCur := make(map[bitset.AttrSet]bitset.AttrSet, n)
+		for i, x := range level {
+			res.FDs = append(res.FDs, fdBufs[i]...)
+			ccCur[x] = ccArr[i]
+		}
+		ccPrev = ccCur
+
 		kept := level[:0]
 		for _, x := range level {
 			if l >= 2 && ccCur[x].IsEmpty() {
@@ -120,15 +126,9 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 			}
 			kept = append(kept, x)
 		}
-		level = kept
-
-		next, nextParts := nextLevel(level, parts[l])
-		parts[l+1] = nextParts
-		delete(parts, l-1)
-		delete(cplus, l-1)
-		level = next
-		l++
-	}
+		return kept
+	})
+	res.NodesVisited = eng.Stats().NodesVisited
 
 	sort.Slice(res.FDs, func(i, j int) bool {
 		a, b := res.FDs[i], res.FDs[j]
@@ -142,48 +142,4 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 	})
 	res.Elapsed = time.Since(start)
 	return res, nil
-}
-
-// nextLevel joins prefix blocks to produce the next lattice level and its
-// partitions, mirroring FASTOD's calculateNextLevel.
-func nextLevel(level []bitset.AttrSet, parts map[bitset.AttrSet]*partition.Partition) ([]bitset.AttrSet, map[bitset.AttrSet]*partition.Partition) {
-	present := make(map[bitset.AttrSet]bool, len(level))
-	for _, x := range level {
-		present[x] = true
-	}
-	blocks := make(map[bitset.AttrSet][]int)
-	for _, x := range level {
-		attrs := x.Attrs()
-		last := attrs[len(attrs)-1]
-		blocks[x.Remove(last)] = append(blocks[x.Remove(last)], last)
-	}
-	prefixes := make([]bitset.AttrSet, 0, len(blocks))
-	for p := range blocks {
-		prefixes = append(prefixes, p)
-	}
-	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
-
-	var next []bitset.AttrSet
-	nextParts := make(map[bitset.AttrSet]*partition.Partition)
-	for _, prefix := range prefixes {
-		members := blocks[prefix]
-		sort.Ints(members)
-		for i := 0; i < len(members); i++ {
-			for j := i + 1; j < len(members); j++ {
-				x := prefix.Add(members[i]).Add(members[j])
-				ok := true
-				x.ForEach(func(a int) {
-					if ok && !present[x.Remove(a)] {
-						ok = false
-					}
-				})
-				if !ok {
-					continue
-				}
-				next = append(next, x)
-				nextParts[x] = partition.Product(parts[prefix.Add(members[i])], parts[prefix.Add(members[j])])
-			}
-		}
-	}
-	return next, nextParts
 }

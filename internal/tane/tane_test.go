@@ -146,3 +146,81 @@ func TestDiscoverKeyRelation(t *testing.T) {
 		}
 	}
 }
+
+// differentialRelations builds the seeded datagen relations the differential
+// suite runs over, mirroring internal/core/parallel_test.go: varying row
+// counts, column counts and cardinality profiles.
+func differentialRelations(t *testing.T) map[string]*relation.Encoded {
+	t.Helper()
+	rels := map[string]*relation.Relation{
+		"flight-2000x8":    datagen.FlightLike(2000, 8, 2017),
+		"flight-300x10":    datagen.FlightLike(300, 10, 7),
+		"ncvoter-1000x6":   datagen.NCVoterLike(1000, 6, 2017),
+		"hepatitis-155x8":  datagen.HepatitisLike(155, 8, 2017),
+		"dbtesma-500x8":    datagen.DBTesmaLike(500, 8, 2017),
+		"random-200x5":     datagen.RandomRelation(200, 5, 4, 42),
+		"structured-400x6": datagen.RandomStructuredRelation(400, 6, 3, 99),
+	}
+	out := make(map[string]*relation.Encoded, len(rels))
+	for name, r := range rels {
+		out[name] = encode(t, r)
+	}
+	return out
+}
+
+// TestParallelMatchesSequentialDifferential: a Workers=4 run must be
+// indistinguishable from a Workers=1 run — same sorted FD list, same node
+// counter — on every seeded dataset.
+func TestParallelMatchesSequentialDifferential(t *testing.T) {
+	for name, enc := range differentialRelations(t) {
+		seq, err := Discover(enc, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		par, err := Discover(enc, Options{Workers: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if par.NodesVisited != seq.NodesVisited {
+			t.Errorf("%s: NodesVisited = %d, want %d", name, par.NodesVisited, seq.NodesVisited)
+		}
+		if len(par.FDs) != len(seq.FDs) {
+			t.Fatalf("%s: %d FDs, want %d", name, len(par.FDs), len(seq.FDs))
+		}
+		for i := range seq.FDs {
+			if par.FDs[i] != seq.FDs[i] {
+				t.Fatalf("%s: FD %d = %v, want %v", name, i, par.FDs[i], seq.FDs[i])
+			}
+		}
+	}
+}
+
+// TestParallelWorkerCounts sweeps worker counts, including 0 (GOMAXPROCS),
+// counts exceeding the number of lattice nodes per level, and MaxLevel.
+func TestParallelWorkerCounts(t *testing.T) {
+	enc := encode(t, datagen.FlightLike(500, 8, 2017))
+	for _, opts := range []Options{{}, {MaxLevel: 3}} {
+		seqOpts := opts
+		seqOpts.Workers = 1
+		want, err := Discover(enc, seqOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{0, 2, 8, 64, -3} {
+			parOpts := opts
+			parOpts.Workers = w
+			got, err := Discover(enc, parOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.FDs) != len(want.FDs) {
+				t.Fatalf("workers=%d maxlevel=%d: %d FDs, want %d", w, opts.MaxLevel, len(got.FDs), len(want.FDs))
+			}
+			for i := range want.FDs {
+				if got.FDs[i] != want.FDs[i] {
+					t.Fatalf("workers=%d: FD %d = %v, want %v", w, i, got.FDs[i], want.FDs[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package fastod_test
+
+import (
+	"testing"
+
+	fastod "repro"
+)
+
+// TestEnablePartitionCacheSharedAcrossAlgorithms: once a dataset carries a
+// partition cache, every discovery flavour — FASTOD, TANE, approximate,
+// bidirectional — reuses the partitions earlier runs computed, and the
+// outputs stay identical to uncached runs.
+func TestEnablePartitionCacheSharedAcrossAlgorithms(t *testing.T) {
+	cached := fastod.SyntheticFlight(400, 7, 2017)
+	plain := fastod.SyntheticFlight(400, 7, 2017)
+	store := cached.EnablePartitionCache(0)
+
+	resC, err := cached.Discover(fastod.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resP, err := plain.Discover(fastod.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resC.Counts != resP.Counts || len(resC.ODs) != len(resP.ODs) {
+		t.Fatalf("cached counts %+v, want %+v", resC.Counts, resP.Counts)
+	}
+	for i := range resP.ODs {
+		if !resC.ODs[i].Equal(resP.ODs[i]) {
+			t.Fatalf("OD %d = %v, want %v", i, resC.ODs[i], resP.ODs[i])
+		}
+	}
+	if resP.Stats.PartitionHits != 0 || resP.Stats.PartitionMisses != 0 {
+		t.Errorf("uncached dataset recorded store traffic: %+v", resP.Stats)
+	}
+	afterFASTOD := store.Stats()
+	if afterFASTOD.Puts == 0 {
+		t.Fatal("FASTOD run stored no partitions")
+	}
+
+	// TANE prunes less aggressively than FASTOD, but every singleton and the
+	// shared lattice prefix must come from the cache.
+	fds, err := cached.DiscoverFDs(fastod.TANEOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdsPlain, err := plain.DiscoverFDs(fastod.TANEOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fds.FDs) != len(fdsPlain.FDs) {
+		t.Fatalf("cached TANE found %d FDs, uncached %d", len(fds.FDs), len(fdsPlain.FDs))
+	}
+	afterTANE := store.Stats()
+	if afterTANE.Hits <= afterFASTOD.Hits {
+		t.Errorf("TANE run over the warm cache recorded no hits (before %d, after %d)", afterFASTOD.Hits, afterTANE.Hits)
+	}
+
+	// Approximate and bidirectional discovery ride the same cache.
+	apx, err := cached.DiscoverApproximate(fastod.ApproxOptions{Threshold: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apxPlain, err := plain.DiscoverApproximate(fastod.ApproxOptions{Threshold: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apx.ODs) != len(apxPlain.ODs) {
+		t.Fatalf("cached approx found %d ODs, uncached %d", len(apx.ODs), len(apxPlain.ODs))
+	}
+	bid, err := cached.DiscoverBidirectional(fastod.BidirOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bidPlain, err := plain.DiscoverBidirectional(fastod.BidirOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bid.ODs) != len(bidPlain.ODs) {
+		t.Fatalf("cached bidir found %d ODs, uncached %d", len(bid.ODs), len(bidPlain.ODs))
+	}
+	final := store.Stats()
+	if final.Hits <= afterTANE.Hits {
+		t.Errorf("extension runs recorded no additional hits (before %d, after %d)", afterTANE.Hits, final.Hits)
+	}
+	if final.Cost > final.MaxCost {
+		t.Errorf("store cost %d exceeds bound %d", final.Cost, final.MaxCost)
+	}
+
+	// A second FASTOD run over the fully warmed cache computes nothing.
+	again, err := cached.Discover(fastod.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stats.PartitionMisses != 0 {
+		t.Errorf("warm FASTOD re-run recorded %d misses, want 0", again.Stats.PartitionMisses)
+	}
+	if again.Stats.PartitionHits == 0 {
+		t.Error("warm FASTOD re-run recorded no hits")
+	}
+}
