@@ -72,10 +72,10 @@ type (
 	StoreStats = lattice.StoreStats
 )
 
-// NewPartitionStore builds an empty partition store bounded to maxCost
-// retained row references; maxCost <= 0 selects a ~16 MiB default. A store
-// must only ever be shared between discovery runs over the same relation
-// instance.
+// NewPartitionStore builds an empty partition store bounded to maxCost bytes
+// of retained class data (partitions are stored flat, so the accounting is
+// byte-exact); maxCost <= 0 selects a 16 MiB default. A store must only ever
+// be shared between discovery runs over the same relation instance.
 func NewPartitionStore(maxCost int) *PartitionStore {
 	return lattice.NewPartitionStore(maxCost)
 }
@@ -189,8 +189,10 @@ func (d *Dataset) HeadRows(n int) *Dataset {
 // runs computed instead of re-deriving them, which is what repeated
 // profiling workloads (e.g. discovery behind the advisor, or comparing
 // algorithms on one table) spend most of their time on. maxCost bounds the
-// cache in retained row references (<= 0 selects a ~16 MiB default), and
-// least-recently-used partitions are evicted beyond it. The first call wins:
+// cache in bytes of retained class data (<= 0 selects a 16 MiB default);
+// beyond it partitions are evicted deepest-attribute-set-level first (then
+// least recently used within a level), because shallow partitions are
+// exponentially more reusable than deep ones. The first call wins:
 // once the dataset carries a store, later calls return it unchanged and
 // their maxCost is ignored. The store is returned so callers can inspect
 // its Stats. Discovery output is identical with and without the cache.

@@ -9,7 +9,6 @@ package approx
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/canonical"
@@ -41,7 +40,8 @@ func ErrorOf(enc *relation.Encoded, od canonical.OD) (Error, error) {
 
 // constancyError computes the error of X: [] ↦ A: within each equivalence
 // class of ΠX all tuples must agree on A, so the removals per class are the
-// class size minus the most frequent A value in it.
+// class size minus the most frequent A value in it. The per-class counting is
+// the flat ConstancyRemovals kernel of package partition.
 func constancyError(enc *relation.Encoded, ctx bitset.AttrSet, a int) (Error, error) {
 	if err := checkAttr(enc, a); err != nil {
 		return Error{}, err
@@ -49,33 +49,19 @@ func constancyError(enc *relation.Encoded, ctx bitset.AttrSet, a int) (Error, er
 	if ctx.Contains(a) {
 		return Error{}, nil // trivial
 	}
-	p, err := contextPartition(enc, ctx)
+	s := partition.NewScratch()
+	p, err := contextPartition(enc, ctx, s)
 	if err != nil {
 		return Error{}, err
 	}
-	col := enc.Column(a)
-	removals := 0
-	freq := make(map[int32]int)
-	for _, cls := range p.Classes {
-		for k := range freq {
-			delete(freq, k)
-		}
-		best := 0
-		for _, row := range cls {
-			freq[col[row]]++
-			if freq[col[row]] > best {
-				best = freq[col[row]]
-			}
-		}
-		removals += len(cls) - best
-	}
-	return newError(removals, enc.NumRows()), nil
+	return newError(p.ConstancyRemovals(enc.Column(a), s), enc.NumRows()), nil
 }
 
 // orderCompatError computes the error of X: A ~ B: within each equivalence
 // class the largest swap-free subset is the longest non-decreasing
-// subsequence of B-ranks once the class is sorted by (A, B); everything else
-// must be removed.
+// subsequence of B-ranks once the class is ordered by (A, B) — the
+// SwapRemovals kernel of package partition (radix sort plus patience
+// sorting); everything else must be removed.
 func orderCompatError(enc *relation.Encoded, ctx bitset.AttrSet, a, b int) (Error, error) {
 	if err := checkAttr(enc, a); err != nil {
 		return Error{}, err
@@ -86,56 +72,12 @@ func orderCompatError(enc *relation.Encoded, ctx bitset.AttrSet, a, b int) (Erro
 	if a == b || ctx.Contains(a) || ctx.Contains(b) {
 		return Error{}, nil // trivial
 	}
-	p, err := contextPartition(enc, ctx)
+	s := partition.NewScratch()
+	p, err := contextPartition(enc, ctx, s)
 	if err != nil {
 		return Error{}, err
 	}
-	colA, colB := enc.Column(a), enc.Column(b)
-	removals := 0
-	for _, cls := range p.Classes {
-		removals += len(cls) - maxSwapFree(cls, colA, colB)
-	}
-	return newError(removals, enc.NumRows()), nil
-}
-
-// maxSwapFree returns the size of the largest subset of the class with no
-// swap between colA and colB. Sorting by (A asc, B asc) reduces the problem
-// to the longest non-decreasing subsequence of B-ranks, computed in
-// O(k log k) with the classic patience-sorting technique.
-func maxSwapFree(cls []int32, colA, colB []int32) int {
-	type pair struct{ a, b int32 }
-	pairs := make([]pair, len(cls))
-	for i, row := range cls {
-		pairs[i] = pair{a: colA[row], b: colB[row]}
-	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].a != pairs[j].a {
-			return pairs[i].a < pairs[j].a
-		}
-		return pairs[i].b < pairs[j].b
-	})
-	// Longest non-decreasing subsequence over pairs[i].b: tails[k] holds the
-	// smallest possible tail of a non-decreasing subsequence of length k+1.
-	tails := make([]int32, 0, len(pairs))
-	for _, p := range pairs {
-		// Find the first tail strictly greater than p.b (upper bound), since
-		// equal values may extend the subsequence (non-decreasing).
-		lo, hi := 0, len(tails)
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if tails[mid] <= p.b {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		if lo == len(tails) {
-			tails = append(tails, p.b)
-		} else {
-			tails[lo] = p.b
-		}
-	}
-	return len(tails)
+	return newError(p.SwapRemovals(enc.Column(a), enc.Column(b), s), enc.NumRows()), nil
 }
 
 func newError(removals, rows int) Error {
@@ -146,7 +88,7 @@ func newError(removals, rows int) Error {
 	return e
 }
 
-func contextPartition(enc *relation.Encoded, ctx bitset.AttrSet) (*partition.Partition, error) {
+func contextPartition(enc *relation.Encoded, ctx bitset.AttrSet, s *partition.Scratch) (*partition.Partition, error) {
 	for _, a := range ctx.Attrs() {
 		if err := checkAttr(enc, a); err != nil {
 			return nil, err
@@ -154,7 +96,7 @@ func contextPartition(enc *relation.Encoded, ctx bitset.AttrSet) (*partition.Par
 	}
 	p := partition.FromConstant(enc.NumRows())
 	ctx.ForEach(func(a int) {
-		p = partition.Product(p, partition.FromColumn(enc.Column(a), enc.Cardinality[a]))
+		p = p.ProductWith(partition.FromColumn(enc.Column(a), enc.Cardinality[a]), s)
 	})
 	return p, nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/canonical"
 	"repro/internal/datagen"
+	"repro/internal/partition"
 	"repro/internal/relation"
 )
 
@@ -197,16 +198,17 @@ func TestProfile(t *testing.T) {
 	}
 }
 
-func TestMaxSwapFreeHandlesTies(t *testing.T) {
+func TestSwapRemovalsHandlesTies(t *testing.T) {
 	// Rows with equal A never conflict; equal B never conflict.
 	colA := []int32{0, 0, 1, 1, 2}
 	colB := []int32{5, 1, 3, 3, 2}
-	cls := []int32{0, 1, 2, 3, 4}
+	// One class holding all five rows (the empty context).
+	cls := partition.FromConstant(5)
 	// Largest swap-free subset is rows {1,2,3} (A = 0,1,1 and B = 1,3,3):
 	// row 0 (B=5) conflicts with every larger-A row, and row 4 (A=2,B=2)
-	// conflicts with rows 2 and 3.
-	got := maxSwapFree(cls, colA, colB)
-	if got != 3 {
-		t.Errorf("maxSwapFree = %d, want 3", got)
+	// conflicts with rows 2 and 3 — so two removals.
+	got := cls.SwapRemovals(colA, colB, nil)
+	if got != 2 {
+		t.Errorf("SwapRemovals = %d, want 2", got)
 	}
 }

@@ -102,32 +102,13 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 		return false
 	}
 
-	colErr := func(ctxPart *partition.Partition, a int) Error {
-		col := enc.Column(a)
-		removals := 0
-		freq := make(map[int32]int)
-		for _, cls := range ctxPart.Classes {
-			for k := range freq {
-				delete(freq, k)
-			}
-			best := 0
-			for _, row := range cls {
-				freq[col[row]]++
-				if freq[col[row]] > best {
-					best = freq[col[row]]
-				}
-			}
-			removals += len(cls) - best
-		}
-		return newError(removals, enc.NumRows())
+	// Per-class error counting runs on the flat partition kernels with the
+	// engine's per-worker scratches: allocation-free on the hot path.
+	colErr := func(ctxPart *partition.Partition, a int, s *partition.Scratch) Error {
+		return newError(ctxPart.ConstancyRemovals(enc.Column(a), s), enc.NumRows())
 	}
-	pairErr := func(ctxPart *partition.Partition, a, b int) Error {
-		colA, colB := enc.Column(a), enc.Column(b)
-		removals := 0
-		for _, cls := range ctxPart.Classes {
-			removals += len(cls) - maxSwapFree(cls, colA, colB)
-		}
-		return newError(removals, enc.NumRows())
+	pairErr := func(ctxPart *partition.Partition, a, b int, s *partition.Scratch) Error {
+		return newError(ctxPart.SwapRemovals(enc.Column(a), enc.Column(b), s), enc.NumRows())
 	}
 
 	// Per-node validation reads only the satisfied-lists as frozen at the
@@ -138,15 +119,16 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 	// the worker pool, with per-node emission buffers merged in node order.
 	eng.Run(func(l int, level []bitset.AttrSet) []bitset.AttrSet {
 		bufs := make([][]Discovered, len(level))
-		eng.ParallelFor(len(level), func(_, i int) {
+		eng.ParallelFor(len(level), func(wk, i int) {
 			x := level[i]
+			scratch := eng.Scratch(wk)
 			// Constancy candidates: X\A: [] ↦ A.
 			for _, a := range x.Attrs() {
 				ctx := x.Remove(a)
 				if hasSubset(satisfiedConst[a], ctx) {
 					continue // not minimal
 				}
-				e := colErr(eng.Partition(ctx), a)
+				e := colErr(eng.Partition(ctx), a, scratch)
 				if e.Rate <= opts.Threshold {
 					bufs[i] = append(bufs[i], Discovered{OD: canonical.NewConstancy(ctx, a), Error: e})
 				}
@@ -166,7 +148,7 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 					if hasSubset(satisfiedConst[a], ctx) || hasSubset(satisfiedConst[b], ctx) {
 						continue // not minimal (Propagate analogue)
 					}
-					e := pairErr(eng.Partition(ctx), a, b)
+					e := pairErr(eng.Partition(ctx), a, b, scratch)
 					if e.Rate <= opts.Threshold {
 						bufs[i] = append(bufs[i], Discovered{OD: canonical.NewOrderCompatible(ctx, a, b), Error: e})
 					}

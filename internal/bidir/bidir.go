@@ -252,9 +252,10 @@ func reverseRanks(col []int32, cardinality int) []int32 {
 }
 
 func contextPartition(enc *relation.Encoded, ctx bitset.AttrSet) *partition.Partition {
+	s := partition.NewScratch()
 	p := partition.FromConstant(enc.NumRows())
 	ctx.ForEach(func(a int) {
-		p = partition.Product(p, partition.FromColumn(enc.Column(a), enc.Cardinality[a]))
+		p = p.ProductWith(partition.FromColumn(enc.Column(a), enc.Cardinality[a]), s)
 	})
 	return p
 }
@@ -359,8 +360,9 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 	// per-node emission buffers merged back in node order.
 	eng.Run(func(l int, level []bitset.AttrSet) []bitset.AttrSet {
 		bufs := make([][]OD, len(level))
-		eng.ParallelFor(len(level), func(_, i int) {
+		eng.ParallelFor(len(level), func(wk, i int) {
 			x := level[i]
+			scratch := eng.Scratch(wk)
 			for _, a := range x.Attrs() {
 				ctx := x.Remove(a)
 				if hasSubset(satisfiedConst[a], ctx) {
@@ -391,7 +393,7 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 						if pol == OppositeDirection {
 							colB = reversed[b]
 						}
-						if !ctxPart.HasSwap(enc.Column(a), colB) {
+						if !ctxPart.HasSwapWith(enc.Column(a), colB, scratch) {
 							bufs[i] = append(bufs[i], NewOrderCompatible(ctx, a, b, pol))
 						}
 					}

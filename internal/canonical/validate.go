@@ -86,9 +86,18 @@ func FindViolation(enc *relation.Encoded, od OD) (Violation, bool, error) {
 // respect to the attribute set ctx by multiplying single-attribute partitions.
 // The empty context yields the single-class partition.
 func ContextPartition(enc *relation.Encoded, ctx bitset.AttrSet) *partition.Partition {
+	return contextPartitionWith(enc, ctx, nil)
+}
+
+// contextPartitionWith is ContextPartition reusing a scratch workspace across
+// the product chain (and across calls, for loops like ReferenceDiscover).
+func contextPartitionWith(enc *relation.Encoded, ctx bitset.AttrSet, s *partition.Scratch) *partition.Partition {
+	if s == nil {
+		s = partition.NewScratch()
+	}
 	p := partition.FromConstant(enc.NumRows())
 	ctx.ForEach(func(a int) {
-		p = partition.Product(p, partition.FromColumn(enc.Column(a), enc.Cardinality[a]))
+		p = p.ProductWith(partition.FromColumn(enc.Column(a), enc.Cardinality[a]), s)
 	})
 	return p
 }
@@ -140,9 +149,12 @@ func ReferenceDiscover(enc *relation.Encoded) ([]OD, error) {
 	holdsConst := make(map[bitset.AttrSet]map[int]bool)
 	holdsOC := make(map[bitset.AttrSet]map[pairKey]bool)
 
+	// One scratch serves every context partition and swap check of the
+	// enumeration — the loop is allocation-heavy enough without them.
+	scratch := partition.NewScratch()
 	contexts := allSubsets(n)
 	for _, ctx := range contexts {
-		p := ContextPartition(enc, ctx)
+		p := contextPartitionWith(enc, ctx, scratch)
 		cm := make(map[int]bool)
 		om := make(map[pairKey]bool)
 		for a := 0; a < n; a++ {
@@ -154,7 +166,7 @@ func ReferenceDiscover(enc *relation.Encoded) ([]OD, error) {
 				if ctx.Contains(b) {
 					continue
 				}
-				om[pairKey{a, b}] = !p.HasSwap(enc.Column(a), enc.Column(b))
+				om[pairKey{a, b}] = !p.HasSwapWith(enc.Column(a), enc.Column(b), scratch)
 			}
 		}
 		holdsConst[ctx] = cm

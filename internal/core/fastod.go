@@ -7,6 +7,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/canonical"
 	"repro/internal/lattice"
+	"repro/internal/partition"
 	"repro/internal/relation"
 )
 
@@ -214,7 +215,7 @@ func (d *discoverer) computeODs(level []bitset.AttrSet, l int, stat *LevelStat) 
 				continue
 			}
 			ctx := x.Remove(a).Remove(b)
-			valid, minimal := d.checkOrderCompat(ctx, a, b, sh)
+			valid, minimal := d.checkOrderCompat(ctx, a, b, sh, d.eng.Scratch(wk))
 			if valid {
 				if minimal {
 					d.bufferOD(&emitted[i], canonical.NewOrderCompatible(ctx, a, b))
@@ -258,10 +259,12 @@ func (d *discoverer) checkConstancy(ctx, x bitset.AttrSet, sh *checkShard) bool 
 }
 
 // checkOrderCompat validates X\{A,B}: A ~ B by scanning the equivalence
-// classes of the context partition for swaps. It returns (valid, minimal):
-// when the context is a superkey the OD is valid but never minimal
-// (Lemma 13), so it is removed from the candidate set without being emitted.
-func (d *discoverer) checkOrderCompat(ctx bitset.AttrSet, a, b int, sh *checkShard) (valid, minimal bool) {
+// classes of the context partition for swaps, using the calling worker's
+// engine scratch so the radix-sorted check allocates nothing. It returns
+// (valid, minimal): when the context is a superkey the OD is valid but never
+// minimal (Lemma 13), so it is removed from the candidate set without being
+// emitted.
+func (d *discoverer) checkOrderCompat(ctx bitset.AttrSet, a, b int, sh *checkShard, s *partition.Scratch) (valid, minimal bool) {
 	sh.swapChecks++
 	ctxPart := d.eng.Partition(ctx)
 	if !d.opts.DisableKeyPruning && ctxPart.IsSuperkey() {
@@ -272,7 +275,7 @@ func (d *discoverer) checkOrderCompat(ctx bitset.AttrSet, a, b int, sh *checkSha
 	if d.opts.NaiveSwapCheck {
 		return !ctxPart.HasSwapNaive(colA, colB), true
 	}
-	return !ctxPart.HasSwap(colA, colB), true
+	return !ctxPart.HasSwapWith(colA, colB, s), true
 }
 
 // pruneLevels is Algorithm 4: nodes whose candidate sets are both empty can
@@ -322,7 +325,7 @@ func (d *discoverer) runNoPruning() {
 					for q := p + 1; q < len(attrs); q++ {
 						a, b := attrs[p], attrs[q]
 						ctx := x.Remove(a).Remove(b)
-						if valid, _ := d.checkOrderCompat(ctx, a, b, sh); valid {
+						if valid, _ := d.checkOrderCompat(ctx, a, b, sh, d.eng.Scratch(wk)); valid {
 							d.bufferOD(&emitted[i], canonical.NewOrderCompatible(ctx, a, b))
 						}
 					}

@@ -124,6 +124,15 @@ func New(enc *relation.Encoded, cfg Config) (*Engine, error) {
 // shards (counters, buffers) with it.
 func (e *Engine) Workers() int { return e.workers }
 
+// Scratch returns the engine's reusable partition workspace for one worker
+// index (as handed to ParallelFor callbacks). The engine itself uses the
+// scratches only while generating the next level, which never overlaps a
+// visit callback, so visit callbacks are free to use them for swap checks,
+// removal counting and ad-hoc products — keeping the whole validation hot
+// path allocation-free. A scratch must never be used from a different worker
+// index than the one it was requested for.
+func (e *Engine) Scratch(worker int) *partition.Scratch { return e.scratch[worker] }
+
 // All returns the full schema R as an attribute set.
 func (e *Engine) All() bitset.AttrSet { return e.all }
 

@@ -10,10 +10,18 @@ import (
 	"repro/internal/relation"
 )
 
-// DefaultStoreCost is the default memory bound of a PartitionStore, measured
-// in retained row references (each costs one int32 plus class overhead); it
-// corresponds to roughly 16 MiB of class data.
-const DefaultStoreCost = 4 << 20
+// DefaultStoreCost is the default memory bound of a PartitionStore in bytes
+// of retained class data (16 MiB). Entry costs are byte-exact: each cached
+// partition is charged its flat rows arena plus its class-offset index (see
+// partition.FootprintBytes).
+const DefaultStoreCost = 16 << 20
+
+// pinnedMaxLevel is the deepest attribute-set level whose entries are pinned:
+// the empty-set partition (level 0) and the singleton partitions (level 1)
+// seed every traversal, there are at most numAttrs+1 of them, and every
+// deeper partition is derived from them — so they are evicted only as a last
+// resort, when no deeper entry is left to make room.
+const pinnedMaxLevel = 1
 
 // PartitionStore memoizes stripped partitions keyed by attribute set, so they
 // are computed once and reused across discovery runs: the pruned and
@@ -21,19 +29,28 @@ const DefaultStoreCost = 4 << 20
 // same dataset (e.g. behind the advisor), or different algorithms (FASTOD,
 // TANE, approximate, bidirectional) profiling the same relation.
 //
-// The store is bounded: every entry is charged its stripped size in row
-// references, and least-recently-used entries are evicted once the total
-// exceeds the bound, so memory stays predictable on wide relations whose
-// lattices materialize millions of attribute sets.
+// The store is bounded: every entry is charged the exact byte size of its
+// flat class data (rows arena + offsets index), and entries are evicted once
+// the total exceeds the bound, so memory stays predictable on wide relations
+// whose lattices materialize millions of attribute sets.
+//
+// Eviction is level-weighted, not purely LRU: a partition over a small
+// attribute set is exponentially more reusable than a deep one (it is a
+// sub-expression of exponentially many supersets, and every traversal
+// revisits the shallow levels first), so the victim is always the
+// least-recently-used entry of the DEEPEST level present, and the level-0/1
+// seed partitions are pinned until nothing deeper is left. Within one level
+// the policy degenerates to plain LRU.
 //
 // A store belongs to one relation instance: the first engine run binds it to
 // its *relation.Encoded, and building an engine over a different relation
 // with the same store fails loudly rather than silently serving the wrong
 // partitions. (As a second line of defense for direct Put callers, the row
 // count is also pinned and mismatching puts are dropped.) Partitions handed
-// out are shared and must be treated as immutable — every algorithm in this
-// repository already does, since partitions are never mutated after
-// construction.
+// out are shared between callers and goroutines; this is safe because
+// partitions are immutable after construction — the flat arena is never
+// written again, and Class hands out read-only views (see the package
+// partition docs for the contract).
 //
 // All methods are safe for concurrent use.
 type PartitionStore struct {
@@ -43,14 +60,20 @@ type PartitionStore struct {
 	rows    int               // pinned by the first Put; -1 before
 	cost    int
 	entries map[bitset.AttrSet]*list.Element
-	lru     *list.List // front = most recently used; values are *storeEntry
+	// lrus holds one recency list per attribute-set level (index = |X|);
+	// front = most recently used. Values are *storeEntry.
+	lrus []*list.List
+	// deepest is the highest level with entries, maintained as an eviction
+	// scan hint; levels above it are all empty.
+	deepest int
 	stats   StoreStats
 }
 
 type storeEntry struct {
-	key  bitset.AttrSet
-	p    *partition.Partition
-	cost int
+	key   bitset.AttrSet
+	p     *partition.Partition
+	cost  int
+	level int
 }
 
 // StoreStats describes a store's accounting at one point in time.
@@ -60,13 +83,13 @@ type StoreStats struct {
 	// Puts counts partitions accepted into the store; Evictions counts
 	// entries removed to respect the bound.
 	Puts, Evictions int
-	// Entries and Cost describe the current contents; Cost never exceeds
-	// MaxCost.
+	// Entries and Cost describe the current contents; Cost is in bytes of
+	// retained class data and never exceeds MaxCost.
 	Entries, Cost, MaxCost int
 }
 
-// NewPartitionStore builds an empty store bounded to maxCost retained row
-// references; maxCost <= 0 selects DefaultStoreCost.
+// NewPartitionStore builds an empty store bounded to maxCost bytes of
+// retained class data; maxCost <= 0 selects DefaultStoreCost.
 func NewPartitionStore(maxCost int) *PartitionStore {
 	if maxCost <= 0 {
 		maxCost = DefaultStoreCost
@@ -75,14 +98,20 @@ func NewPartitionStore(maxCost int) *PartitionStore {
 		maxCost: maxCost,
 		rows:    -1,
 		entries: make(map[bitset.AttrSet]*list.Element),
-		lru:     list.New(),
+		lrus:    make([]*list.List, bitset.MaxAttrs+1),
 	}
 }
 
-// entryCost charges a partition its stripped size in row references, plus one
-// so that empty (superkey) partitions — cheap but very valuable to cache —
-// still carry accounting weight.
-func entryCost(p *partition.Partition) int { return p.Size() + 1 }
+// entryCost charges a partition its exact flat footprint. Even an empty
+// (superkey) partition — cheap but very valuable to cache — carries its
+// offsets sentinel, so every entry has positive accounting weight.
+func entryCost(p *partition.Partition) int {
+	c := p.FootprintBytes()
+	if c <= 0 {
+		c = 1
+	}
+	return c
+}
 
 // bind pins the store to one relation instance. The first bind wins;
 // binding to a different relation is an error, which engines surface from
@@ -101,7 +130,7 @@ func (s *PartitionStore) bind(enc *relation.Encoded) error {
 }
 
 // Get returns the memoized partition for an attribute set, refreshing its
-// recency.
+// recency within its level.
 func (s *PartitionStore) Get(x bitset.AttrSet) (*partition.Partition, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -110,15 +139,15 @@ func (s *PartitionStore) Get(x bitset.AttrSet) (*partition.Partition, bool) {
 		s.stats.Misses++
 		return nil, false
 	}
-	s.lru.MoveToFront(el)
+	s.lrus[el.Value.(*storeEntry).level].MoveToFront(el)
 	s.stats.Hits++
 	return el.Value.(*storeEntry).p, true
 }
 
 // Put memoizes a partition. Puts for a different relation (row-count
 // mismatch with the pinned one) and partitions larger than the whole bound
-// are dropped; otherwise least-recently-used entries are evicted until the
-// new entry fits.
+// are dropped; otherwise entries are evicted — deepest level first, LRU
+// within a level — until the new entry fits.
 func (s *PartitionStore) Put(x bitset.AttrSet, p *partition.Partition) {
 	if p == nil {
 		return
@@ -137,30 +166,59 @@ func (s *PartitionStore) Put(x bitset.AttrSet, p *partition.Partition) {
 	if el, ok := s.entries[x]; ok {
 		// Refresh: another run recomputed the same partition (e.g. after an
 		// eviction race); keep the existing entry, update recency.
-		s.lru.MoveToFront(el)
+		s.lrus[el.Value.(*storeEntry).level].MoveToFront(el)
 		return
 	}
 	for s.cost+cost > s.maxCost {
-		s.evictOldest()
+		if !s.evictOne() {
+			break
+		}
 	}
-	el := s.lru.PushFront(&storeEntry{key: x, p: p, cost: cost})
+	level := x.Len()
+	if s.lrus[level] == nil {
+		s.lrus[level] = list.New()
+	}
+	el := s.lrus[level].PushFront(&storeEntry{key: x, p: p, cost: cost, level: level})
 	s.entries[x] = el
 	s.cost += cost
+	if level > s.deepest {
+		s.deepest = level
+	}
 	s.stats.Puts++
 }
 
-// evictOldest removes the least-recently-used entry; callers hold the lock
-// and guarantee the store is non-empty (cost > 0 whenever the loop runs).
-func (s *PartitionStore) evictOldest() {
-	el := s.lru.Back()
-	if el == nil {
-		return
+// evictOne removes one entry under the level-weighted policy: the
+// least-recently-used entry of the deepest non-empty unpinned level, falling
+// back to the pinned seed levels (deepest first) only when nothing else is
+// left. It reports whether an entry was evicted; callers hold the lock.
+func (s *PartitionStore) evictOne() bool {
+	for pass := 0; pass < 2; pass++ {
+		lo := pinnedMaxLevel + 1
+		if pass == 1 {
+			lo = 0 // fall back to the pinned seed levels
+		}
+		hi := s.deepest
+		if pass == 1 && hi > pinnedMaxLevel {
+			hi = pinnedMaxLevel
+		}
+		for l := hi; l >= lo; l-- {
+			lru := s.lrus[l]
+			if lru == nil || lru.Len() == 0 {
+				continue
+			}
+			el := lru.Back()
+			ent := el.Value.(*storeEntry)
+			lru.Remove(el)
+			delete(s.entries, ent.key)
+			s.cost -= ent.cost
+			s.stats.Evictions++
+			for s.deepest > 0 && (s.lrus[s.deepest] == nil || s.lrus[s.deepest].Len() == 0) {
+				s.deepest--
+			}
+			return true
+		}
 	}
-	ent := el.Value.(*storeEntry)
-	s.lru.Remove(el)
-	delete(s.entries, ent.key)
-	s.cost -= ent.cost
-	s.stats.Evictions++
+	return false
 }
 
 // Len returns the number of memoized partitions.
@@ -187,7 +245,8 @@ func (s *PartitionStore) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.entries = make(map[bitset.AttrSet]*list.Element)
-	s.lru.Init()
+	s.lrus = make([]*list.List, bitset.MaxAttrs+1)
+	s.deepest = 0
 	s.cost = 0
 	s.rows = -1
 	s.owner = nil

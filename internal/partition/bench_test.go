@@ -38,6 +38,22 @@ func BenchmarkProduct(b *testing.B) {
 	}
 }
 
+func BenchmarkProductWithScratch(b *testing.B) {
+	// The engine hot path: a warm per-worker scratch makes the product's only
+	// allocations the exact-size flat buffers of the result.
+	colA, cardA := randomColumn(100_000, 100, 1)
+	colB, cardB := randomColumn(100_000, 100, 2)
+	pa := FromColumn(colA, cardA)
+	pb := FromColumn(colB, cardB)
+	s := NewScratch()
+	pa.ProductWith(pb, s) // warm the scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pa.ProductWith(pb, s)
+	}
+}
+
 func BenchmarkHasSwapSortedScan(b *testing.B) {
 	ctxCol, ctxCard := randomColumn(50_000, 50, 1)
 	colA, _ := randomColumn(50_000, 1000, 2)
@@ -47,6 +63,35 @@ func BenchmarkHasSwapSortedScan(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctx.HasSwap(colA, colB)
+	}
+}
+
+func BenchmarkHasSwapScratch(b *testing.B) {
+	// The validation hot path: with a warm per-worker scratch the radix swap
+	// check is allocation-free.
+	ctxCol, ctxCard := randomColumn(50_000, 50, 1)
+	colA, _ := randomColumn(50_000, 1000, 2)
+	colB, _ := randomColumn(50_000, 1000, 3)
+	ctx := FromColumn(ctxCol, ctxCard)
+	s := NewScratch()
+	ctx.HasSwapWith(colA, colB, s) // warm the scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.HasSwapWith(colA, colB, s)
+	}
+}
+
+func BenchmarkSwapRemovals(b *testing.B) {
+	ctxCol, ctxCard := randomColumn(50_000, 50, 1)
+	colA, _ := randomColumn(50_000, 1000, 2)
+	colB, _ := randomColumn(50_000, 1000, 3)
+	ctx := FromColumn(ctxCol, ctxCard)
+	s := NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.SwapRemovals(colA, colB, s)
 	}
 }
 

@@ -4,12 +4,28 @@
 // and the sorted-scan swap check used to validate order-compatibility ODs
 // X: A ~ B. All operations work on rank-encoded columns (see package
 // relation), so value comparisons are integer comparisons.
+//
+// # Memory model
+//
+// A Partition is stored flat: one rows arena holding the row indexes of every
+// stripped class back to back, plus a CSR-style offsets index delimiting the
+// classes. A partition therefore costs exactly two backing arrays no matter
+// how many classes it has, its classes are contiguous in memory (products and
+// scans walk the arena cache-linearly), and its retained footprint is
+// byte-exact: FootprintBytes reports it, and the lattice.PartitionStore
+// charges entries with it.
+//
+// # Immutability
+//
+// Partitions are immutable after construction. Class returns a view into the
+// shared arena — callers must not modify it. Every algorithm in this
+// repository treats partitions as read-only, which is what allows one
+// partition to be shared freely between worker goroutines and between
+// discovery runs through a PartitionStore; use Clone for a private mutable
+// copy (tests only).
 package partition
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Partition is a stripped partition Π*X of the tuples of a relation with
 // respect to some attribute set X: the list of equivalence classes of size at
@@ -19,63 +35,150 @@ type Partition struct {
 	// NumRows is the total number of tuples in the underlying relation,
 	// including those in the dropped singleton classes.
 	NumRows int
-	// Classes holds the equivalence classes with at least two tuples. Each
-	// class is a slice of row indexes in ascending order.
-	Classes [][]int32
+	// rows is the arena: the row indexes of all stripped classes, class by
+	// class, ascending within each class.
+	rows []int32
+	// offsets delimits the classes: class i is rows[offsets[i]:offsets[i+1]],
+	// so len(offsets) is NumClasses()+1 (a single 0 for an empty partition).
+	offsets []int32
+}
+
+// fromClasses builds a flat partition from materialized class slices. It is
+// the bridge used by the naive oracles and in-package tests; the production
+// constructors (FromColumn, FromConstant, ProductWith) emit into the flat
+// buffers directly.
+func fromClasses(numRows int, classes [][]int32) *Partition {
+	size := 0
+	for _, c := range classes {
+		size += len(c)
+	}
+	p := &Partition{
+		NumRows: numRows,
+		rows:    make([]int32, 0, size),
+		offsets: make([]int32, 1, len(classes)+1),
+	}
+	for _, c := range classes {
+		p.rows = append(p.rows, c...)
+		p.offsets = append(p.offsets, int32(len(p.rows)))
+	}
+	return p
 }
 
 // FromColumn builds the stripped partition of a single rank-encoded column.
-// Because ranks are dense (0..cardinality-1), the grouping is a linear-time
-// bucket pass; the resulting classes are ordered by rank, so the partition of
-// a single attribute doubles as the sorted partition τA of Section 4.6.
+// Because ranks are dense (0..cardinality-1), the grouping is a two-pass
+// counting sort straight into the flat arena; the resulting classes are
+// ordered by rank, so the partition of a single attribute doubles as the
+// sorted partition τA of Section 4.6.
 func FromColumn(col []int32, cardinality int) *Partition {
 	if cardinality < 0 {
 		cardinality = 0
 	}
-	buckets := make([][]int32, cardinality)
-	for row, v := range col {
-		if int(v) >= len(buckets) {
+	counts := make([]int32, cardinality)
+	for _, v := range col {
+		if int(v) >= len(counts) {
 			// Defensive growth: callers normally pass the true cardinality.
-			grown := make([][]int32, int(v)+1)
-			copy(grown, buckets)
-			buckets = grown
+			// Grow geometrically so a caller that underestimates badly costs
+			// O(log max-rank) regrows, not one per out-of-range rank.
+			counts = growInt32(counts, int(v)+1)
 		}
-		buckets[v] = append(buckets[v], int32(row))
+		counts[v]++
 	}
-	p := &Partition{NumRows: len(col)}
-	for _, b := range buckets {
-		if len(b) >= 2 {
-			p.Classes = append(p.Classes, b)
+	size, numClasses := 0, 0
+	for _, c := range counts {
+		if c >= 2 {
+			size += int(c)
+			numClasses++
 		}
+	}
+	p := &Partition{
+		NumRows: len(col),
+		rows:    make([]int32, size),
+		offsets: make([]int32, numClasses+1),
+	}
+	// Rewrite counts[v] into the arena write cursor of v's class (-1 for
+	// singleton ranks), recording class start offsets along the way.
+	pos, ci := int32(0), 0
+	for v, c := range counts {
+		if c >= 2 {
+			p.offsets[ci] = pos
+			ci++
+			counts[v] = pos
+			pos += c
+		} else {
+			counts[v] = -1
+		}
+	}
+	p.offsets[numClasses] = pos
+	for row, v := range col {
+		cur := counts[v]
+		if cur < 0 {
+			continue
+		}
+		p.rows[cur] = int32(row)
+		counts[v] = cur + 1
 	}
 	return p
+}
+
+// growInt32 returns a zero-extended copy of s with room for at least need
+// elements, at least doubling the length so repeated growth amortizes.
+func growInt32(s []int32, need int) []int32 {
+	newLen := 2 * len(s)
+	if newLen < need {
+		newLen = need
+	}
+	if newLen < 4 {
+		newLen = 4
+	}
+	grown := make([]int32, newLen)
+	copy(grown, s)
+	return grown
 }
 
 // FromConstant returns the partition for the empty attribute set: all tuples
 // fall into one equivalence class.
 func FromConstant(numRows int) *Partition {
-	p := &Partition{NumRows: numRows}
+	p := &Partition{NumRows: numRows, offsets: []int32{0}}
 	if numRows >= 2 {
-		cls := make([]int32, numRows)
-		for i := range cls {
-			cls[i] = int32(i)
+		p.rows = make([]int32, numRows)
+		for i := range p.rows {
+			p.rows[i] = int32(i)
 		}
-		p.Classes = [][]int32{cls}
+		p.offsets = append(p.offsets, int32(numRows))
 	}
 	return p
 }
 
 // NumClasses returns the number of stripped (size >= 2) classes.
-func (p *Partition) NumClasses() int { return len(p.Classes) }
+func (p *Partition) NumClasses() int {
+	if len(p.offsets) == 0 {
+		return 0
+	}
+	return len(p.offsets) - 1
+}
+
+// Class returns the i-th stripped class: row indexes in ascending order. The
+// returned slice is a view into the partition's arena and must be treated as
+// read-only.
+func (p *Partition) Class(i int) []int32 {
+	return p.rows[p.offsets[i]:p.offsets[i+1]]
+}
+
+// ForEachClass calls fn once per stripped class, in class order. The slice
+// passed to fn is a read-only view into the arena, valid only for the call.
+func (p *Partition) ForEachClass(fn func(cls []int32)) {
+	for i, n := 0, p.NumClasses(); i < n; i++ {
+		fn(p.Class(i))
+	}
+}
 
 // Size returns the total number of tuples contained in stripped classes.
-func (p *Partition) Size() int {
-	total := 0
-	for _, c := range p.Classes {
-		total += len(c)
-	}
-	return total
-}
+func (p *Partition) Size() int { return len(p.rows) }
+
+// FootprintBytes returns the exact number of bytes the partition retains for
+// class data: the rows arena plus the class-offset index (4 bytes per entry).
+// It is the unit the lattice.PartitionStore charges cached entries with.
+func (p *Partition) FootprintBytes() int { return 4 * (len(p.rows) + len(p.offsets)) }
 
 // Error returns e(ΠX) = ||Π*X|| - |Π*X|, the number of tuples that would have
 // to be removed to make X a superkey. For partitions over the same relation,
@@ -91,16 +194,17 @@ func (p *Partition) NumClassesUnstripped() int {
 
 // IsSuperkey reports whether X is a superkey: every equivalence class is a
 // singleton, i.e. the stripped partition is empty.
-func (p *Partition) IsSuperkey() bool { return len(p.Classes) == 0 }
+func (p *Partition) IsSuperkey() bool { return len(p.rows) == 0 }
 
-// Clone returns a deep copy of the partition.
+// Clone returns a deep copy of the partition with its own arena.
 func (p *Partition) Clone() *Partition {
-	out := &Partition{NumRows: p.NumRows, Classes: make([][]int32, len(p.Classes))}
-	for i, c := range p.Classes {
-		cc := make([]int32, len(c))
-		copy(cc, c)
-		out.Classes[i] = cc
+	out := &Partition{
+		NumRows: p.NumRows,
+		rows:    make([]int32, len(p.rows)),
+		offsets: make([]int32, len(p.offsets)),
 	}
+	copy(out.rows, p.rows)
+	copy(out.offsets, p.offsets)
 	return out
 }
 
@@ -109,115 +213,13 @@ func (p *Partition) String() string {
 	return fmt.Sprintf("Partition{rows=%d classes=%d size=%d}", p.NumRows, p.NumClasses(), p.Size())
 }
 
-// Product computes the stripped partition of X ∪ Y from the stripped
-// partitions of X and Y in time linear in the partition sizes, using the
-// standard probe-table construction: tuples that share a class in both inputs
-// share a class in the product. This is the only operation FASTOD needs to
-// derive the partitions of level l+1 nodes from level l nodes.
-//
-// Product allocates a fresh workspace per call; hot loops that compute many
-// products (the level-generation phase of FASTOD) should hold a Scratch and
-// call ProductWith instead.
-func Product(a, b *Partition) *Partition {
-	return a.ProductWith(b, nil)
-}
-
-// Scratch is a reusable workspace for ProductWith. A single Scratch may be
-// reused across any number of products, over relations of any size — it grows
-// as needed and cleans up after itself — but it must not be shared between
-// goroutines: parallel callers hold one Scratch per worker.
-type Scratch struct {
-	// probe[row] = index of row's class in the left operand, or -1 if the row
-	// is a singleton there. All entries are -1 between calls.
-	probe []int32
-	// groups[ci] collects the rows of the current right-operand class that
-	// fall into left class ci. Each bucket is emptied (length reset, capacity
-	// kept) before the next class, so its backing arrays amortize across the
-	// whole run.
-	groups [][]int32
-	// touched lists the left classes dirtied by the current right class.
-	touched []int32
-}
-
-// NewScratch returns an empty workspace ready for ProductWith.
-func NewScratch() *Scratch { return &Scratch{} }
-
-// ProductWith computes Product(a, b) using s as scratch space, avoiding the
-// per-call probe-table and grouping allocations. A nil scratch is allowed and
-// makes the call equivalent to Product(a, b). The result is a freshly
-// allocated Partition identical to Product's.
-func (a *Partition) ProductWith(b *Partition, s *Scratch) *Partition {
-	if a.NumRows != b.NumRows {
-		panic(fmt.Sprintf("partition: product over different relations (%d vs %d rows)", a.NumRows, b.NumRows))
-	}
-	if s == nil {
-		s = NewScratch()
-	}
-	if len(s.probe) < a.NumRows {
-		grown := make([]int32, a.NumRows)
-		for i := range grown {
-			grown[i] = -1
-		}
-		s.probe = grown
-	}
-	if len(s.groups) < len(a.Classes) {
-		grown := make([][]int32, len(a.Classes))
-		copy(grown, s.groups)
-		s.groups = grown
-	}
-	for ci, cls := range a.Classes {
-		for _, row := range cls {
-			s.probe[row] = int32(ci)
-		}
-	}
-	out := &Partition{NumRows: a.NumRows}
-	// For each class of b, group its rows by their class in a.
-	for _, cls := range b.Classes {
-		s.touched = s.touched[:0]
-		for _, row := range cls {
-			ca := s.probe[row]
-			if ca < 0 {
-				continue // singleton in a => singleton in the product
-			}
-			if len(s.groups[ca]) == 0 {
-				s.touched = append(s.touched, ca)
-			}
-			s.groups[ca] = append(s.groups[ca], row)
-		}
-		for _, ca := range s.touched {
-			rows := s.groups[ca]
-			if len(rows) >= 2 {
-				cc := make([]int32, len(rows))
-				copy(cc, rows)
-				out.Classes = append(out.Classes, cc)
-			}
-			s.groups[ca] = rows[:0]
-		}
-	}
-	// Restore the all--1 probe invariant for the next call.
-	for _, cls := range a.Classes {
-		for _, row := range cls {
-			s.probe[row] = -1
-		}
-	}
-	sortClasses(out.Classes)
-	return out
-}
-
-// sortClasses establishes a deterministic class order (by first row index) so
-// that algorithm output does not depend on map iteration order.
-func sortClasses(classes [][]int32) {
-	sort.Slice(classes, func(i, j int) bool {
-		return classes[i][0] < classes[j][0]
-	})
-}
-
 // ConstantInClasses reports whether attribute col (rank-encoded) is constant
 // within every equivalence class of the partition, i.e. whether the canonical
 // OD X: [] ↦ A holds where the receiver is Π*X. Singleton classes are
 // trivially constant and are not present in a stripped partition.
 func (p *Partition) ConstantInClasses(col []int32) bool {
-	for _, cls := range p.Classes {
+	for ci, n := 0, p.NumClasses(); ci < n; ci++ {
+		cls := p.Class(ci)
 		first := col[cls[0]]
 		for _, row := range cls[1:] {
 			if col[row] != first {
@@ -239,12 +241,13 @@ func (p *Partition) Refines(q *Partition) bool {
 	for i := range probe {
 		probe[i] = -1
 	}
-	for ci, cls := range q.Classes {
-		for _, row := range cls {
+	for ci, n := 0, q.NumClasses(); ci < n; ci++ {
+		for _, row := range q.Class(ci) {
 			probe[row] = int32(ci)
 		}
 	}
-	for _, cls := range p.Classes {
+	for ci, n := 0, p.NumClasses(); ci < n; ci++ {
+		cls := p.Class(ci)
 		want := probe[cls[0]]
 		if want < 0 {
 			return false
@@ -258,75 +261,6 @@ func (p *Partition) Refines(q *Partition) bool {
 	return true
 }
 
-// SwapWitness identifies a pair of rows (s, t) within one equivalence class
-// such that s precedes t on colA but t precedes s on colB — a "swap" in the
-// sense of Definition 5, restricted to the context defining this partition.
-type SwapWitness struct {
-	RowS, RowT int
-}
-
-// HasSwap reports whether some equivalence class of the context partition
-// contains a swap between colA and colB, i.e. whether the canonical OD
-// X: A ~ B is violated (the receiver being Π*X). It runs one sorted scan per
-// class: rows are ordered by their A-rank, and B-ranks must never decrease
-// across strictly increasing A-ranks.
-func (p *Partition) HasSwap(colA, colB []int32) bool {
-	_, found := p.findSwap(colA, colB, false)
-	return found
-}
-
-// FindSwap returns a witness pair for a swap between colA and colB within the
-// context partition, if one exists.
-func (p *Partition) FindSwap(colA, colB []int32) (SwapWitness, bool) {
-	return p.findSwap(colA, colB, true)
-}
-
-func (p *Partition) findSwap(colA, colB []int32, wantWitness bool) (SwapWitness, bool) {
-	type pair struct{ a, b, row int32 }
-	var buf []pair
-	for _, cls := range p.Classes {
-		buf = buf[:0]
-		for _, row := range cls {
-			buf = append(buf, pair{a: colA[row], b: colB[row], row: row})
-		}
-		sort.Slice(buf, func(i, j int) bool {
-			if buf[i].a != buf[j].a {
-				return buf[i].a < buf[j].a
-			}
-			return buf[i].b < buf[j].b
-		})
-		// Scan groups of equal A-rank. Every B-rank in the current group must
-		// be >= the maximum B-rank seen in strictly smaller A-groups.
-		runningMax := int32(-1)
-		var runningMaxRow int32 = -1
-		i := 0
-		for i < len(buf) {
-			j := i
-			groupMax := buf[i].b
-			groupMaxRow := buf[i].row
-			for j < len(buf) && buf[j].a == buf[i].a {
-				if buf[j].b < runningMax && runningMax >= 0 {
-					if wantWitness {
-						return SwapWitness{RowS: int(runningMaxRow), RowT: int(buf[j].row)}, true
-					}
-					return SwapWitness{}, true
-				}
-				if buf[j].b > groupMax {
-					groupMax = buf[j].b
-					groupMaxRow = buf[j].row
-				}
-				j++
-			}
-			if groupMax > runningMax {
-				runningMax = groupMax
-				runningMaxRow = groupMaxRow
-			}
-			i = j
-		}
-	}
-	return SwapWitness{}, false
-}
-
 // SplitWitness identifies a pair of rows that agree on the context X but
 // disagree on attribute A — a "split" in the sense of Definition 4, i.e. a
 // violation of the FD X → A (equivalently of the canonical OD X: [] ↦ A).
@@ -337,7 +271,8 @@ type SplitWitness struct {
 // FindSplit returns a witness pair for a violation of X: [] ↦ A within the
 // context partition, if one exists.
 func (p *Partition) FindSplit(col []int32) (SplitWitness, bool) {
-	for _, cls := range p.Classes {
+	for ci, n := 0, p.NumClasses(); ci < n; ci++ {
+		cls := p.Class(ci)
 		first := col[cls[0]]
 		for _, row := range cls[1:] {
 			if col[row] != first {

@@ -6,6 +6,16 @@ import (
 	"testing"
 )
 
+// classesOf materializes the stripped classes of a partition for test
+// comparisons; production code iterates the flat arena via Class/ForEachClass.
+func classesOf(p *Partition) [][]int32 {
+	out := make([][]int32, 0, p.NumClasses())
+	p.ForEachClass(func(cls []int32) {
+		out = append(out, append([]int32(nil), cls...))
+	})
+	return out
+}
+
 // buildColumn turns raw int values into a dense rank-encoded column, the form
 // the partition code expects (equal values share a rank, order preserved).
 func buildColumn(vals []int) ([]int32, int) {
@@ -37,8 +47,8 @@ func TestFromColumn(t *testing.T) {
 	}
 	// value 3 -> rows {1,4}, value 5 -> rows {0,2,5}, value 7 singleton dropped.
 	want := [][]int32{{1, 4}, {0, 2, 5}}
-	if !reflect.DeepEqual(p.Classes, want) {
-		t.Errorf("Classes = %v, want %v", p.Classes, want)
+	if got := classesOf(p); !reflect.DeepEqual(got, want) {
+		t.Errorf("classes = %v, want %v", got, want)
 	}
 	if p.Size() != 5 || p.NumClasses() != 2 || p.Error() != 3 {
 		t.Errorf("Size=%d NumClasses=%d Error=%d", p.Size(), p.NumClasses(), p.Error())
@@ -65,8 +75,39 @@ func TestFromColumnKey(t *testing.T) {
 func TestFromColumnDefensiveCardinality(t *testing.T) {
 	// Passing a too-small cardinality must still work.
 	p := FromColumn([]int32{0, 2, 2}, 1)
-	if p.NumClasses() != 1 || p.Classes[0][0] != 1 {
-		t.Errorf("Classes = %v", p.Classes)
+	if p.NumClasses() != 1 || p.Class(0)[0] != 1 {
+		t.Errorf("classes = %v", classesOf(p))
+	}
+}
+
+func TestFromColumnGrowthIsGeometric(t *testing.T) {
+	// Regression for the defensive bucket growth: a caller passing cardinality
+	// 0 for a column of n distinct ranks must trigger O(log n) regrows, not
+	// one per rank. With geometric growth the whole construction stays within
+	// a few dozen allocations; the old grow-to-exactly-v+1 behavior performed
+	// n reallocations (quadratic copied bytes).
+	const n = 10_000
+	col := make([]int32, n)
+	for i := range col {
+		col[i] = int32(i)
+	}
+	var p *Partition
+	allocs := testing.AllocsPerRun(5, func() {
+		p = FromColumn(col, 0)
+	})
+	if p.NumRows != n || p.NumClasses() != 0 || !p.IsSuperkey() {
+		t.Fatalf("partition = %v, want empty stripped partition over %d rows", p, n)
+	}
+	if allocs > 50 {
+		t.Errorf("FromColumn with cardinality 0 over %d distinct ranks did %.0f allocations, want O(log n)", n, allocs)
+	}
+	// The result must agree with the correctly-sized construction.
+	dup := make([]int32, n)
+	for i := range dup {
+		dup[i] = int32(i / 2)
+	}
+	if got, want := classesOf(FromColumn(dup, 0)), classesOf(FromColumn(dup, n/2)); !reflect.DeepEqual(got, want) {
+		t.Errorf("undersized cardinality changed the result: %v vs %v", got, want)
 	}
 }
 
@@ -75,8 +116,8 @@ func TestFromConstant(t *testing.T) {
 	if p.NumClasses() != 1 || p.Size() != 4 {
 		t.Errorf("FromConstant(4) = %v", p)
 	}
-	if !reflect.DeepEqual(p.Classes[0], []int32{0, 1, 2, 3}) {
-		t.Errorf("class = %v", p.Classes[0])
+	if !reflect.DeepEqual(p.Class(0), []int32{0, 1, 2, 3}) {
+		t.Errorf("class = %v", p.Class(0))
 	}
 	if got := FromConstant(1); got.NumClasses() != 0 {
 		t.Error("single-row constant partition should be stripped empty")
@@ -95,13 +136,13 @@ func TestProduct(t *testing.T) {
 	prod := Product(pYear, pPosit)
 	// year+position is a key for this table: all classes become singletons.
 	if !prod.IsSuperkey() {
-		t.Errorf("product = %v, want superkey", prod.Classes)
+		t.Errorf("product = %v, want superkey", classesOf(prod))
 	}
 
 	// position x bin where bin == position: product equals the position partition.
 	prod2 := Product(pPosit, pPosit)
-	if !reflect.DeepEqual(prod2.Classes, pPosit.Classes) {
-		t.Errorf("product with self = %v, want %v", prod2.Classes, pPosit.Classes)
+	if !reflect.DeepEqual(classesOf(prod2), classesOf(pPosit)) {
+		t.Errorf("product with self = %v, want %v", classesOf(prod2), classesOf(pPosit))
 	}
 }
 
@@ -288,12 +329,15 @@ func TestRefines(t *testing.T) {
 func TestCloneIndependent(t *testing.T) {
 	p := FromColumn([]int32{0, 0, 1, 1}, 2)
 	c := p.Clone()
-	c.Classes[0][0] = 99
-	if p.Classes[0][0] == 99 {
-		t.Error("Clone shares class storage with the original")
+	c.Class(0)[0] = 99 // tests may scribble on a private clone's arena
+	if p.Class(0)[0] == 99 {
+		t.Error("Clone shares arena storage with the original")
 	}
 	if p.String() == "" {
 		t.Error("String should not be empty")
+	}
+	if p.FootprintBytes() != 4*(p.Size()+p.NumClasses()+1) {
+		t.Errorf("FootprintBytes = %d, want rows+offsets bytes", p.FootprintBytes())
 	}
 }
 

@@ -1,0 +1,207 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// This file property-tests the flat kernels — ProductWith, the radix swap
+// check and the removal counters — against the independent naive oracles in
+// naive.go, on randomized relations of varying size, cardinality and class
+// skew, while reusing one Scratch across every trial (including relations of
+// different sizes, which forces every scratch buffer to grow mid-run).
+
+// skewedColumn draws a rank-encoded column whose value distribution ranges
+// from uniform to heavily skewed (a few huge classes plus a singleton tail),
+// re-densifying ranks afterwards.
+func skewedColumn(rng *rand.Rand, rows, card int, skew float64) ([]int32, int) {
+	raw := make([]int, rows)
+	for i := range raw {
+		if rng.Float64() < skew {
+			raw[i] = 0 // pile onto one heavy value
+		} else {
+			raw[i] = rng.Intn(card)
+		}
+	}
+	dense := map[int]int32{}
+	vals := append([]int(nil), raw...)
+	sort.Ints(vals)
+	for _, v := range vals {
+		if _, ok := dense[v]; !ok {
+			dense[v] = int32(len(dense))
+		}
+	}
+	col := make([]int32, rows)
+	for i, v := range raw {
+		col[i] = dense[v]
+	}
+	return col, len(dense)
+}
+
+// canonClasses returns the classes sorted by first row, the order the naive
+// product oracle uses; the flat product's right-operand-major order is
+// deterministic but different, so comparisons go through this normal form.
+func canonClasses(p *Partition) [][]int32 {
+	out := classesOf(p)
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+func TestFlatKernelsMatchNaiveOracles(t *testing.T) {
+	rng := rand.New(rand.NewSource(1789))
+	s := NewScratch() // one scratch across all trials and relation sizes
+	for trial := 0; trial < 300; trial++ {
+		rows := 2 + rng.Intn(250)
+		cardA := 1 + rng.Intn(rows)
+		cardB := 1 + rng.Intn(rows)
+		skewA := rng.Float64() * rng.Float64() // bias toward mild skew
+		skewB := rng.Float64()
+		colA, ca := skewedColumn(rng, rows, cardA, skewA)
+		colB, cb := skewedColumn(rng, rows, cardB, skewB)
+		pa := FromColumn(colA, ca)
+		pb := FromColumn(colB, cb)
+
+		// Product: flat scratch-backed kernel vs map-grouping oracle.
+		got := pa.ProductWith(pb, s)
+		want := ProductNaive(pa, pb)
+		if got.NumRows != want.NumRows || got.Size() != want.Size() || got.NumClasses() != want.NumClasses() {
+			t.Fatalf("trial %d (%d rows): product shape = %v, want %v", trial, rows, got, want)
+		}
+		if !reflect.DeepEqual(canonClasses(got), canonClasses(want)) {
+			t.Fatalf("trial %d (%d rows): product classes = %v, want %v",
+				trial, rows, canonClasses(got), canonClasses(want))
+		}
+		// The probe invariant must be restored for the next trial.
+		for i, v := range s.probe {
+			if v != -1 {
+				t.Fatalf("trial %d: probe[%d] = %d after ProductWith, want -1", trial, i, v)
+			}
+		}
+
+		// Swap check on a third column pair within the product context:
+		// radix-sorted scan vs all-pairs oracle.
+		colX, _ := skewedColumn(rng, rows, 1+rng.Intn(rows), rng.Float64())
+		colY, _ := skewedColumn(rng, rows, 1+rng.Intn(rows), rng.Float64())
+		for _, ctx := range []*Partition{pa, got, FromConstant(rows)} {
+			naive := ctx.HasSwapNaive(colX, colY)
+			if fast := ctx.HasSwapWith(colX, colY, s); fast != naive {
+				t.Fatalf("trial %d: HasSwapWith = %v, naive oracle = %v (ctx %v)", trial, fast, naive, ctx)
+			}
+			w, found := ctx.FindSwapWith(colX, colY, s)
+			if found != naive {
+				t.Fatalf("trial %d: FindSwapWith found = %v, naive oracle = %v", trial, found, naive)
+			}
+			if found {
+				// The witness must be a genuine swap within one context class.
+				okDir := (colX[w.RowS] < colX[w.RowT] && colY[w.RowT] < colY[w.RowS]) ||
+					(colX[w.RowT] < colX[w.RowS] && colY[w.RowS] < colY[w.RowT])
+				if !okDir {
+					t.Fatalf("trial %d: witness (%d,%d) is not a swap", trial, w.RowS, w.RowT)
+				}
+				sameClass := false
+				ctx.ForEachClass(func(cls []int32) {
+					in := 0
+					for _, row := range cls {
+						if int(row) == w.RowS || int(row) == w.RowT {
+							in++
+						}
+					}
+					if in == 2 {
+						sameClass = true
+					}
+				})
+				if !sameClass {
+					t.Fatalf("trial %d: witness rows (%d,%d) not in one context class", trial, w.RowS, w.RowT)
+				}
+			}
+
+			// Removal counters vs direct per-class recomputation.
+			if gotR, wantR := ctx.SwapRemovals(colX, colY, s), swapRemovalsNaive(ctx, colX, colY); gotR != wantR {
+				t.Fatalf("trial %d: SwapRemovals = %d, naive = %d", trial, gotR, wantR)
+			}
+			if gotR, wantR := ctx.ConstancyRemovals(colX, s), constancyRemovalsNaive(ctx, colX); gotR != wantR {
+				t.Fatalf("trial %d: ConstancyRemovals = %d, naive = %d", trial, gotR, wantR)
+			}
+			if naive && ctx.SwapRemovals(colX, colY, s) == 0 {
+				t.Fatalf("trial %d: swap exists but SwapRemovals = 0", trial)
+			}
+		}
+	}
+}
+
+// swapRemovalsNaive recomputes the per-class longest non-decreasing
+// subsequence with a comparison sort and quadratic DP — an implementation
+// independent of the radix sort and patience-sorting used by SwapRemovals.
+func swapRemovalsNaive(p *Partition, colA, colB []int32) int {
+	removals := 0
+	p.ForEachClass(func(cls []int32) {
+		rows := append([]int32(nil), cls...)
+		sort.SliceStable(rows, func(i, j int) bool {
+			if colA[rows[i]] != colA[rows[j]] {
+				return colA[rows[i]] < colA[rows[j]]
+			}
+			return colB[rows[i]] < colB[rows[j]]
+		})
+		best := 0
+		lnds := make([]int, len(rows))
+		for i := range rows {
+			lnds[i] = 1
+			for j := 0; j < i; j++ {
+				if colB[rows[j]] <= colB[rows[i]] && lnds[j]+1 > lnds[i] {
+					lnds[i] = lnds[j] + 1
+				}
+			}
+			if lnds[i] > best {
+				best = lnds[i]
+			}
+		}
+		removals += len(cls) - best
+	})
+	return removals
+}
+
+// constancyRemovalsNaive recomputes per-class removals with a plain map.
+func constancyRemovalsNaive(p *Partition, col []int32) int {
+	removals := 0
+	p.ForEachClass(func(cls []int32) {
+		freq := map[int32]int{}
+		best := 0
+		for _, row := range cls {
+			freq[col[row]]++
+			if freq[col[row]] > best {
+				best = freq[col[row]]
+			}
+		}
+		removals += len(cls) - best
+	})
+	return removals
+}
+
+// TestRadixSortCrossesCutoff forces classes on both sides of the insertion
+// cutoff — including far beyond it, exercising multi-digit radix passes with
+// large dense ranks — and checks the swap verdict against the oracle.
+func TestRadixSortCrossesCutoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(977))
+	s := NewScratch()
+	for _, rows := range []int{insertionCutoff - 1, insertionCutoff, insertionCutoff + 1, 4 * insertionCutoff, 1024} {
+		for trial := 0; trial < 20; trial++ {
+			// One giant class (constant context) with ranks spanning the full
+			// row range so the radix sort needs multiple 8-bit digits.
+			colA := make([]int32, rows)
+			colB := make([]int32, rows)
+			for i := range colA {
+				colA[i] = int32(rng.Intn(rows))
+				colB[i] = int32(rng.Intn(rows))
+			}
+			ctx := FromConstant(rows)
+			if got, want := ctx.HasSwapWith(colA, colB, s), ctx.HasSwapNaive(colA, colB); got != want {
+				t.Fatalf("rows=%d trial %d: HasSwapWith = %v, naive = %v", rows, trial, got, want)
+			}
+			if got, want := ctx.SwapRemovals(colA, colB, s), swapRemovalsNaive(ctx, colA, colB); got != want {
+				t.Fatalf("rows=%d trial %d: SwapRemovals = %d, naive = %d", rows, trial, got, want)
+			}
+		}
+	}
+}
