@@ -1,7 +1,7 @@
 package fastod
 
 import (
-	"time"
+	"context"
 
 	"repro/internal/order"
 	"repro/internal/tane"
@@ -9,7 +9,8 @@ import (
 
 // Baseline re-exports: the paper's two comparison algorithms are available
 // through the public API so downstream users can reproduce the evaluation or
-// use TANE when only functional dependencies are needed.
+// use TANE when only functional dependencies are needed. Both run through the
+// unified Run surface (AlgorithmTANE, AlgorithmORDER).
 type (
 	// FD is a minimal functional dependency as discovered by TANE.
 	FD = tane.FD
@@ -27,22 +28,51 @@ type (
 // complete set of minimal functional dependencies. This is the FD-only
 // comparison point of the paper's Experiment 4; it cannot see order
 // semantics.
+//
+// Deprecated: use Run with AlgorithmTANE, which adds context cancellation,
+// budgets and progress reporting.
 func (d *Dataset) DiscoverFDs(opts TANEOptions) (*TANEResult, error) {
-	opts.Partitions = d.partitions(opts.Partitions)
-	return tane.Discover(d.enc, opts)
+	rep, err := d.RunWithProgress(context.Background(), Request{
+		Algorithm: AlgorithmTANE,
+		RunOptions: RunOptions{
+			Workers:    opts.Workers,
+			MaxLevel:   opts.MaxLevel,
+			Budget:     opts.Budget,
+			Partitions: opts.Partitions,
+		},
+	}, opts.Progress)
+	if err != nil {
+		return nil, err
+	}
+	return rep.TANE, nil
 }
 
 // DiscoverWithORDER runs the ORDER baseline (Langer & Naumann) over the
 // dataset. ORDER's search space is factorial in the number of attributes, so
 // callers should set a budget for wide schemas; a run that exceeds it reports
-// TimedOut=true.
+// a partial result with Interrupted=true.
+//
+// Deprecated: use Run with AlgorithmORDER and RunOptions.Budget.
 func (d *Dataset) DiscoverWithORDER(opts ORDEROptions) (*ORDERResult, error) {
-	return order.Discover(d.enc, opts)
+	rep, err := d.RunWithProgress(context.Background(), Request{
+		Algorithm: AlgorithmORDER,
+		RunOptions: RunOptions{
+			MaxLevel: opts.MaxLevel,
+			Budget:   opts.Budget,
+		},
+	}, opts.Progress)
+	if err != nil {
+		return nil, err
+	}
+	return rep.ORDER, nil
 }
 
 // DefaultORDERBudget is a conservative budget for interactive use of the
 // ORDER baseline: wide schemas hit it quickly because of the factorial
 // search space.
+//
+// Deprecated: use DefaultBudget, the shared Budget every algorithm honors;
+// this function returns the equivalent value wrapped in ORDEROptions.
 func DefaultORDERBudget() ORDEROptions {
-	return ORDEROptions{Timeout: 30 * time.Second, MaxNodes: 2_000_000}
+	return ORDEROptions{Budget: DefaultBudget()}
 }

@@ -42,7 +42,7 @@ func figureDataset(name string, rows, cols int) *fastod.Dataset {
 
 // benchORDERBudget keeps the factorial baseline bounded inside benchmarks.
 func benchORDERBudget() fastod.ORDEROptions {
-	return fastod.ORDEROptions{Timeout: 500 * time.Millisecond, MaxNodes: 100_000}
+	return fastod.ORDEROptions{Budget: fastod.Budget{Timeout: 500 * time.Millisecond, MaxNodes: 100_000}}
 }
 
 func runFASTOD(b *testing.B, ds *fastod.Dataset, opts fastod.Options) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -19,29 +20,42 @@ func writeFixture(t *testing.T) string {
 
 func TestRunAlgorithms(t *testing.T) {
 	path := writeFixture(t)
-	for _, alg := range []string{"fastod", "tane", "order"} {
-		if err := run(config{input: path, algorithm: alg, limit: 2, timeout: time.Second}); err != nil {
+	ctx := context.Background()
+	for _, alg := range []string{"fastod", "tane", "approx", "bidir", "conditional", "order"} {
+		if err := run(ctx, config{input: path, algorithm: alg, limit: 2, timeout: time.Second}); err != nil {
 			t.Errorf("run(%s): %v", alg, err)
 		}
 	}
-	// Level stats, count-only and no-pruning paths.
-	if err := run(config{input: path, algorithm: "fastod", maxLevel: 2, noPrune: true, countOnly: true, levels: true, timeout: time.Second}); err != nil {
+	// Level stats, count-only, no-pruning and progress paths.
+	if err := run(ctx, config{input: path, algorithm: "fastod", maxLevel: 2, noPrune: true, countOnly: true, levels: true, progress: true}); err != nil {
 		t.Errorf("run(fastod, options): %v", err)
 	}
 	// Explicit sequential and parallel worker counts.
 	for _, workers := range []int{1, 4} {
-		if err := run(config{input: path, algorithm: "fastod", workers: workers, timeout: time.Second}); err != nil {
+		if err := run(ctx, config{input: path, algorithm: "fastod", workers: workers}); err != nil {
 			t.Errorf("run(fastod, workers=%d): %v", workers, err)
 		}
 	}
 }
 
+func TestRunCancelledContext(t *testing.T) {
+	path := writeFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A pre-cancelled context must still produce a (partial, interrupted)
+	// report and a nil error — the SIGINT path of main.
+	if err := run(ctx, config{input: path, algorithm: "fastod"}); err != nil {
+		t.Errorf("run with cancelled ctx: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	path := writeFixture(t)
-	if err := run(config{input: path, algorithm: "bogus", timeout: time.Second}); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, config{input: path, algorithm: "bogus"}); err == nil {
 		t.Error("expected error for unknown algorithm")
 	}
-	if err := run(config{input: path + ".missing", algorithm: "fastod", timeout: time.Second}); err == nil {
+	if err := run(ctx, config{input: path + ".missing", algorithm: "fastod"}); err == nil {
 		t.Error("expected error for missing input")
 	}
 }

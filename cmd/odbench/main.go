@@ -13,22 +13,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/lattice"
 	"repro/internal/relation"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which experiment to run: 4, 5, 6, 7, all or single")
-		quick   = flag.Bool("quick", false, "use the reduced-scale configuration")
-		input   = flag.String("input", "", "CSV file for -fig single")
-		seed    = flag.Int64("seed", 2017, "random seed for dataset generation")
-		workers = flag.Int("workers", 1, "FASTOD/TANE worker goroutines per lattice level (1 = sequential, matching the paper's single-threaded runs; 0 = all CPUs)")
+		fig      = flag.String("fig", "all", "which experiment to run: 4, 5, 6, 7, all or single")
+		quick    = flag.Bool("quick", false, "use the reduced-scale configuration")
+		input    = flag.String("input", "", "CSV file for -fig single")
+		seed     = flag.Int64("seed", 2017, "random seed for dataset generation")
+		workers  = flag.Int("workers", 1, "FASTOD/TANE worker goroutines per lattice level (1 = sequential, matching the paper's single-threaded runs; 0 = all CPUs)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget per FASTOD/TANE run; interrupted runs are reported as partial *budget rows (0 = none)")
+		maxNodes = flag.Int("max-nodes", 0, "lattice-node budget per FASTOD/TANE run (0 = none)")
 	)
 	flag.Parse()
 
@@ -38,41 +43,47 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Budget = lattice.Budget{Timeout: *timeout, MaxNodes: *maxNodes}
 
-	if err := run(*fig, *input, cfg); err != nil {
+	// Ctrl-C cancels the experiment cooperatively: in-flight runs stop
+	// within one parallel chunk and whatever measurements completed are
+	// still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *fig, *input, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "odbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig, input string, cfg bench.Config) error {
+func run(ctx context.Context, fig, input string, cfg bench.Config) error {
 	switch fig {
 	case "4":
-		return runFigure4(cfg)
+		return runFigure4(ctx, cfg)
 	case "5":
-		return runFigure5(cfg)
+		return runFigure5(ctx, cfg)
 	case "6":
-		return runFigure6(cfg)
+		return runFigure6(ctx, cfg)
 	case "7":
-		return runFigure7(cfg)
+		return runFigure7(ctx, cfg)
 	case "all":
-		for _, f := range []func(bench.Config) error{runFigure4, runFigure5, runFigure6, runFigure7} {
-			if err := f(cfg); err != nil {
+		for _, f := range []func(context.Context, bench.Config) error{runFigure4, runFigure5, runFigure6, runFigure7} {
+			if err := f(ctx, cfg); err != nil {
 				return err
 			}
 			fmt.Println()
 		}
 		return nil
 	case "single":
-		return runSingle(input, cfg)
+		return runSingle(ctx, input, cfg)
 	default:
 		return fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, all or single)", fig)
 	}
 }
 
-func runFigure4(cfg bench.Config) error {
+func runFigure4(ctx context.Context, cfg bench.Config) error {
 	start := time.Now()
-	ms, err := bench.Figure4(cfg)
+	ms, err := bench.Figure4(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -81,9 +92,9 @@ func runFigure4(cfg bench.Config) error {
 	return nil
 }
 
-func runFigure5(cfg bench.Config) error {
+func runFigure5(ctx context.Context, cfg bench.Config) error {
 	start := time.Now()
-	ms, err := bench.Figure5(cfg)
+	ms, err := bench.Figure5(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -92,9 +103,9 @@ func runFigure5(cfg bench.Config) error {
 	return nil
 }
 
-func runFigure6(cfg bench.Config) error {
+func runFigure6(ctx context.Context, cfg bench.Config) error {
 	start := time.Now()
-	ms, err := bench.Figure6(cfg)
+	ms, err := bench.Figure6(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -103,9 +114,9 @@ func runFigure6(cfg bench.Config) error {
 	return nil
 }
 
-func runFigure7(cfg bench.Config) error {
+func runFigure7(ctx context.Context, cfg bench.Config) error {
 	start := time.Now()
-	ms, err := bench.Figure7(cfg)
+	ms, err := bench.Figure7(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -115,7 +126,7 @@ func runFigure7(cfg bench.Config) error {
 	return nil
 }
 
-func runSingle(input string, cfg bench.Config) error {
+func runSingle(ctx context.Context, input string, cfg bench.Config) error {
 	if input == "" {
 		return fmt.Errorf("-fig single requires -input")
 	}
@@ -127,7 +138,7 @@ func runSingle(input string, cfg bench.Config) error {
 	if err != nil {
 		return err
 	}
-	ms, err := bench.Table1(enc, rel.Name, cfg.ORDERBudget, cfg.Workers)
+	ms, err := bench.Table1(ctx, enc, rel.Name, cfg)
 	if err != nil {
 		return err
 	}

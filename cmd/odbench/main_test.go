@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/order"
+	"repro/internal/lattice"
 )
 
 // tinyConfig keeps the experiment smoke tests to fractions of a second.
@@ -20,25 +21,25 @@ func tinyConfig() bench.Config {
 	cfg.PruningColScales = []int{4}
 	cfg.LevelCols = 5
 	cfg.LevelRows = 50
-	cfg.ORDERBudget = order.Options{Timeout: 200 * time.Millisecond, MaxNodes: 5000}
+	cfg.ORDERBudget = lattice.Budget{Timeout: 200 * time.Millisecond, MaxNodes: 5000}
 	return cfg
 }
 
 func TestRunFigures(t *testing.T) {
 	cfg := tinyConfig()
 	for _, fig := range []string{"4", "5", "6", "7"} {
-		if err := run(fig, "", cfg); err != nil {
+		if err := run(context.Background(), fig, "", cfg); err != nil {
 			t.Errorf("run(%s): %v", fig, err)
 		}
 	}
-	if err := run("bogus", "", cfg); err == nil {
+	if err := run(context.Background(), "bogus", "", cfg); err == nil {
 		t.Error("expected error for unknown figure")
 	}
 }
 
 func TestRunSingle(t *testing.T) {
 	cfg := tinyConfig()
-	if err := run("single", "", cfg); err == nil {
+	if err := run(context.Background(), "single", "", cfg); err == nil {
 		t.Error("expected error when -input is missing")
 	}
 	path := filepath.Join(t.TempDir(), "tiny.csv")
@@ -46,10 +47,10 @@ func TestRunSingle(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("single", path, cfg); err != nil {
+	if err := run(context.Background(), "single", path, cfg); err != nil {
 		t.Errorf("run(single): %v", err)
 	}
-	if err := run("single", path+".missing", cfg); err == nil {
+	if err := run(context.Background(), "single", path+".missing", cfg); err == nil {
 		t.Error("expected error for missing input")
 	}
 }

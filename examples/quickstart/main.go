@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,10 +16,20 @@ func main() {
 	fmt.Printf("Dataset %q: %d tuples, %d attributes: %v\n\n",
 		ds.Name(), ds.NumRows(), ds.NumCols(), ds.ColumnNames())
 
-	res, err := ds.Discover(fastod.Options{})
+	// Every algorithm runs through the unified Run API; the budget keeps
+	// even a pathological input from running away, returning a partial
+	// report instead.
+	rep, err := ds.Run(context.Background(), fastod.Request{
+		Algorithm:  fastod.AlgorithmFASTOD,
+		RunOptions: fastod.RunOptions{Budget: fastod.DefaultBudget()},
+	})
 	if err != nil {
 		log.Fatalf("discover: %v", err)
 	}
+	if rep.Interrupted {
+		log.Printf("run interrupted after %d nodes — results are partial", rep.Stats.NodesVisited)
+	}
+	res := rep.FASTOD
 
 	names := ds.ColumnNames()
 	fmt.Printf("Discovered %s canonical ODs in %v:\n", res.Counts, res.Elapsed)

@@ -1,6 +1,7 @@
 package fastod
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/advisor"
@@ -30,9 +31,24 @@ type (
 // DiscoverApproximate finds the minimal canonical ODs whose error (the
 // fraction of tuples that must be removed for the OD to hold exactly) is at
 // most the configured threshold. Threshold 0 coincides with exact discovery.
+//
+// Deprecated: use Run with AlgorithmApprox and Request.Approx.Threshold,
+// which adds context cancellation, budgets and progress reporting.
 func (d *Dataset) DiscoverApproximate(opts ApproxOptions) (*ApproxResult, error) {
-	opts.Partitions = d.partitions(opts.Partitions)
-	return approx.Discover(d.enc, opts)
+	rep, err := d.RunWithProgress(context.Background(), Request{
+		Algorithm: AlgorithmApprox,
+		RunOptions: RunOptions{
+			Workers:    opts.Workers,
+			MaxLevel:   opts.MaxLevel,
+			Budget:     opts.Budget,
+			Partitions: opts.Partitions,
+		},
+		Approx: ApproxRunOptions{Threshold: opts.Threshold},
+	}, opts.Progress)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Approx, nil
 }
 
 // ODErrorOf measures the error of one canonical OD on the dataset.
@@ -76,9 +92,23 @@ const (
 // DiscoverBidirectional finds the minimal bidirectional canonical ODs:
 // constancy ODs plus order-compatibility ODs annotated with whether the two
 // attributes move together or in opposite directions.
+//
+// Deprecated: use Run with AlgorithmBidirectional, which adds context
+// cancellation, budgets and progress reporting.
 func (d *Dataset) DiscoverBidirectional(opts BidirOptions) (*BidirResult, error) {
-	opts.Partitions = d.partitions(opts.Partitions)
-	return bidir.Discover(d.enc, opts)
+	rep, err := d.RunWithProgress(context.Background(), Request{
+		Algorithm: AlgorithmBidirectional,
+		RunOptions: RunOptions{
+			Workers:    opts.Workers,
+			MaxLevel:   opts.MaxLevel,
+			Budget:     opts.Budget,
+			Partitions: opts.Partitions,
+		},
+	}, opts.Progress)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Bidir, nil
 }
 
 // CheckBidirListOD reports whether the bidirectional list OD "left ↦ right"
@@ -127,9 +157,40 @@ type (
 // DiscoverConditional finds ODs that hold on condition-selected portions of
 // the dataset (e.g. within each country) but are not implied by the
 // unconditional ODs — the conditional-OD extension named in the paper's
-// conclusion.
+// conclusion. Like every other discovery entry it routes through Run, so its
+// unconditional pass now draws on the dataset's shared partition cache
+// (EnablePartitionCache) unless opts.Discovery.Partitions overrides it;
+// slice passes never touch the store (it binds to the full relation).
+//
+// Deprecated: use Run with AlgorithmConditional and Request.Conditional,
+// which adds context cancellation, budgets and progress reporting.
 func (d *Dataset) DiscoverConditional(opts ConditionalOptions) (*ConditionalResult, error) {
-	return conditional.Discover(d.enc, opts)
+	rep, err := d.RunWithProgress(context.Background(), Request{
+		Algorithm: AlgorithmConditional,
+		RunOptions: RunOptions{
+			Workers:    opts.Discovery.Workers,
+			MaxLevel:   opts.Discovery.MaxLevel,
+			Budget:     opts.Discovery.Budget,
+			Partitions: opts.Discovery.Partitions,
+		},
+		FASTOD: FASTODRunOptions{
+			DisablePruning:     opts.Discovery.DisablePruning,
+			DisableKeyPruning:  opts.Discovery.DisableKeyPruning,
+			DisableNodePruning: opts.Discovery.DisableNodePruning,
+			NaiveSwapCheck:     opts.Discovery.NaiveSwapCheck,
+			CountOnly:          opts.Discovery.CountOnly,
+			CollectLevelStats:  opts.Discovery.CollectLevelStats,
+		},
+		Conditional: ConditionalRunOptions{
+			MaxConditionCardinality: opts.MaxConditionCardinality,
+			MinSliceRows:            opts.MinSliceRows,
+			ConditionAttrs:          opts.ConditionAttrs,
+		},
+	}, opts.Discovery.Progress)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Conditional, nil
 }
 
 // Query-optimization advisor.

@@ -10,22 +10,32 @@
 // minimal set of canonical ODs holding on a table can be discovered by a
 // level-wise traversal of the set-containment lattice.
 //
-// Typical use:
+// Typical use — every algorithm runs through the unified Run surface, which
+// honors context cancellation and resource budgets and reports partial
+// results when interrupted:
 //
 //	ds, err := fastod.LoadCSVFile("employees.csv")
 //	if err != nil { ... }
-//	res, err := ds.Discover(fastod.Options{})
-//	for _, od := range res.ODs {
-//	    fmt.Println(od.NamesString(res.ColumnNames))
+//	rep, err := ds.Run(ctx, fastod.Request{
+//	    Algorithm:  fastod.AlgorithmFASTOD,
+//	    RunOptions: fastod.RunOptions{Budget: fastod.DefaultBudget()},
+//	})
+//	if err != nil { ... }
+//	if rep.Interrupted { ... } // partial results: budget or ctx fired
+//	for _, od := range rep.FASTOD.ODs {
+//	    fmt.Println(od.NamesString(rep.FASTOD.ColumnNames))
 //	}
 //
 // The package also exposes the paper's comparison baselines (TANE for
-// functional dependencies, ORDER for list-based OD discovery), a brute-force
-// reference discoverer used for validation, violation witnesses for data
-// cleaning, and the Theorem-5 mapping between list-based and set-based ODs.
+// functional dependencies, ORDER for list-based OD discovery) — selected via
+// Request.Algorithm — a brute-force reference discoverer used for validation,
+// violation witnesses for data cleaning, and the Theorem-5 mapping between
+// list-based and set-based ODs. The per-algorithm Discover* methods predate
+// Run and remain as deprecated wrappers.
 package fastod
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -174,11 +184,19 @@ func (d *Dataset) ColumnIndex(name string) int { return d.enc.ColumnIndex(name) 
 // Project returns a dataset restricted to the first k attributes, and
 // HeadRows one restricted to the first n tuples. Both are cheap views used by
 // the scalability experiments.
+//
+// A view is a distinct relation instance, so it deliberately does NOT
+// inherit the parent's partition cache: a PartitionStore binds to exactly
+// one relation instance and fails loudly on reuse (see EnablePartitionCache),
+// and the parent's partitions would be wrong for the view anyway. Call
+// EnablePartitionCache on the view itself to cache its partitions.
 func (d *Dataset) Project(k int) *Dataset {
 	return &Dataset{rel: d.rel, enc: d.enc.ProjectColumns(k)}
 }
 
-// HeadRows returns a dataset restricted to the first n tuples.
+// HeadRows returns a dataset restricted to the first n tuples. Like Project,
+// the view does not inherit the parent's partition cache (stores bind to one
+// relation instance); enable one on the view if needed.
 func (d *Dataset) HeadRows(n int) *Dataset {
 	return &Dataset{rel: d.rel, enc: d.enc.HeadRows(n)}
 }
@@ -213,13 +231,39 @@ func (d *Dataset) partitions(explicit *lattice.PartitionStore) *lattice.Partitio
 }
 
 // Discover runs FASTOD over the dataset and returns the complete, minimal set
-// of canonical ODs (or all valid ODs with Options.DisablePruning).
+// of canonical ODs (or all valid ODs with Options.DisablePruning). It is a
+// thin wrapper over Run with a background context, so it can be neither
+// cancelled nor observed while running.
+//
+// Deprecated: use Run with AlgorithmFASTOD, which adds context cancellation,
+// budgets and progress reporting.
 func (d *Dataset) Discover(opts Options) (*Result, error) {
-	opts.Partitions = d.partitions(opts.Partitions)
-	return core.Discover(d.enc, opts)
+	rep, err := d.RunWithProgress(context.Background(), Request{
+		Algorithm: AlgorithmFASTOD,
+		RunOptions: RunOptions{
+			Workers:    opts.Workers,
+			MaxLevel:   opts.MaxLevel,
+			Budget:     opts.Budget,
+			Partitions: opts.Partitions,
+		},
+		FASTOD: FASTODRunOptions{
+			DisablePruning:     opts.DisablePruning,
+			DisableKeyPruning:  opts.DisableKeyPruning,
+			DisableNodePruning: opts.DisableNodePruning,
+			NaiveSwapCheck:     opts.NaiveSwapCheck,
+			CountOnly:          opts.CountOnly,
+			CollectLevelStats:  opts.CollectLevelStats,
+		},
+	}, opts.Progress)
+	if err != nil {
+		return nil, err
+	}
+	return rep.FASTOD, nil
 }
 
 // Discover is the package-level convenience form of Dataset.Discover.
+//
+// Deprecated: use Dataset.Run with AlgorithmFASTOD.
 func Discover(d *Dataset, opts Options) (*Result, error) { return d.Discover(opts) }
 
 // ReferenceDiscover runs the brute-force reference discoverer (exponential in

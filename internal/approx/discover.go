@@ -1,6 +1,7 @@
 package approx
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -24,6 +25,12 @@ type Options struct {
 	// same convention as core.Options.Workers (0 = GOMAXPROCS, 1 =
 	// sequential). The output is identical regardless of the setting.
 	Workers int
+	// Budget bounds the run's wall-clock time and visited lattice nodes; see
+	// core.Options.Budget for the interrupt semantics.
+	Budget lattice.Budget
+	// Progress, when non-nil, receives one event per completed lattice level;
+	// see core.Options.Progress.
+	Progress func(lattice.ProgressEvent)
 	// Partitions, when non-nil, shares stripped partitions with other runs
 	// over the same relation; see core.Options.Partitions.
 	Partitions *lattice.PartitionStore
@@ -41,6 +48,13 @@ type Result struct {
 	Elapsed time.Duration
 	// NodesVisited counts lattice nodes processed.
 	NodesVisited int
+	// Stats carries the engine's traversal counters (nodes, partition store
+	// hits/misses, interruption).
+	Stats lattice.Stats
+	// Interrupted reports that the run stopped early on context cancellation
+	// or budget exhaustion; ODs then holds everything found up to the
+	// interrupt.
+	Interrupted bool
 }
 
 // Counts tallies the output by kind the way exact results are reported.
@@ -67,6 +81,13 @@ func (r *Result) Counts() canonical.Count {
 // pruning for simplicity since thresholds are typically used on modest
 // schemas during data profiling.
 func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
+	return DiscoverContext(context.Background(), enc, opts)
+}
+
+// DiscoverContext is Discover with cooperative cancellation and budgeting
+// (see core.DiscoverContext): an interrupted run returns the approximate ODs
+// found so far with Interrupted set instead of an error.
+func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (*Result, error) {
 	if enc == nil || enc.NumCols() == 0 {
 		return nil, fmt.Errorf("approx: empty relation")
 	}
@@ -80,9 +101,12 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 	res := &Result{}
 
 	eng, err := lattice.New(enc, lattice.Config{
-		Workers:  opts.Workers,
-		MaxLevel: opts.MaxLevel,
-		Store:    opts.Partitions,
+		Ctx:        ctx,
+		Workers:    opts.Workers,
+		MaxLevel:   opts.MaxLevel,
+		Budget:     opts.Budget,
+		Store:      opts.Partitions,
+		OnProgress: opts.Progress,
 	})
 	if err != nil {
 		return nil, err
@@ -170,7 +194,9 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 		}
 		return level
 	})
-	res.NodesVisited = eng.Stats().NodesVisited
+	res.Stats = eng.Stats()
+	res.NodesVisited = res.Stats.NodesVisited
+	res.Interrupted = res.Stats.Interrupted
 
 	sort.Slice(res.ODs, func(i, j int) bool { return canonical.Less(res.ODs[i].OD, res.ODs[j].OD) })
 	res.Elapsed = time.Since(start)

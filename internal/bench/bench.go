@@ -14,6 +14,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/canonical"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/lattice"
 	"repro/internal/order"
 	"repro/internal/relation"
 	"repro/internal/tane"
@@ -99,9 +101,10 @@ func Encode(g DatasetGen, rows, cols int, seed int64) (*relation.Encoded, error)
 	return relation.Encode(g.Build(rows, cols, seed))
 }
 
-// RunFASTOD measures one FASTOD run.
-func RunFASTOD(enc *relation.Encoded, dataset string, opts core.Options) (Measurement, error) {
-	res, err := core.Discover(enc, opts)
+// RunFASTOD measures one FASTOD run. A run interrupted by the context or by
+// opts.Budget is reported as a partial measurement with TimedOut set.
+func RunFASTOD(ctx context.Context, enc *relation.Encoded, dataset string, opts core.Options) (Measurement, error) {
+	res, err := core.DiscoverContext(ctx, enc, opts)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -116,12 +119,13 @@ func RunFASTOD(enc *relation.Encoded, dataset string, opts core.Options) (Measur
 		Algorithm: alg,
 		Elapsed:   res.Elapsed,
 		Counts:    res.Counts,
+		TimedOut:  res.Stats.Interrupted,
 	}, nil
 }
 
-// RunTANE measures one TANE run.
-func RunTANE(enc *relation.Encoded, dataset string, opts tane.Options) (Measurement, error) {
-	res, err := tane.Discover(enc, opts)
+// RunTANE measures one TANE run; interrupts are reported like RunFASTOD's.
+func RunTANE(ctx context.Context, enc *relation.Encoded, dataset string, opts tane.Options) (Measurement, error) {
+	res, err := tane.DiscoverContext(ctx, enc, opts)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -132,12 +136,13 @@ func RunTANE(enc *relation.Encoded, dataset string, opts tane.Options) (Measurem
 		Algorithm: AlgTANE,
 		Elapsed:   res.Elapsed,
 		Counts:    canonical.Count{Total: len(res.FDs), Constancy: len(res.FDs)},
+		TimedOut:  res.Interrupted,
 	}, nil
 }
 
 // RunORDER measures one ORDER run under the given budget.
-func RunORDER(enc *relation.Encoded, dataset string, budget order.Options) (Measurement, error) {
-	res, err := order.Discover(enc, budget)
+func RunORDER(ctx context.Context, enc *relation.Encoded, dataset string, budget lattice.Budget) (Measurement, error) {
+	res, err := order.DiscoverContext(ctx, enc, order.Options{Budget: budget})
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -149,7 +154,7 @@ func RunORDER(enc *relation.Encoded, dataset string, budget order.Options) (Meas
 		Elapsed:   res.Elapsed,
 		Counts:    res.Counts,
 		ListODs:   len(res.ODs),
-		TimedOut:  res.TimedOut,
+		TimedOut:  res.Interrupted,
 	}, nil
 }
 

@@ -1,12 +1,13 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/order"
+	"repro/internal/lattice"
 	"repro/internal/tane"
 )
 
@@ -43,14 +44,14 @@ func TestRunnersProduceMeasurements(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	mF, err := RunFASTOD(enc, "flight", core.Options{})
+	mF, err := RunFASTOD(context.Background(), enc, "flight", core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if mF.Algorithm != AlgFASTOD || mF.Counts.Total == 0 || mF.Rows != 100 || mF.Cols != 6 {
 		t.Errorf("FASTOD measurement = %+v", mF)
 	}
-	mNP, err := RunFASTOD(enc, "flight", core.Options{DisablePruning: true, CountOnly: true})
+	mNP, err := RunFASTOD(context.Background(), enc, "flight", core.Options{DisablePruning: true, CountOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestRunnersProduceMeasurements(t *testing.T) {
 		t.Errorf("no-pruning found fewer ODs (%d) than pruned (%d)", mNP.Counts.Total, mF.Counts.Total)
 	}
 
-	mT, err := RunTANE(enc, "flight", tane.Options{})
+	mT, err := RunTANE(context.Background(), enc, "flight", tane.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestRunnersProduceMeasurements(t *testing.T) {
 		t.Errorf("TANE FD count %d != FASTOD constancy count %d", mT.Counts.Constancy, mF.Counts.Constancy)
 	}
 
-	mO, err := RunORDER(enc, "flight", order.Options{Timeout: 2 * time.Second, MaxNodes: 50000})
+	mO, err := RunORDER(context.Background(), enc, "flight", lattice.Budget{Timeout: 2 * time.Second, MaxNodes: 50000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,9 +104,9 @@ func TestFiguresQuickConfig(t *testing.T) {
 	cfg.PruningColScales = []int{4, 5}
 	cfg.LevelCols = 6
 	cfg.LevelRows = 100
-	cfg.ORDERBudget = order.Options{Timeout: time.Second, MaxNodes: 20000}
+	cfg.ORDERBudget = lattice.Budget{Timeout: time.Second, MaxNodes: 20000}
 
-	f4, err := Figure4(cfg)
+	f4, err := Figure4(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("Figure4: %v", err)
 	}
@@ -114,7 +115,7 @@ func TestFiguresQuickConfig(t *testing.T) {
 		t.Errorf("Figure4 measurements = %d, want 18", len(f4))
 	}
 
-	f5, err := Figure5(cfg)
+	f5, err := Figure5(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("Figure5: %v", err)
 	}
@@ -122,7 +123,7 @@ func TestFiguresQuickConfig(t *testing.T) {
 		t.Errorf("Figure5 measurements = %d, want 15", len(f5))
 	}
 
-	f6, err := Figure6(cfg)
+	f6, err := Figure6(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("Figure6: %v", err)
 	}
@@ -141,7 +142,7 @@ func TestFiguresQuickConfig(t *testing.T) {
 		}
 	}
 
-	f7, err := Figure7(cfg)
+	f7, err := Figure7(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("Figure7: %v", err)
 	}
@@ -159,7 +160,8 @@ func TestFiguresQuickConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := Table1(enc, "flight", cfg.ORDERBudget, 4)
+	cfg.Workers = 4
+	single, err := Table1(context.Background(), enc, "flight", cfg)
 	if err != nil {
 		t.Fatalf("Table1: %v", err)
 	}

@@ -1,12 +1,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/order"
+	"repro/internal/lattice"
 	"repro/internal/relation"
 	"repro/internal/tane"
 )
@@ -27,7 +28,10 @@ type Config struct {
 	// through the engine).
 	Workers int
 	// ORDERBudget bounds each ORDER run (it is factorial in attributes).
-	ORDERBudget order.Options
+	ORDERBudget lattice.Budget
+	// Budget, when non-zero, bounds each FASTOD and TANE run; interrupted
+	// runs are reported as partial measurements (TimedOut set), not errors.
+	Budget lattice.Budget
 	// RowScales lists the tuple counts for the row-scalability experiment
 	// (Figure 4), applied to every dataset.
 	RowScales []int
@@ -49,7 +53,7 @@ func DefaultConfig() Config {
 	return Config{
 		Seed:         2017,
 		Workers:      1,
-		ORDERBudget:  order.Options{Timeout: 20 * time.Second, MaxNodes: 1_500_000},
+		ORDERBudget:  lattice.Budget{Timeout: 20 * time.Second, MaxNodes: 1_500_000},
 		RowScales:    []int{2000, 4000, 6000, 8000, 10000},
 		RowScaleCols: 10,
 		ColScales: map[string][]int{
@@ -71,7 +75,7 @@ func QuickConfig() Config {
 	return Config{
 		Seed:         2017,
 		Workers:      1,
-		ORDERBudget:  order.Options{Timeout: 2 * time.Second, MaxNodes: 100_000},
+		ORDERBudget:  lattice.Budget{Timeout: 2 * time.Second, MaxNodes: 100_000},
 		RowScales:    []int{200, 400, 600, 800, 1000},
 		RowScaleCols: 8,
 		ColScales: map[string][]int{
@@ -90,7 +94,7 @@ func QuickConfig() Config {
 // Figure4 reproduces Exp-1/Exp-3/Exp-4 of the paper: runtime and output size
 // of TANE, FASTOD and ORDER while the number of tuples grows, on the
 // flight-, ncvoter- and dbtesma-like datasets with a fixed attribute count.
-func Figure4(cfg Config) ([]Measurement, error) {
+func Figure4(ctx context.Context, cfg Config) ([]Measurement, error) {
 	datasets := []string{"flight", "ncvoter", "dbtesma"}
 	var out []Measurement
 	for _, name := range datasets {
@@ -99,21 +103,24 @@ func Figure4(cfg Config) ([]Measurement, error) {
 			return nil, err
 		}
 		for _, rows := range cfg.RowScales {
+			if ctx.Err() != nil {
+				return out, nil
+			}
 			enc, err := Encode(gen, rows, cfg.RowScaleCols, cfg.Seed)
 			if err != nil {
 				return nil, err
 			}
-			m, err := RunTANE(enc, name, tane.Options{Workers: cfg.Workers})
+			m, err := RunTANE(ctx, enc, name, tane.Options{Workers: cfg.Workers, Budget: cfg.Budget})
 			if err != nil {
 				return nil, err
 			}
 			out = append(out, m)
-			m, err = RunFASTOD(enc, name, core.Options{Workers: cfg.Workers})
+			m, err = RunFASTOD(ctx, enc, name, core.Options{Workers: cfg.Workers, Budget: cfg.Budget})
 			if err != nil {
 				return nil, err
 			}
 			out = append(out, m)
-			m, err = RunORDER(enc, name, cfg.ORDERBudget)
+			m, err = RunORDER(ctx, enc, name, cfg.ORDERBudget)
 			if err != nil {
 				return nil, err
 			}
@@ -126,7 +133,7 @@ func Figure4(cfg Config) ([]Measurement, error) {
 // Figure5 reproduces Exp-2/Exp-3/Exp-4: runtime and output size of TANE,
 // FASTOD and ORDER while the number of attributes grows, on all four
 // datasets with a fixed tuple count.
-func Figure5(cfg Config) ([]Measurement, error) {
+func Figure5(ctx context.Context, cfg Config) ([]Measurement, error) {
 	var out []Measurement
 	for _, gen := range Generators() {
 		scales, ok := cfg.ColScales[gen.Name]
@@ -134,21 +141,24 @@ func Figure5(cfg Config) ([]Measurement, error) {
 			continue
 		}
 		for _, cols := range scales {
+			if ctx.Err() != nil {
+				return out, nil
+			}
 			enc, err := Encode(gen, gen.BaseRows, cols, cfg.Seed)
 			if err != nil {
 				return nil, err
 			}
-			m, err := RunTANE(enc, gen.Name, tane.Options{Workers: cfg.Workers})
+			m, err := RunTANE(ctx, enc, gen.Name, tane.Options{Workers: cfg.Workers, Budget: cfg.Budget})
 			if err != nil {
 				return nil, err
 			}
 			out = append(out, m)
-			m, err = RunFASTOD(enc, gen.Name, core.Options{Workers: cfg.Workers})
+			m, err = RunFASTOD(ctx, enc, gen.Name, core.Options{Workers: cfg.Workers, Budget: cfg.Budget})
 			if err != nil {
 				return nil, err
 			}
 			out = append(out, m)
-			m, err = RunORDER(enc, gen.Name, cfg.ORDERBudget)
+			m, err = RunORDER(ctx, enc, gen.Name, cfg.ORDERBudget)
 			if err != nil {
 				return nil, err
 			}
@@ -162,39 +172,45 @@ func Figure5(cfg Config) ([]Measurement, error) {
 // scaling rows (at RowScaleCols attributes) and columns (at LevelRows tuples)
 // on the flight-like dataset. The un-pruned variant counts every valid OD,
 // which is what the paper reports as the number of redundant ODs.
-func Figure6(cfg Config) ([]Measurement, error) {
+func Figure6(ctx context.Context, cfg Config) ([]Measurement, error) {
 	gen, err := GeneratorByName("flight")
 	if err != nil {
 		return nil, err
 	}
 	var out []Measurement
 	for _, rows := range cfg.PruningRowScales {
+		if ctx.Err() != nil {
+			return out, nil
+		}
 		enc, err := Encode(gen, rows, cfg.RowScaleCols, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
-		m, err := RunFASTOD(enc, "flight", core.Options{Workers: cfg.Workers})
+		m, err := RunFASTOD(ctx, enc, "flight", core.Options{Workers: cfg.Workers, Budget: cfg.Budget})
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, m)
-		m, err = RunFASTOD(enc, "flight", core.Options{Workers: cfg.Workers, DisablePruning: true, CountOnly: true})
+		m, err = RunFASTOD(ctx, enc, "flight", core.Options{Workers: cfg.Workers, Budget: cfg.Budget, DisablePruning: true, CountOnly: true})
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, m)
 	}
 	for _, cols := range cfg.PruningColScales {
+		if ctx.Err() != nil {
+			return out, nil
+		}
 		enc, err := Encode(gen, cfg.LevelRows, cols, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
-		m, err := RunFASTOD(enc, "flight", core.Options{Workers: cfg.Workers})
+		m, err := RunFASTOD(ctx, enc, "flight", core.Options{Workers: cfg.Workers, Budget: cfg.Budget})
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, m)
-		m, err = RunFASTOD(enc, "flight", core.Options{Workers: cfg.Workers, DisablePruning: true, CountOnly: true})
+		m, err = RunFASTOD(ctx, enc, "flight", core.Options{Workers: cfg.Workers, Budget: cfg.Budget, DisablePruning: true, CountOnly: true})
 		if err != nil {
 			return nil, err
 		}
@@ -215,7 +231,7 @@ type LevelMeasurement struct {
 
 // Figure7 reproduces Exp-7: the time spent and the ODs found at each level of
 // the set-containment lattice on the flight-like dataset.
-func Figure7(cfg Config) ([]LevelMeasurement, error) {
+func Figure7(ctx context.Context, cfg Config) ([]LevelMeasurement, error) {
 	gen, err := GeneratorByName("flight")
 	if err != nil {
 		return nil, err
@@ -224,7 +240,7 @@ func Figure7(cfg Config) ([]LevelMeasurement, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Discover(enc, core.Options{Workers: cfg.Workers, CollectLevelStats: true})
+	res, err := core.DiscoverContext(ctx, enc, core.Options{Workers: cfg.Workers, Budget: cfg.Budget, CollectLevelStats: true})
 	if err != nil {
 		return nil, err
 	}
@@ -255,20 +271,22 @@ func FormatLevelTable(title string, ms []LevelMeasurement) string {
 }
 
 // Table1 runs the three algorithms on one dataset configuration; it backs the
-// odbench "single" mode used for ad-hoc comparisons on user CSV files.
-func Table1(enc *relation.Encoded, name string, budget order.Options, workers int) ([]Measurement, error) {
+// odbench "single" mode used for ad-hoc comparisons on user CSV files. The
+// FASTOD/TANE budget and worker count come from cfg (ORDER keeps its own
+// budget, as in the figure experiments).
+func Table1(ctx context.Context, enc *relation.Encoded, name string, cfg Config) ([]Measurement, error) {
 	var out []Measurement
-	m, err := RunTANE(enc, name, tane.Options{Workers: workers})
+	m, err := RunTANE(ctx, enc, name, tane.Options{Workers: cfg.Workers, Budget: cfg.Budget})
 	if err != nil {
 		return nil, err
 	}
 	out = append(out, m)
-	m, err = RunFASTOD(enc, name, core.Options{Workers: workers})
+	m, err = RunFASTOD(ctx, enc, name, core.Options{Workers: cfg.Workers, Budget: cfg.Budget})
 	if err != nil {
 		return nil, err
 	}
 	out = append(out, m)
-	m, err = RunORDER(enc, name, budget)
+	m, err = RunORDER(ctx, enc, name, cfg.ORDERBudget)
 	if err != nil {
 		return nil, err
 	}

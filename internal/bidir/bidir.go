@@ -11,6 +11,7 @@
 package bidir
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -289,6 +290,12 @@ type Options struct {
 	// same convention as core.Options.Workers (0 = GOMAXPROCS, 1 =
 	// sequential). The output is identical regardless of the setting.
 	Workers int
+	// Budget bounds the run's wall-clock time and visited lattice nodes; see
+	// core.Options.Budget for the interrupt semantics.
+	Budget lattice.Budget
+	// Progress, when non-nil, receives one event per completed lattice level;
+	// see core.Options.Progress.
+	Progress func(lattice.ProgressEvent)
 	// Partitions, when non-nil, shares stripped partitions with other runs
 	// over the same relation; see core.Options.Partitions.
 	Partitions *lattice.PartitionStore
@@ -299,6 +306,13 @@ type Result struct {
 	ODs          []OD
 	Elapsed      time.Duration
 	NodesVisited int
+	// Stats carries the engine's traversal counters (nodes, partition store
+	// hits/misses, interruption).
+	Stats lattice.Stats
+	// Interrupted reports that the run stopped early on context cancellation
+	// or budget exhaustion; ODs then holds everything found up to the
+	// interrupt.
+	Interrupted bool
 }
 
 // Discover finds the minimal bidirectional canonical ODs of a relation:
@@ -310,6 +324,13 @@ type Result struct {
 // context may satisfy the same OD (with the same polarity) and neither paired
 // attribute may be constant in the context.
 func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
+	return DiscoverContext(context.Background(), enc, opts)
+}
+
+// DiscoverContext is Discover with cooperative cancellation and budgeting
+// (see core.DiscoverContext): an interrupted run returns the bidirectional
+// ODs found so far with Interrupted set instead of an error.
+func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (*Result, error) {
 	if enc == nil || enc.NumCols() == 0 {
 		return nil, fmt.Errorf("bidir: empty relation")
 	}
@@ -321,9 +342,12 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 	res := &Result{}
 
 	eng, err := lattice.New(enc, lattice.Config{
-		Workers:  opts.Workers,
-		MaxLevel: opts.MaxLevel,
-		Store:    opts.Partitions,
+		Ctx:        ctx,
+		Workers:    opts.Workers,
+		MaxLevel:   opts.MaxLevel,
+		Budget:     opts.Budget,
+		Store:      opts.Partitions,
+		OnProgress: opts.Progress,
 	})
 	if err != nil {
 		return nil, err
@@ -415,7 +439,9 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 		}
 		return level
 	})
-	res.NodesVisited = eng.Stats().NodesVisited
+	res.Stats = eng.Stats()
+	res.NodesVisited = res.Stats.NodesVisited
+	res.Interrupted = res.Stats.Interrupted
 
 	sort.Slice(res.ODs, func(i, j int) bool { return less(res.ODs[i], res.ODs[j]) })
 	res.Elapsed = time.Since(start)
@@ -440,4 +466,3 @@ func less(a, b OD) bool {
 	}
 	return a.Polarity < b.Polarity
 }
-

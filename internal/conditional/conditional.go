@@ -11,12 +11,14 @@
 package conditional
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/canonical"
 	"repro/internal/core"
+	"repro/internal/lattice"
 	"repro/internal/relation"
 )
 
@@ -62,14 +64,36 @@ type Result struct {
 	ODs []OD
 	// SlicesExamined counts (attribute, value) slices that were processed.
 	SlicesExamined int
-	Elapsed        time.Duration
+	// NodesVisited totals the lattice nodes of the unconditional pass and
+	// every slice pass, the quantity Options.Discovery.Budget.MaxNodes bounds.
+	NodesVisited int
+	// Interrupted reports that the run stopped early — during the
+	// unconditional pass, between slices, or inside a slice — because the
+	// context was cancelled or the shared budget exhausted. The result then
+	// holds every conditional OD confirmed before the interrupt.
+	Interrupted bool
+	Elapsed     time.Duration
 }
 
-// Discover finds conditional canonical ODs. An OD is reported for a condition
-// slice only if it is minimal on that slice (FASTOD's own minimality) and not
-// already implied by the unconditional ODs of the full relation — otherwise a
-// conditional report would just restate global knowledge.
+// Discover runs conditional discovery with a background context; see
+// DiscoverContext.
 func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
+	return DiscoverContext(context.Background(), enc, opts)
+}
+
+// DiscoverContext finds conditional canonical ODs. An OD is reported for a
+// condition slice only if it is minimal on that slice (FASTOD's own
+// minimality) and not already implied by the unconditional ODs of the full
+// relation — otherwise a conditional report would just restate global
+// knowledge.
+//
+// The context and Options.Discovery.Budget are honored across the whole run,
+// not per inner discovery: the wall-clock deadline and the node allowance are
+// shared by the unconditional pass and every slice pass, so a budgeted
+// conditional run is bounded even when the relation fragments into many
+// slices. An interrupted run keeps the conditional ODs confirmed so far and
+// sets Result.Interrupted.
+func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (*Result, error) {
 	if enc == nil || enc.NumCols() == 0 {
 		return nil, fmt.Errorf("conditional: empty relation")
 	}
@@ -80,18 +104,54 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 		opts.MinSliceRows = 4
 	}
 	start := time.Now()
+	budget := opts.Discovery.Budget
+	var deadline time.Time
+	if budget.Timeout > 0 {
+		deadline = start.Add(budget.Timeout)
+	}
 
-	global, err := core.Discover(enc, opts.Discovery)
+	global, err := core.DiscoverContext(ctx, enc, opts.Discovery)
 	if err != nil {
 		return nil, err
 	}
+	res := &Result{Global: global, NodesVisited: global.Stats.NodesVisited}
+	if global.Stats.Interrupted {
+		res.Interrupted = true
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
 	// Condition slices are distinct relations; a partition store supplied for
 	// the global run must not leak into them (a store is bound to exactly one
-	// relation instance).
+	// relation instance). Slice runs draw on the remainder of the shared
+	// budget, computed before each slice; progress reporting stays with the
+	// unconditional pass (slice lattices are tiny and many).
 	sliceOpts := opts.Discovery
 	sliceOpts.Partitions = nil
+	sliceOpts.Progress = nil
+	// remainingBudget converts the shared allowance into the budget for the
+	// next slice run; exhausted reports that nothing is left.
+	remainingBudget := func() (lattice.Budget, bool) {
+		var b lattice.Budget
+		if ctx.Err() != nil {
+			return b, true
+		}
+		if budget.Timeout > 0 {
+			left := time.Until(deadline)
+			if left <= 0 {
+				return b, true
+			}
+			b.Timeout = left
+		}
+		if budget.MaxNodes > 0 {
+			left := budget.MaxNodes - res.NodesVisited
+			if left <= 0 {
+				return b, true
+			}
+			b.MaxNodes = left
+		}
+		return b, false
+	}
 	globalCover := canonical.NewCover(global.ODs)
-	res := &Result{Global: global}
 
 	condAttrs := opts.ConditionAttrs
 	if condAttrs == nil {
@@ -102,6 +162,7 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 		}
 	}
 
+slices:
 	for _, attr := range condAttrs {
 		if attr < 0 || attr >= enc.NumCols() {
 			return nil, fmt.Errorf("conditional: condition attribute %d out of range", attr)
@@ -122,14 +183,21 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 			if len(rows) < opts.MinSliceRows {
 				continue
 			}
+			left, exhausted := remainingBudget()
+			if exhausted {
+				res.Interrupted = true
+				break slices
+			}
+			sliceOpts.Budget = left
 			slice, err := enc.SelectRows(rows)
 			if err != nil {
 				return nil, err
 			}
-			sliceRes, err := core.Discover(slice, sliceOpts)
+			sliceRes, err := core.DiscoverContext(ctx, slice, sliceOpts)
 			if err != nil {
 				return nil, err
 			}
+			res.NodesVisited += sliceRes.Stats.NodesVisited
 			res.SlicesExamined++
 			cond := Condition{Attr: attr, Value: v, Rows: len(rows)}
 			for _, od := range sliceRes.ODs {
@@ -142,6 +210,14 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 					continue
 				}
 				res.ODs = append(res.ODs, OD{Condition: cond, OD: od})
+			}
+			if sliceRes.Stats.Interrupted {
+				// The budget ran out inside the slice. The ODs it emitted up
+				// to the interrupt are valid on the slice (each was verified
+				// individually) and are kept; the rest of the search is
+				// abandoned.
+				res.Interrupted = true
+				break slices
 			}
 		}
 	}

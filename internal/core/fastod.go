@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -11,10 +12,19 @@ import (
 	"repro/internal/relation"
 )
 
-// Discover runs FASTOD (Algorithm 1 of the paper) over an encoded relation
-// instance and returns the complete, minimal set of canonical ODs that hold,
-// or — with Options.DisablePruning — every valid OD, minimal or not.
+// Discover runs FASTOD with a background context; see DiscoverContext.
 func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
+	return DiscoverContext(context.Background(), enc, opts)
+}
+
+// DiscoverContext runs FASTOD (Algorithm 1 of the paper) over an encoded
+// relation instance and returns the complete, minimal set of canonical ODs
+// that hold, or — with Options.DisablePruning — every valid OD, minimal or
+// not. The context and Options.Budget are checked cooperatively at level
+// barriers and between parallel chunk handouts; a cancelled or over-budget
+// run returns the ODs discovered so far with Stats.Interrupted set rather
+// than an error.
+func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (*Result, error) {
 	if enc == nil {
 		return nil, fmt.Errorf("core: nil relation")
 	}
@@ -25,7 +35,7 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: relation has %d columns, maximum is %d", enc.NumCols(), bitset.MaxAttrs)
 	}
 	start := time.Now()
-	d, err := newDiscoverer(enc, opts)
+	d, err := newDiscoverer(ctx, enc, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +81,7 @@ type discoverer struct {
 	result *Result
 }
 
-func newDiscoverer(enc *relation.Encoded, opts Options) (*discoverer, error) {
+func newDiscoverer(ctx context.Context, enc *relation.Encoded, opts Options) (*discoverer, error) {
 	d := &discoverer{
 		enc:      enc,
 		opts:     opts,
@@ -81,10 +91,13 @@ func newDiscoverer(enc *relation.Encoded, opts Options) (*discoverer, error) {
 		result:   &Result{},
 	}
 	eng, err := lattice.New(enc, lattice.Config{
+		Ctx:        ctx,
 		Workers:    opts.Workers,
 		MaxLevel:   opts.MaxLevel,
+		Budget:     opts.Budget,
 		Store:      opts.Partitions,
 		OnLevelEnd: d.levelEnd,
+		OnProgress: opts.Progress,
 	})
 	if err != nil {
 		return nil, err
@@ -114,6 +127,7 @@ func (d *discoverer) finish() {
 	d.result.Stats.MaxLevelReached = st.MaxLevelReached
 	d.result.Stats.PartitionHits = st.PartitionHits
 	d.result.Stats.PartitionMisses = st.PartitionMisses
+	d.result.Stats.Interrupted = st.Interrupted
 }
 
 // run executes FASTOD with the full candidate-set machinery (Algorithms 1-4).
@@ -126,6 +140,13 @@ func (d *discoverer) run() {
 		stat := LevelStat{Level: l, Nodes: len(level)}
 		d.pending = &stat
 		d.computeODs(level, l, &stat)
+		if d.eng.Interrupted() {
+			// The level was cut short: the ODs found so far are already
+			// buffered into the result, but the per-node candidate sets are
+			// incomplete, so no pruning decision may be taken. The engine
+			// stops the traversal before generating another level.
+			return level
+		}
 		kept := d.pruneLevels(level, l)
 		// Candidate sets of level l-1 are no longer needed once level l+1
 		// starts.

@@ -27,6 +27,18 @@ type Options struct {
 	// path with no goroutines; values below zero are treated as 1.
 	Workers int
 
+	// Budget bounds the run's wall-clock time and visited lattice nodes (see
+	// lattice.Budget; the zero value means no bound). An exhausted budget
+	// interrupts the run cooperatively: the Result carries every OD found so
+	// far with coherent partial statistics and Stats.Interrupted set, instead
+	// of an error.
+	Budget lattice.Budget
+
+	// Progress, when non-nil, receives one event per completed lattice level
+	// (including the partial level of an interrupted run). It is invoked from
+	// the discovery goroutine, never concurrently.
+	Progress func(lattice.ProgressEvent)
+
 	// Partitions, when non-nil, is a shared partition store: the run consults
 	// it before computing any stripped partition and records every partition
 	// it derives, so partitions are reused across runs that pass the same
@@ -110,6 +122,11 @@ type Stats struct {
 	// during this run. Both are zero when no store is configured.
 	PartitionHits   int
 	PartitionMisses int
+	// Interrupted reports that the run stopped early because its context was
+	// cancelled or its budget exhausted; the result then holds everything
+	// discovered up to the interrupt (complete through the last fully
+	// processed lattice level).
+	Interrupted bool
 }
 
 // Result is the outcome of a discovery run.

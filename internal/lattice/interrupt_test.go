@@ -1,0 +1,198 @@
+package lattice
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bitset"
+)
+
+// TestCancelMidLevel: cancelling the context from inside a visit callback's
+// ParallelFor must stop the handout within one chunk — most of the level's
+// items stay unprocessed — and terminate the traversal with Interrupted set,
+// without visiting another level.
+func TestCancelMidLevel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		enc := encodeFlight(t, 120, 10)
+		ctx, cancel := context.WithCancel(context.Background())
+		eng, err := New(enc, Config{Ctx: ctx, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var processed atomic.Int64
+		levelsVisited := 0
+		lastLevelItems := 0
+		eng.Run(func(l int, nodes []bitset.AttrSet) []bitset.AttrSet {
+			levelsVisited++
+			if l < 2 {
+				return nodes // let the lattice widen first
+			}
+			lastLevelItems = len(nodes)
+			eng.ParallelFor(len(nodes), func(_, i int) {
+				if processed.Add(1) == 3 {
+					cancel()
+				}
+			})
+			return nodes
+		})
+		if !eng.Stats().Interrupted {
+			t.Fatalf("workers=%d: cancelled run not marked interrupted", workers)
+		}
+		if levelsVisited != 2 {
+			t.Errorf("workers=%d: visited %d levels after mid-level cancel, want 2", workers, levelsVisited)
+		}
+		// Level 2 of a 10-attribute lattice has 45 nodes. The cancel fires at
+		// item 3; the handout must stop within one chunk per worker, far
+		// short of the full level.
+		if n := int(processed.Load()); n >= lastLevelItems {
+			t.Errorf("workers=%d: all %d items processed despite mid-level cancel", workers, n)
+		}
+		cancel()
+	}
+}
+
+// TestNodeBudgetInterrupts: MaxNodes must stop the traversal at the level
+// barrier after the bound is crossed, with coherent partial stats.
+func TestNodeBudgetInterrupts(t *testing.T) {
+	enc := encodeFlight(t, 100, 8)
+	full, err := New(enc, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.Run(func(_ int, nodes []bitset.AttrSet) []bitset.AttrSet { return nodes })
+	if full.Stats().Interrupted {
+		t.Fatal("unbudgeted run must not be interrupted")
+	}
+
+	budgeted, err := New(enc, Config{Workers: 1, Budget: Budget{MaxNodes: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted.Run(func(_ int, nodes []bitset.AttrSet) []bitset.AttrSet { return nodes })
+	st := budgeted.Stats()
+	if !st.Interrupted {
+		t.Fatal("over-budget run not marked interrupted")
+	}
+	if st.NodesVisited < 10 {
+		t.Errorf("NodesVisited = %d, want >= MaxNodes before stopping", st.NodesVisited)
+	}
+	if st.NodesVisited >= full.Stats().NodesVisited {
+		t.Errorf("budgeted run visited %d nodes, full run %d — budget had no effect",
+			st.NodesVisited, full.Stats().NodesVisited)
+	}
+	// The level crossing the bound completes; nothing deeper starts. Level 2
+	// (8+28 = 36 nodes) crosses a 10-node budget.
+	if st.MaxLevelReached != 2 {
+		t.Errorf("MaxLevelReached = %d, want 2", st.MaxLevelReached)
+	}
+}
+
+// TestTimeoutInterrupts: an immediate deadline stops the run at the first
+// barrier with Interrupted set and no error.
+func TestTimeoutInterrupts(t *testing.T) {
+	enc := encodeFlight(t, 100, 8)
+	eng, err := New(enc, Config{Workers: 1, Budget: Budget{Timeout: time.Nanosecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	visited := 0
+	eng.Run(func(_ int, nodes []bitset.AttrSet) []bitset.AttrSet {
+		visited += len(nodes)
+		return nodes
+	})
+	if !eng.Stats().Interrupted {
+		t.Fatal("timed-out run not marked interrupted")
+	}
+	if visited != 0 {
+		t.Errorf("visited %d nodes under a 1ns timeout, want 0", visited)
+	}
+}
+
+// TestPreCancelledContext: a context cancelled before Run starts must
+// interrupt before any node is visited.
+func TestPreCancelledContext(t *testing.T) {
+	enc := encodeFlight(t, 50, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng, err := New(enc, Config{Ctx: ctx, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	visited := 0
+	eng.Run(func(_ int, nodes []bitset.AttrSet) []bitset.AttrSet {
+		visited += len(nodes)
+		return nodes
+	})
+	if !eng.Stats().Interrupted || visited != 0 {
+		t.Errorf("pre-cancelled run: interrupted=%v visited=%d, want true/0",
+			eng.Stats().Interrupted, visited)
+	}
+}
+
+// TestProgressEvents: one event per completed level, with monotone cumulative
+// counters and the retention window's partition count.
+func TestProgressEvents(t *testing.T) {
+	enc := encodeFlight(t, 80, 6)
+	var events []ProgressEvent
+	eng, err := New(enc, Config{
+		Workers:    1,
+		OnProgress: func(ev ProgressEvent) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(func(_ int, nodes []bitset.AttrSet) []bitset.AttrSet { return nodes })
+	st := eng.Stats()
+	if len(events) != st.MaxLevelReached {
+		t.Fatalf("got %d progress events, want one per level (%d)", len(events), st.MaxLevelReached)
+	}
+	for i, ev := range events {
+		if ev.Level != i+1 {
+			t.Errorf("event %d has level %d, want %d", i, ev.Level, i+1)
+		}
+		if ev.PartitionsCached == 0 {
+			t.Errorf("event %d reports no cached partitions", i)
+		}
+		if i > 0 && ev.NodesVisited < events[i-1].NodesVisited+ev.Nodes {
+			t.Errorf("event %d: NodesVisited %d not cumulative", i, ev.NodesVisited)
+		}
+	}
+	if last := events[len(events)-1]; last.NodesVisited != st.NodesVisited {
+		t.Errorf("final event NodesVisited = %d, engine stats %d", last.NodesVisited, st.NodesVisited)
+	}
+}
+
+// TestInterruptedRunKeepsCompleteLevels: a node budget that stops the
+// traversal mid-lattice must leave every fully visited level's results
+// intact — the partial-output contract clients rely on.
+func TestInterruptedRunKeepsCompleteLevels(t *testing.T) {
+	enc := encodeFlight(t, 100, 8)
+	type seen struct{ level, nodes int }
+	var fullLevels, partialLevels []seen
+	collect := func(out *[]seen) func(int, []bitset.AttrSet) []bitset.AttrSet {
+		return func(l int, nodes []bitset.AttrSet) []bitset.AttrSet {
+			*out = append(*out, seen{l, len(nodes)})
+			return nodes
+		}
+	}
+	full, err := New(enc, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.Run(collect(&fullLevels))
+	budgeted, err := New(enc, Config{Workers: 1, Budget: Budget{MaxNodes: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted.Run(collect(&partialLevels))
+	if len(partialLevels) >= len(fullLevels) {
+		t.Fatalf("budgeted run visited %d levels, full run %d", len(partialLevels), len(fullLevels))
+	}
+	for i, lv := range partialLevels {
+		if lv != fullLevels[i] {
+			t.Errorf("level %d of budgeted run = %+v, full run %+v", i, lv, fullLevels[i])
+		}
+	}
+}

@@ -15,8 +15,10 @@
 package lattice
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bitset"
@@ -26,13 +28,24 @@ import (
 
 // Config configures an Engine.
 type Config struct {
+	// Ctx, when non-nil, is checked cooperatively throughout the traversal:
+	// at every level barrier and between ParallelFor chunk handouts. A
+	// cancelled context interrupts the run within one chunk of work; the
+	// engine keeps everything computed so far and reports Stats.Interrupted.
+	// Nil behaves like context.Background().
+	Ctx context.Context
 	// Workers is the number of goroutines used per lattice level, with the
 	// same convention as core.Options.Workers: 0 selects runtime.GOMAXPROCS,
 	// 1 forces the fully sequential path, negatives clamp to 1.
 	Workers int
 	// MaxLevel, when positive, stops the traversal after processing the given
-	// lattice level.
+	// lattice level. Unlike a budget interrupt, stopping at MaxLevel is a
+	// normal completion: the caller asked for a bounded traversal.
 	MaxLevel int
+	// Budget bounds the traversal's wall-clock time and visited node count;
+	// see Budget. An exhausted budget interrupts the run like a cancelled
+	// context does.
+	Budget Budget
 	// Store, when non-nil, is consulted before any stripped partition is
 	// computed and receives every partition the run derives, so partitions are
 	// reused across runs that share the store. Nil disables cross-run caching;
@@ -43,6 +56,10 @@ type Config struct {
 	// and the next level generated, with the wall-clock time the whole level
 	// took. Clients use it to record per-level statistics.
 	OnLevelEnd func(level int, elapsed time.Duration)
+	// OnProgress, when non-nil, receives one ProgressEvent per completed
+	// level, including the partial level of an interrupted run. It is invoked
+	// from the traversal goroutine (never concurrently).
+	OnProgress func(ProgressEvent)
 }
 
 // Stats aggregates the work counters the engine maintains on behalf of its
@@ -57,17 +74,34 @@ type Stats struct {
 	// node partitions during this run. Both stay zero without a Store.
 	PartitionHits   int
 	PartitionMisses int
+	// Interrupted reports that the traversal stopped early because the
+	// context was cancelled or the budget was exhausted. Everything computed
+	// before the interrupt is retained; NodesVisited counts the nodes handed
+	// to visit callbacks, including those of a partially processed level.
+	Interrupted bool
 }
 
 // Engine drives one level-wise traversal over one encoded relation. It is not
 // safe for concurrent use; concurrent discoveries each build their own Engine
 // (they may share a PartitionStore, which is internally synchronized).
 type Engine struct {
-	enc      *relation.Encoded
-	workers  int
-	maxLevel int
-	store    *PartitionStore
-	onEnd    func(int, time.Duration)
+	enc        *relation.Encoded
+	ctx        context.Context
+	workers    int
+	maxLevel   int
+	budget     Budget
+	store      *PartitionStore
+	onEnd      func(int, time.Duration)
+	onProgress func(ProgressEvent)
+
+	// started and deadline frame the run's wall clock: both are set once at
+	// the top of Run and only read afterwards, including from worker
+	// goroutines. A zero deadline means no timeout.
+	started  time.Time
+	deadline time.Time
+	// stop is the cooperative interrupt flag, latched by checkInterrupt from
+	// any goroutine and polled between ParallelFor chunk handouts.
+	stop atomic.Bool
 
 	numAttrs int
 	all      bitset.AttrSet
@@ -101,14 +135,21 @@ func New(enc *relation.Encoded, cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e := &Engine{
-		enc:      enc,
-		workers:  ResolveWorkers(cfg.Workers),
-		maxLevel: cfg.MaxLevel,
-		store:    cfg.Store,
-		onEnd:    cfg.OnLevelEnd,
-		numAttrs: enc.NumCols(),
-		parts:    make(map[int]map[bitset.AttrSet]*partition.Partition),
+		enc:        enc,
+		ctx:        ctx,
+		workers:    ResolveWorkers(cfg.Workers),
+		maxLevel:   cfg.MaxLevel,
+		budget:     cfg.Budget,
+		store:      cfg.Store,
+		onEnd:      cfg.OnLevelEnd,
+		onProgress: cfg.OnProgress,
+		numAttrs:   enc.NumCols(),
+		parts:      make(map[int]map[bitset.AttrSet]*partition.Partition),
 	}
 	e.scratch = make([]*partition.Scratch, e.workers)
 	for i := range e.scratch {
@@ -139,6 +180,70 @@ func (e *Engine) All() bitset.AttrSet { return e.all }
 // Stats returns the engine's work counters accumulated so far.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// Interrupted reports whether the traversal has been interrupted by context
+// cancellation or budget exhaustion. Visit callbacks may call it after their
+// ParallelFor returns to skip work whose inputs are incomplete (an
+// interrupted ParallelFor leaves the remaining per-item slots untouched).
+func (e *Engine) Interrupted() bool { return e.stats.Interrupted || e.stop.Load() }
+
+// checkInterrupt evaluates the cancellation signals — the latched stop flag,
+// the context, the deadline — and latches the stop flag when any fires. It is
+// called between chunk handouts from worker goroutines and at level barriers,
+// so it must stay cheap: one atomic load on the fast path.
+func (e *Engine) checkInterrupt() bool {
+	if e.stop.Load() {
+		return true
+	}
+	select {
+	case <-e.ctx.Done():
+		e.stop.Store(true)
+		return true
+	default:
+	}
+	if !e.deadline.IsZero() && !time.Now().Before(e.deadline) {
+		e.stop.Store(true)
+		return true
+	}
+	return false
+}
+
+// overNodeBudget reports whether the node budget is exhausted. It is only
+// called at level barriers (stats are owned by the traversal goroutine).
+func (e *Engine) overNodeBudget() bool {
+	return e.budget.MaxNodes > 0 && e.stats.NodesVisited >= e.budget.MaxNodes
+}
+
+// partitionsCached counts the stripped partitions currently retained for
+// progress reporting: the shared store when configured (partitions survive
+// the run), otherwise the run's own retention window.
+func (e *Engine) partitionsCached() int {
+	if e.store != nil {
+		return e.store.Len()
+	}
+	n := 0
+	for _, m := range e.parts {
+		n += len(m)
+	}
+	return n
+}
+
+// finishLevel stamps the completed (possibly partial) level's wall-clock time
+// and emits its progress event.
+func (e *Engine) finishLevel(l, nodes int, start time.Time) {
+	if e.onEnd != nil {
+		e.onEnd(l, time.Since(start))
+	}
+	if e.onProgress != nil {
+		e.onProgress(ProgressEvent{
+			Level:            l,
+			Nodes:            nodes,
+			NodesVisited:     e.stats.NodesVisited,
+			PartitionsCached: e.partitionsCached(),
+			Elapsed:          time.Since(e.started),
+		})
+	}
+}
+
 // Partition returns the stripped partition of an attribute set from the
 // retention window. During the visit of level l, the partitions of levels
 // l-2, l-1 and l are available — exactly what constancy (context size l-1)
@@ -149,9 +254,15 @@ func (e *Engine) Partition(x bitset.AttrSet) *partition.Partition {
 }
 
 // ParallelFor shards n items across the engine's worker pool; see the
-// package-level ParallelFor for the contract.
+// package-level ParallelFor for the contract. Unlike the package-level
+// function, the engine's ParallelFor is interruptible: the cancellation and
+// budget signals are polled between chunk handouts, and once one fires the
+// remaining items are left unprocessed (their per-item output slots keep
+// their zero values). Callers detect this with Interrupted and must not treat
+// the per-item results as complete afterwards; the engine itself stops the
+// traversal before any partially generated level is visited.
 func (e *Engine) ParallelFor(n int, fn func(worker, item int)) {
-	ParallelFor(e.workers, n, fn)
+	parallelForChunk(e.workers, n, chunkFor(e.workers, n), e.checkInterrupt, fn)
 }
 
 // Run executes the level-wise traversal. Starting from the singleton level,
@@ -161,27 +272,63 @@ func (e *Engine) ParallelFor(n int, fn func(worker, item int)) {
 // prefix blocks of the survivors, keeping only candidates whose every
 // immediate subset survived, and deriving each new node's partition (from the
 // store when shared, as a parallel partition product otherwise).
+//
+// Cancellation and budget signals interrupt the traversal cooperatively: at
+// every level barrier and — via the engine's ParallelFor — between chunk
+// handouts inside a level, so the interrupt latency is bounded by one chunk
+// of work. An interrupted run keeps everything already computed, never visits
+// a partially generated level, and reports Stats.Interrupted.
 func (e *Engine) Run(visit func(level int, nodes []bitset.AttrSet) []bitset.AttrSet) {
+	e.started = time.Now()
+	if e.budget.Timeout > 0 {
+		e.deadline = e.started.Add(e.budget.Timeout)
+	}
 	level := e.firstLevel()
 	for l := 1; len(level) > 0 && (e.maxLevel <= 0 || l <= e.maxLevel); l++ {
+		// The interrupt may have fired between levels (or during firstLevel,
+		// whose singleton partitions would then be incomplete), and the node
+		// budget is accounted at this barrier: either way the remaining work
+		// is abandoned before the level is visited.
+		if e.checkInterrupt() || e.overNodeBudget() {
+			e.stop.Store(true)
+			e.stats.Interrupted = true
+			break
+		}
 		start := time.Now()
-		e.stats.NodesVisited += len(level)
+		nodes := len(level)
+		e.stats.NodesVisited += nodes
 		e.stats.MaxLevelReached = l
 		kept := visit(l, level)
+		if e.stopped() {
+			// The level was only partially processed; its statistics are
+			// still stamped so partial reports stay coherent.
+			e.stats.Interrupted = true
+			e.finishLevel(l, nodes, start)
+			break
+		}
 		if e.maxLevel > 0 && l == e.maxLevel {
 			// The loop is about to terminate; don't pay for the partition
 			// products of a level that will never be visited.
 			level = nil
 		} else {
 			level = e.nextLevel(kept, l)
+			if e.stopped() {
+				// Some products of the next level were never computed; the
+				// level must not be visited.
+				e.stats.Interrupted = true
+				e.finishLevel(l, nodes, start)
+				break
+			}
 		}
 		// Partitions of level l-2 are no longer needed once level l+1 starts.
 		delete(e.parts, l-2)
-		if e.onEnd != nil {
-			e.onEnd(l, time.Since(start))
-		}
+		e.finishLevel(l, nodes, start)
 	}
 }
+
+// stopped reports whether the interrupt flag is latched, without re-deriving
+// the signals.
+func (e *Engine) stopped() bool { return e.stop.Load() }
 
 // storeGet consults the shared store, counting hits and misses. New has
 // bound the store to this engine's relation, so a stored partition is always

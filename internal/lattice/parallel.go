@@ -39,11 +39,14 @@ func ResolveWorkers(requested int) int {
 //
 // With w <= 1 or a single item the call degenerates to an inline loop with no
 // goroutines — the sequential path of the engine.
+//
+// The package-level form is uninterruptible; Engine.ParallelFor layers the
+// engine's cooperative stop checks between chunk handouts.
 func ParallelFor(w, n int, fn func(worker, item int)) {
 	if w < 1 {
 		w = 1
 	}
-	parallelForChunk(w, n, chunkFor(w, n), fn)
+	parallelForChunk(w, n, chunkFor(w, n), nil, fn)
 }
 
 // chunkFor picks the batch size handed out per atomic fetch: 1 for small
@@ -70,21 +73,33 @@ func chunkFor(w, n int) int {
 	return c
 }
 
-// parallelForChunk is ParallelFor with an explicit chunk size; the handout
+// parallelForChunk is ParallelFor with an explicit chunk size (the handout
 // benchmark uses it to measure chunking against the one-item-per-fetch
-// baseline.
-func parallelForChunk(w, n, chunk int, fn func(worker, item int)) {
+// baseline) and an optional stop check. A non-nil stop is polled once per
+// chunk handout — on the sequential path as well as by every worker — and
+// once it reports true the remaining items are abandoned: cancellation
+// latency is bounded by one chunk, never by the whole level.
+func parallelForChunk(w, n, chunk int, stop func() bool, fn func(worker, item int)) {
 	if w > n {
 		w = n
 	}
-	if w <= 1 {
-		for i := 0; i < n; i++ {
-			fn(0, i)
-		}
-		return
-	}
 	if chunk < 1 {
 		chunk = 1
+	}
+	if w <= 1 {
+		for start := 0; start < n; start += chunk {
+			if stop != nil && stop() {
+				return
+			}
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			for i := start; i < end; i++ {
+				fn(0, i)
+			}
+		}
+		return
 	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
@@ -93,6 +108,9 @@ func parallelForChunk(w, n, chunk int, fn func(worker, item int)) {
 		go func(wk int) {
 			defer wg.Done()
 			for {
+				if stop != nil && stop() {
+					return
+				}
 				start := int(cursor.Add(int64(chunk))) - chunk
 				if start >= n {
 					return

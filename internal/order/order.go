@@ -14,26 +14,36 @@
 package order
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/canonical"
+	"repro/internal/lattice"
 	"repro/internal/listod"
 	"repro/internal/relation"
 )
 
 // Options configures an ORDER run. Because the algorithm is factorial in the
-// number of attributes, both a node budget and a wall-clock timeout are
-// supported; a run that exceeds either is reported as timed out, mirroring
-// the "* 5h" annotations in the paper's figures.
+// number of attributes, a budget (node count and wall-clock timeout) is
+// supported; a run that exceeds it is reported as interrupted, mirroring the
+// "* 5h" annotations in the paper's figures. ORDER pioneered the budget in
+// this repository; the type is now the shared lattice.Budget every algorithm
+// honors.
 type Options struct {
-	// Timeout aborts the run after the given wall-clock duration (0 = none).
-	Timeout time.Duration
-	// MaxNodes aborts the run after visiting this many lattice nodes
-	// (0 = none).
-	MaxNodes int
+	// Budget bounds the run's wall-clock time and visited list-lattice nodes
+	// (0 values = none). ORDER's budget has per-node granularity: the check
+	// runs before every node evaluation.
+	Budget lattice.Budget
+	// MaxLevel, when positive, bounds the length of the attribute lists
+	// explored — the list-lattice analogue of the set-lattice MaxLevel.
+	// Stopping at MaxLevel is a normal completion, not an interrupt.
+	MaxLevel int
+	// Progress, when non-nil, receives one event per completed list-lattice
+	// level (the Level field is the list length).
+	Progress func(lattice.ProgressEvent)
 }
 
 // Result is the outcome of an ORDER run.
@@ -48,8 +58,16 @@ type Result struct {
 	Counts canonical.Count
 	// NodesVisited counts list-lattice nodes processed.
 	NodesVisited int
-	// TimedOut reports whether the run hit Options.Timeout or Options.MaxNodes
-	// before exhausting the search space.
+	// MaxLevelReached is the longest attribute-list length processed.
+	MaxLevelReached int
+	// Interrupted reports whether the run was stopped by its context or
+	// Options.Budget before exhausting the search space; ODs then holds
+	// everything found up to the interrupt.
+	Interrupted bool
+	// TimedOut is the historical name of Interrupted, kept for callers of the
+	// pre-budget API; the two fields are always equal.
+	//
+	// Deprecated: use Interrupted.
 	TimedOut bool
 	Elapsed  time.Duration
 }
@@ -66,24 +84,40 @@ type node struct {
 	allValid bool
 }
 
-// Discover runs ORDER over an encoded relation instance.
+// Discover runs ORDER with a background context; see DiscoverContext.
 func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
+	return DiscoverContext(context.Background(), enc, opts)
+}
+
+// DiscoverContext runs ORDER over an encoded relation instance. The context
+// and Options.Budget are checked before every node evaluation; an interrupted
+// run returns the list ODs found so far with Interrupted set rather than an
+// error.
+func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (*Result, error) {
 	if enc == nil || enc.NumCols() == 0 {
 		return nil, fmt.Errorf("order: empty relation")
 	}
 	if enc.NumCols() > bitset.MaxAttrs {
 		return nil, fmt.Errorf("order: relation has %d columns, maximum is %d", enc.NumCols(), bitset.MaxAttrs)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	res := &Result{}
 	n := enc.NumCols()
 
 	overBudget := func() bool {
-		if opts.MaxNodes > 0 && res.NodesVisited >= opts.MaxNodes {
+		if opts.Budget.MaxNodes > 0 && res.NodesVisited >= opts.Budget.MaxNodes {
 			return true
 		}
-		if opts.Timeout > 0 && time.Since(start) >= opts.Timeout {
+		if opts.Budget.Timeout > 0 && time.Since(start) >= opts.Budget.Timeout {
 			return true
+		}
+		select {
+		case <-ctx.Done():
+			return true
+		default:
 		}
 		return false
 	}
@@ -100,17 +134,19 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 		}
 	}
 
-	for len(level) > 0 && !res.TimedOut {
+	for listLen := 2; len(level) > 0 && !res.Interrupted; listLen++ {
 		var next []node
+		extend := opts.MaxLevel <= 0 || listLen < opts.MaxLevel
 		for i := range level {
 			if overBudget() {
-				res.TimedOut = true
+				res.Interrupted = true
 				break
 			}
 			nd := &level[i]
 			res.NodesVisited++
+			res.MaxLevelReached = listLen
 			evaluateNode(enc, nd, res, seen)
-			if nd.swapDead || nd.allValid {
+			if nd.swapDead || nd.allValid || !extend {
 				continue
 			}
 			// Extend with every attribute not yet in the list (this is what
@@ -125,8 +161,17 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 				next = append(next, node{list: child})
 			}
 		}
+		if opts.Progress != nil {
+			opts.Progress(lattice.ProgressEvent{
+				Level:        listLen,
+				Nodes:        len(level),
+				NodesVisited: res.NodesVisited,
+				Elapsed:      time.Since(start),
+			})
+		}
 		level = next
 	}
+	res.TimedOut = res.Interrupted
 
 	res.Canonical = mapToCanonical(res.ODs)
 	res.Counts = canonical.CountByKind(res.Canonical)

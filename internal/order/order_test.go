@@ -9,6 +9,7 @@ import (
 	"repro/internal/canonical"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/lattice"
 	"repro/internal/listod"
 	"repro/internal/relation"
 )
@@ -70,7 +71,7 @@ func TestORDERSoundRelativeToFASTOD(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		rel := datagen.RandomStructuredRelation(2+rng.Intn(16), 4, 3, rng.Int63())
 		enc := encode(t, rel)
-		orderRes, err := Discover(enc, Options{MaxNodes: 200000})
+		orderRes, err := Discover(enc, Options{Budget: lattice.Budget{MaxNodes: 200000}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -163,7 +164,7 @@ func TestORDERIncompleteOrderCompatibility(t *testing.T) {
 // though FASTOD implies them).
 func TestORDERConcisenessVsFASTOD(t *testing.T) {
 	enc := encode(t, datagen.DateDim(120))
-	orderRes, err := Discover(enc, Options{MaxNodes: 500000})
+	orderRes, err := Discover(enc, Options{Budget: lattice.Budget{MaxNodes: 500000}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,14 +196,14 @@ func TestORDERConcisenessVsFASTOD(t *testing.T) {
 
 func TestDiscoverBudgets(t *testing.T) {
 	enc := encode(t, datagen.FlightLike(50, 8, 7))
-	res, err := Discover(enc, Options{MaxNodes: 10})
+	res, err := Discover(enc, Options{Budget: lattice.Budget{MaxNodes: 10}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.TimedOut {
 		t.Error("MaxNodes budget should mark the run as timed out")
 	}
-	res, err = Discover(enc, Options{Timeout: time.Nanosecond})
+	res, err = Discover(enc, Options{Budget: lattice.Budget{Timeout: time.Nanosecond}})
 	if err != nil {
 		t.Fatal(err)
 	}

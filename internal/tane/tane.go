@@ -9,6 +9,7 @@
 package tane
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -45,6 +46,12 @@ type Options struct {
 	// same convention as core.Options.Workers (0 = GOMAXPROCS, 1 =
 	// sequential). The output is identical regardless of the setting.
 	Workers int
+	// Budget bounds the run's wall-clock time and visited lattice nodes; see
+	// core.Options.Budget for the interrupt semantics.
+	Budget lattice.Budget
+	// Progress, when non-nil, receives one event per completed lattice level;
+	// see core.Options.Progress.
+	Progress func(lattice.ProgressEvent)
 	// Partitions, when non-nil, shares stripped partitions with other runs
 	// over the same relation; see core.Options.Partitions.
 	Partitions *lattice.PartitionStore
@@ -56,12 +63,26 @@ type Result struct {
 	Elapsed time.Duration
 	// NodesVisited counts lattice nodes processed, for comparison with FASTOD.
 	NodesVisited int
+	// Stats carries the engine's traversal counters (nodes, partition store
+	// hits/misses, interruption).
+	Stats lattice.Stats
+	// Interrupted reports that the run stopped early on context cancellation
+	// or budget exhaustion; FDs then holds everything found up to the
+	// interrupt.
+	Interrupted bool
 }
 
-// Discover runs TANE over an encoded relation and returns the complete set of
-// minimal, non-trivial functional dependencies with singleton right-hand
-// sides.
+// Discover runs TANE with a background context; see DiscoverContext.
 func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
+	return DiscoverContext(context.Background(), enc, opts)
+}
+
+// DiscoverContext runs TANE over an encoded relation and returns the complete
+// set of minimal, non-trivial functional dependencies with singleton
+// right-hand sides. Cancellation and Options.Budget are honored cooperatively
+// (see core.DiscoverContext): an interrupted run returns partial FDs with
+// Interrupted set.
+func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (*Result, error) {
 	if enc == nil || enc.NumCols() == 0 {
 		return nil, fmt.Errorf("tane: empty relation")
 	}
@@ -70,9 +91,12 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 	}
 	start := time.Now()
 	eng, err := lattice.New(enc, lattice.Config{
-		Workers:  opts.Workers,
-		MaxLevel: opts.MaxLevel,
-		Store:    opts.Partitions,
+		Ctx:        ctx,
+		Workers:    opts.Workers,
+		MaxLevel:   opts.MaxLevel,
+		Budget:     opts.Budget,
+		Store:      opts.Partitions,
+		OnProgress: opts.Progress,
 	})
 	if err != nil {
 		return nil, err
@@ -118,6 +142,12 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 			ccCur[x] = ccArr[i]
 		}
 		ccPrev = ccCur
+		if eng.Interrupted() {
+			// The level was cut short: unprocessed nodes carry empty (not yet
+			// derived) candidate sets, so no pruning decision may be taken.
+			// The engine stops before another level starts.
+			return level
+		}
 
 		kept := level[:0]
 		for _, x := range level {
@@ -128,7 +158,9 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 		}
 		return kept
 	})
-	res.NodesVisited = eng.Stats().NodesVisited
+	res.Stats = eng.Stats()
+	res.NodesVisited = res.Stats.NodesVisited
+	res.Interrupted = res.Stats.Interrupted
 
 	sort.Slice(res.FDs, func(i, j int) bool {
 		a, b := res.FDs[i], res.FDs[j]

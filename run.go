@@ -1,0 +1,353 @@
+package fastod
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/approx"
+	"repro/internal/bidir"
+	"repro/internal/conditional"
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/order"
+	"repro/internal/tane"
+)
+
+// This file is the unified discovery surface: one request/response envelope
+// executed by (*Dataset).Run with context cancellation, resource budgets and
+// per-level progress across every algorithm the repository implements. The
+// per-algorithm Discover* methods remain as thin deprecated wrappers.
+
+// Algorithm selects which discovery algorithm a Request executes. The zero
+// value selects FASTOD.
+type Algorithm string
+
+// The discovery algorithms of this repository.
+const (
+	// AlgorithmFASTOD is the paper's set-based OD discovery (the default).
+	AlgorithmFASTOD Algorithm = "fastod"
+	// AlgorithmTANE is the FD-only TANE baseline.
+	AlgorithmTANE Algorithm = "tane"
+	// AlgorithmApprox discovers approximate ODs under an error threshold.
+	AlgorithmApprox Algorithm = "approx"
+	// AlgorithmBidirectional discovers bidirectional (asc/desc) ODs.
+	AlgorithmBidirectional Algorithm = "bidir"
+	// AlgorithmConditional discovers ODs holding on condition slices.
+	AlgorithmConditional Algorithm = "conditional"
+	// AlgorithmORDER is the list-based ORDER baseline (factorial search
+	// space — budget it).
+	AlgorithmORDER Algorithm = "order"
+)
+
+// Algorithms lists every algorithm a Request may select, in the order the
+// paper introduces them.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgorithmFASTOD, AlgorithmTANE, AlgorithmApprox,
+		AlgorithmBidirectional, AlgorithmConditional, AlgorithmORDER,
+	}
+}
+
+// Budget bounds the resources one discovery run may consume: a wall-clock
+// timeout and a visited-node allowance, both optional (the zero value means
+// unbounded). An exhausted budget interrupts the run cooperatively — within
+// one parallel chunk of work, not one lattice level — and the Report carries
+// everything discovered so far with Interrupted set. See lattice.Budget for
+// the precise latency contract of each knob.
+type Budget = lattice.Budget
+
+// ProgressEvent is one per-level progress report of a running discovery; see
+// RunWithProgress.
+type ProgressEvent = lattice.ProgressEvent
+
+// DefaultBudget is a conservative budget for interactive and service use: no
+// discovery call outlives 30 seconds or two million lattice nodes. Narrow
+// schemas never notice it; wide schemas (where the lattice explodes
+// combinatorially — or factorially, for ORDER) return an interrupted partial
+// Report instead of running away.
+func DefaultBudget() Budget {
+	return Budget{Timeout: 30 * time.Second, MaxNodes: 2_000_000}
+}
+
+// RunOptions are the options shared by every algorithm: the worker pool, the
+// lattice depth bound, the resource budget and the partition store. The zero
+// value runs unbudgeted on all CPUs with the dataset's own store (if
+// EnablePartitionCache was called).
+type RunOptions struct {
+	// Workers is the number of goroutines used per lattice level (0 =
+	// GOMAXPROCS, 1 = sequential). The output is identical regardless of the
+	// setting. Ignored by ORDER, whose list-lattice search is sequential.
+	Workers int
+	// MaxLevel, when positive, bounds the lattice level processed: attribute
+	// set sizes for the set-lattice algorithms, attribute list lengths for
+	// ORDER. Stopping at MaxLevel is a normal completion, not an interrupt.
+	// Ignored by the conditional algorithm's slice bookkeeping (it applies to
+	// its inner FASTOD passes).
+	MaxLevel int
+	// Budget bounds the run's wall-clock time and visited nodes; see Budget.
+	// For the conditional algorithm the budget is shared across the
+	// unconditional pass and every slice pass.
+	Budget Budget
+	// Partitions, when non-nil, overrides the dataset's shared partition
+	// store for this run (see EnablePartitionCache and NewPartitionStore).
+	// Ignored by ORDER, which does not use stripped partitions.
+	Partitions *PartitionStore
+}
+
+// FASTODRunOptions are the FASTOD-specific knobs of a Request, mirroring the
+// ablation switches of Options; the zero value is the paper's configuration
+// with every optimization enabled. The conditional algorithm also reads them
+// for its inner FASTOD passes.
+type FASTODRunOptions struct {
+	// DisablePruning enumerates every valid OD, minimal or not (Figure 6).
+	DisablePruning bool
+	// DisableKeyPruning turns off the Lemma 12/13 superkey shortcut.
+	DisableKeyPruning bool
+	// DisableNodePruning turns off Lemma 11 node deletion.
+	DisableNodePruning bool
+	// NaiveSwapCheck uses the quadratic per-class swap comparison.
+	NaiveSwapCheck bool
+	// CountOnly counts ODs without materializing them. Ignored by the
+	// conditional algorithm, whose global-cover comparison needs the ODs.
+	CountOnly bool
+	// CollectLevelStats records per-level timing and OD counts (Figure 7).
+	CollectLevelStats bool
+}
+
+// ApproxRunOptions are the approximate-discovery knobs of a Request.
+type ApproxRunOptions struct {
+	// Threshold is the maximum allowed error rate in [0, 1); 0 coincides
+	// with exact discovery.
+	Threshold float64
+}
+
+// ConditionalRunOptions are the conditional-discovery knobs of a Request.
+type ConditionalRunOptions struct {
+	// MaxConditionCardinality bounds the distinct values of a condition
+	// attribute (default 16).
+	MaxConditionCardinality int
+	// MinSliceRows skips condition values selecting fewer tuples (default 4).
+	MinSliceRows int
+	// ConditionAttrs restricts which attributes may serve as conditions.
+	ConditionAttrs []int
+}
+
+// Request describes one discovery run: which algorithm, the shared options,
+// and the algorithm-specific sub-options (only the block matching Algorithm
+// is read). The zero value is a plain FASTOD run with defaults everywhere.
+type Request struct {
+	// Algorithm selects the discovery algorithm; the zero value is FASTOD.
+	Algorithm Algorithm
+	// RunOptions holds the options every algorithm shares.
+	RunOptions
+	// FASTOD configures FASTOD runs — and, through the conditional
+	// algorithm's inner passes, conditional runs.
+	FASTOD FASTODRunOptions
+	// Approx configures approximate runs.
+	Approx ApproxRunOptions
+	// Conditional configures conditional runs.
+	Conditional ConditionalRunOptions
+}
+
+// RunStats are the unified work counters of a Report, comparable across
+// algorithms; see lattice.Stats for the field semantics. For the conditional
+// algorithm NodesVisited totals the unconditional and slice passes while the
+// partition counters describe the unconditional pass; for ORDER the partition
+// counters are always zero.
+type RunStats = lattice.Stats
+
+// Report is the unified response envelope of Run: the algorithm that ran,
+// whether it was interrupted, comparable work counters, and exactly one
+// non-nil algorithm-specific result payload.
+//
+// The partial-result contract: an interrupted run (cancelled context or
+// exhausted budget) still returns a non-nil Report with nil error. Its
+// payload contains every dependency discovered before the interrupt — for
+// the level-wise algorithms that output is complete through the last fully
+// processed lattice level, and every reported dependency is individually
+// valid (validation happens per candidate; the interrupt only cuts the
+// search short). Interrupted distinguishes such partial reports from
+// complete ones.
+type Report struct {
+	// Algorithm is the algorithm that produced this report.
+	Algorithm Algorithm
+	// Interrupted reports that the run was cut short by context cancellation
+	// or budget exhaustion; the payload then holds partial results.
+	Interrupted bool
+	// Stats holds the unified work counters.
+	Stats RunStats
+	// Elapsed is the total wall-clock duration of the run.
+	Elapsed time.Duration
+
+	// Exactly one of the following is non-nil, matching Algorithm.
+
+	// FASTOD is the payload of AlgorithmFASTOD runs.
+	FASTOD *Result
+	// TANE is the payload of AlgorithmTANE runs.
+	TANE *TANEResult
+	// Approx is the payload of AlgorithmApprox runs.
+	Approx *ApproxResult
+	// Bidir is the payload of AlgorithmBidirectional runs.
+	Bidir *BidirResult
+	// Conditional is the payload of AlgorithmConditional runs.
+	Conditional *ConditionalResult
+	// ORDER is the payload of AlgorithmORDER runs.
+	ORDER *ORDERResult
+}
+
+// Run executes one discovery request. The context is checked cooperatively
+// throughout the run — at every lattice level barrier and between parallel
+// chunk handouts — so cancellation takes effect within one chunk of work; a
+// cancelled or over-budget run returns a partial Report with Interrupted set
+// and a nil error (see Report for the partial-result contract). Errors are
+// reserved for invalid requests and malformed inputs.
+//
+// Unless Request.Partitions overrides it, the run uses the dataset's shared
+// partition store (EnablePartitionCache), including the conditional
+// algorithm's unconditional pass.
+func (d *Dataset) Run(ctx context.Context, req Request) (*Report, error) {
+	return d.RunWithProgress(ctx, req, nil)
+}
+
+// RunWithProgress is Run with a progress stream: onProgress (when non-nil)
+// receives one ProgressEvent per completed lattice level — level number,
+// nodes visited, partitions cached, elapsed wall-clock — including the
+// partial level of an interrupted run. Events are delivered synchronously
+// from the discovery goroutine, so the callback must be fast and may safely
+// cancel the context to stop the run (the idiomatic way to implement
+// caller-side policies the Budget knobs do not cover). For the conditional
+// algorithm, events describe the unconditional pass.
+func (d *Dataset) RunWithProgress(ctx context.Context, req Request, onProgress func(ProgressEvent)) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	store := d.partitions(req.Partitions)
+	rep := &Report{Algorithm: req.Algorithm}
+	if rep.Algorithm == "" {
+		rep.Algorithm = AlgorithmFASTOD
+	}
+	start := time.Now()
+	switch rep.Algorithm {
+	case AlgorithmFASTOD:
+		res, err := core.DiscoverContext(ctx, d.enc, d.coreOptions(req, store, onProgress))
+		if err != nil {
+			return nil, err
+		}
+		rep.FASTOD = res
+		rep.Stats = RunStats{
+			NodesVisited:    res.Stats.NodesVisited,
+			MaxLevelReached: res.Stats.MaxLevelReached,
+			PartitionHits:   res.Stats.PartitionHits,
+			PartitionMisses: res.Stats.PartitionMisses,
+			Interrupted:     res.Stats.Interrupted,
+		}
+
+	case AlgorithmTANE:
+		res, err := tane.DiscoverContext(ctx, d.enc, tane.Options{
+			Workers:    req.Workers,
+			MaxLevel:   req.MaxLevel,
+			Budget:     req.Budget,
+			Progress:   onProgress,
+			Partitions: store,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.TANE = res
+		rep.Stats = res.Stats
+
+	case AlgorithmApprox:
+		res, err := approx.DiscoverContext(ctx, d.enc, approx.Options{
+			Threshold:  req.Approx.Threshold,
+			Workers:    req.Workers,
+			MaxLevel:   req.MaxLevel,
+			Budget:     req.Budget,
+			Progress:   onProgress,
+			Partitions: store,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Approx = res
+		rep.Stats = res.Stats
+
+	case AlgorithmBidirectional:
+		res, err := bidir.DiscoverContext(ctx, d.enc, bidir.Options{
+			Workers:    req.Workers,
+			MaxLevel:   req.MaxLevel,
+			Budget:     req.Budget,
+			Progress:   onProgress,
+			Partitions: store,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Bidir = res
+		rep.Stats = res.Stats
+
+	case AlgorithmConditional:
+		discovery := d.coreOptions(req, store, onProgress)
+		// Conditional discovery compares slice ODs against the global cover,
+		// which requires materialized ODs on both sides; CountOnly would
+		// silently reduce every conditional report to zero findings.
+		discovery.CountOnly = false
+		res, err := conditional.DiscoverContext(ctx, d.enc, conditional.Options{
+			MaxConditionCardinality: req.Conditional.MaxConditionCardinality,
+			MinSliceRows:            req.Conditional.MinSliceRows,
+			ConditionAttrs:          req.Conditional.ConditionAttrs,
+			Discovery:               discovery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Conditional = res
+		rep.Stats = RunStats{
+			NodesVisited:    res.NodesVisited,
+			MaxLevelReached: res.Global.Stats.MaxLevelReached,
+			PartitionHits:   res.Global.Stats.PartitionHits,
+			PartitionMisses: res.Global.Stats.PartitionMisses,
+			Interrupted:     res.Interrupted,
+		}
+
+	case AlgorithmORDER:
+		res, err := order.DiscoverContext(ctx, d.enc, order.Options{
+			Budget:   req.Budget,
+			MaxLevel: req.MaxLevel,
+			Progress: onProgress,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.ORDER = res
+		rep.Stats = RunStats{
+			NodesVisited:    res.NodesVisited,
+			MaxLevelReached: res.MaxLevelReached,
+			Interrupted:     res.Interrupted,
+		}
+
+	default:
+		return nil, fmt.Errorf("fastod: unknown algorithm %q (want one of %v)", req.Algorithm, Algorithms())
+	}
+	rep.Interrupted = rep.Stats.Interrupted
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// coreOptions assembles the FASTOD options of a request — used both for
+// plain FASTOD runs and for the conditional algorithm's inner passes.
+func (d *Dataset) coreOptions(req Request, store *PartitionStore, onProgress func(ProgressEvent)) core.Options {
+	return core.Options{
+		Workers:            req.Workers,
+		MaxLevel:           req.MaxLevel,
+		Budget:             req.Budget,
+		Progress:           onProgress,
+		Partitions:         store,
+		DisablePruning:     req.FASTOD.DisablePruning,
+		DisableKeyPruning:  req.FASTOD.DisableKeyPruning,
+		DisableNodePruning: req.FASTOD.DisableNodePruning,
+		NaiveSwapCheck:     req.FASTOD.NaiveSwapCheck,
+		CountOnly:          req.FASTOD.CountOnly,
+		CollectLevelStats:  req.FASTOD.CollectLevelStats,
+	}
+}
