@@ -122,11 +122,26 @@ func run(ctx context.Context, cfg config) error {
 		return err
 	}
 	req := cfg.request()
-	fmt.Printf("dataset %s: %d tuples, %d attributes\n", ds.Name(), ds.NumRows(), ds.NumCols())
+	// Validate before printing anything so a bad flag (say -workers -3) is
+	// one clean error, not a half-printed header followed by one.
+	if err := req.Validate(); err != nil {
+		return err
+	}
+	// Report the worker count the run will actually use (0 resolves to all
+	// CPUs; ORDER is always sequential), not the raw flag value.
+	fmt.Printf("dataset %s: %d tuples, %d attributes, %d workers\n",
+		ds.Name(), ds.NumRows(), ds.NumCols(), req.EffectiveWorkers())
 
 	var onProgress func(fastod.ProgressEvent)
 	if cfg.progress {
 		onProgress = func(ev fastod.ProgressEvent) {
+			// Conditional runs follow the unconditional pass's per-level
+			// events with one event per condition slice.
+			if ev.Level == fastod.SliceProgressLevel {
+				fmt.Fprintf(os.Stderr, "slice: %d nodes (%d total), %v elapsed\n",
+					ev.Nodes, ev.NodesVisited, ev.Elapsed.Round(time.Millisecond))
+				return
+			}
 			fmt.Fprintf(os.Stderr, "level %d: %d nodes (%d total), %d partitions cached, %v elapsed\n",
 				ev.Level, ev.Nodes, ev.NodesVisited, ev.PartitionsCached, ev.Elapsed.Round(time.Millisecond))
 		}

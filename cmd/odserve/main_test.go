@@ -1,0 +1,170 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/relation"
+)
+
+// bootServer starts serve on a random port with the given preloads and
+// returns the base URL plus a shutdown func that also propagates serve's
+// error.
+func bootServer(t *testing.T, preload []string) (string, func() error) {
+	t.Helper()
+	cfg := config{addr: "127.0.0.1:0", preload: preload}
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- serve(ctx, cfg, func(addr string) { addrCh <- addr })
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, func() error {
+			cancel()
+			return <-errCh
+		}
+	case err := <-errCh:
+		cancel()
+		t.Fatalf("serve failed to start: %v", err)
+		return "", nil
+	}
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	// Preload one dataset from disk; upload a second over HTTP.
+	dir := t.TempDir()
+	empPath := filepath.Join(dir, "employees.csv")
+	if err := relation.WriteCSVFile(datagen.Employees(), empPath); err != nil {
+		t.Fatalf("writing employees csv: %v", err)
+	}
+	base, shutdown := bootServer(t, []string{"employees=" + empPath})
+
+	var flightCSV strings.Builder
+	if err := relation.WriteCSV(datagen.FlightLike(300, 6, 2017), &flightCSV); err != nil {
+		t.Fatalf("writing flight csv: %v", err)
+	}
+	resp, err := http.Post(base+"/v1/datasets?name=flight", "text/csv", strings.NewReader(flightCSV.String()))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status = %d, want 201", resp.StatusCode)
+	}
+
+	// Both datasets are listed.
+	resp, err = http.Get(base + "/v1/datasets")
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	var list struct {
+		Datasets []struct {
+			Name string `json:"name"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatalf("decoding list: %v", err)
+	}
+	resp.Body.Close()
+	if len(list.Datasets) != 2 {
+		t.Fatalf("listed %d datasets, want 2: %+v", len(list.Datasets), list)
+	}
+
+	// A budgeted discover on the preloaded dataset completes and reports the
+	// effective run parameters.
+	resp, err = http.Post(base+"/v1/datasets/employees/discover", "application/json",
+		strings.NewReader(`{"workers":1,"timeout_ms":5000}`))
+	if err != nil {
+		t.Fatalf("discover: %v", err)
+	}
+	var out struct {
+		Algorithm   string `json:"algorithm"`
+		Workers     int    `json:"workers"`
+		Interrupted bool   `json:"interrupted"`
+		Count       int    `json:"count"`
+		Budget      struct {
+			TimeoutMS int64 `json:"timeout_ms"`
+		} `json:"budget"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding discover response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out.Interrupted || out.Count == 0 {
+		t.Fatalf("discover = %d %+v, want a complete 200 report", resp.StatusCode, out)
+	}
+	if out.Workers != 1 {
+		t.Errorf("effective workers = %d, want the requested 1", out.Workers)
+	}
+	if out.Budget.TimeoutMS != 5000 {
+		t.Errorf("effective timeout = %dms, want the requested 5000", out.Budget.TimeoutMS)
+	}
+
+	// A one-node allowance yields an interrupted partial report — still 200.
+	resp, err = http.Post(base+"/v1/datasets/flight/discover", "application/json",
+		strings.NewReader(`{"max_nodes":1}`))
+	if err != nil {
+		t.Fatalf("budgeted discover: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"interrupted":true`) {
+		t.Fatalf("budgeted discover = %d %s, want 200 with interrupted:true", resp.StatusCode, body)
+	}
+
+	// An invalid threshold is a 400 with the typed validation message.
+	resp, err = http.Post(base+"/v1/datasets/flight/discover", "application/json",
+		strings.NewReader(`{"algorithm":"approx","approx":{"threshold":2}}`))
+	if err != nil {
+		t.Fatalf("invalid discover: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "invalid request") {
+		t.Fatalf("invalid discover = %d %s, want 400 with the typed message", resp.StatusCode, body)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Errorf("graceful shutdown: %v", err)
+	}
+}
+
+func TestNewServerPreloadErrors(t *testing.T) {
+	if _, err := newServer(config{preload: []string{"bare-path.csv"}}); err == nil {
+		t.Error("preload without name= must fail")
+	}
+	if _, err := newServer(config{preload: []string{"x=" + filepath.Join(t.TempDir(), "missing.csv")}}); err == nil {
+		t.Error("preload of a missing file must fail")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "emp.csv")
+	if err := relation.WriteCSVFile(datagen.Employees(), path); err != nil {
+		t.Fatalf("writing csv: %v", err)
+	}
+	arg := fmt.Sprintf("emp=%s", path)
+	if _, err := newServer(config{preload: []string{arg, arg}}); err == nil {
+		t.Error("duplicate preload names must fail")
+	}
+	s, err := newServer(config{preload: []string{arg}})
+	if err != nil || s == nil {
+		t.Fatalf("valid preload: %v", err)
+	}
+}
+
+func TestServeRejectsBadAddr(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := serve(ctx, config{addr: "definitely not an address"}, nil); err == nil {
+		t.Error("serve with an unparseable address must fail")
+	}
+}

@@ -22,6 +22,15 @@ import (
 	"repro/internal/relation"
 )
 
+// SliceProgressLevel is the ProgressEvent.Level marker of per-slice progress
+// events. The unconditional pass reports ordinary lattice levels (1, 2, ...);
+// once slice passes begin, each processed condition slice reports exactly one
+// event carrying this level, the slice's lattice-node count in Nodes and the
+// run's cumulative total in NodesVisited. Without the marker long conditional
+// discoveries go dark after the unconditional pass even though most of the
+// work — one FASTOD run per condition slice — is still ahead.
+const SliceProgressLevel = -1
+
 // Condition is an equality binding "attribute = value" selecting a portion of
 // the relation. Value is the raw rank of the encoded column; Rows is the
 // number of tuples it selects.
@@ -123,8 +132,9 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 	// Condition slices are distinct relations; a partition store supplied for
 	// the global run must not leak into them (a store is bound to exactly one
 	// relation instance). Slice runs draw on the remainder of the shared
-	// budget, computed before each slice; progress reporting stays with the
-	// unconditional pass (slice lattices are tiny and many).
+	// budget, computed before each slice. Per-level progress stays with the
+	// unconditional pass (slice lattices are tiny and many); instead each
+	// completed slice reports one SliceProgressLevel event below.
 	sliceOpts := opts.Discovery
 	sliceOpts.Partitions = nil
 	sliceOpts.Progress = nil
@@ -199,6 +209,14 @@ slices:
 			}
 			res.NodesVisited += sliceRes.Stats.NodesVisited
 			res.SlicesExamined++
+			if opts.Discovery.Progress != nil {
+				opts.Discovery.Progress(lattice.ProgressEvent{
+					Level:        SliceProgressLevel,
+					Nodes:        sliceRes.Stats.NodesVisited,
+					NodesVisited: res.NodesVisited,
+					Elapsed:      time.Since(start),
+				})
+			}
 			cond := Condition{Attr: attr, Value: v, Rows: len(rows)}
 			for _, od := range sliceRes.ODs {
 				// Skip ODs that mention the condition attribute itself: within
@@ -236,13 +254,19 @@ slices:
 	return res, nil
 }
 
-// NamesString renders a conditional OD using attribute names; the condition
-// value is shown as its rank because raw values are not retained in the
-// encoded relation.
-func (c OD) NamesString(names []string) string {
-	attr := fmt.Sprintf("#%d", c.Condition.Attr)
-	if c.Condition.Attr >= 0 && c.Condition.Attr < len(names) {
-		attr = names[c.Condition.Attr]
+// NamesString renders the condition binding using attribute names; the value
+// is shown as its rank because raw values are not retained in the encoded
+// relation. Every front end (CLI, HTTP JSON) renders conditions through this
+// one helper so the syntax cannot drift between them.
+func (c Condition) NamesString(names []string) string {
+	attr := fmt.Sprintf("#%d", c.Attr)
+	if c.Attr >= 0 && c.Attr < len(names) {
+		attr = names[c.Attr]
 	}
-	return fmt.Sprintf("[%s=rank(%d), %d rows] %s", attr, c.Condition.Value, c.Condition.Rows, c.OD.NamesString(names))
+	return fmt.Sprintf("%s=rank(%d)", attr, c.Value)
+}
+
+// NamesString renders a conditional OD using attribute names.
+func (c OD) NamesString(names []string) string {
+	return fmt.Sprintf("[%s, %d rows] %s", c.Condition.NamesString(names), c.Condition.Rows, c.OD.NamesString(names))
 }

@@ -1,0 +1,236 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	fastod "repro"
+)
+
+// handleHealthz is the readiness probe: the process is up and the mux routes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleUpload creates a named dataset from a CSV request body:
+// POST /v1/datasets?name=N. The dataset gets a shared partition cache so all
+// subsequent discovery requests against it reuse partitions.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing required query parameter %q (the dataset name)", "name"))
+		return
+	}
+	// Refuse doomed uploads before parsing a potentially huge CSV body; the
+	// authoritative (race-free) check is AddDataset's, under its lock.
+	if _, exists := s.dataset(name); exists {
+		writeError(w, http.StatusConflict, fmt.Errorf("server: %w: %q", ErrDatasetExists, name))
+		return
+	}
+	if s.atCapacity() {
+		writeError(w, http.StatusInsufficientStorage, fmt.Errorf("server: %w (%d)", ErrDatasetLimit, s.maxDatasets))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.maxUploadBytes)
+	ds, err := fastod.LoadCSV(name, body)
+	if err != nil {
+		// Oversized and malformed uploads are both the client's doing.
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
+		return
+	}
+	if err := s.AddDataset(name, ds); err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrDatasetExists):
+			status = http.StatusConflict
+		case errors.Is(err, ErrDatasetLimit):
+			status = http.StatusInsufficientStorage
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, datasetInfo(name, ds))
+}
+
+// handleListDatasets lists the resident datasets: GET /v1/datasets.
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, DatasetList{Datasets: s.datasetInfos()})
+}
+
+// handleGetDataset describes one dataset: GET /v1/datasets/{name}.
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	ds, ok := s.dataset(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no dataset %q (upload one with POST /v1/datasets?name=%s)", name, name))
+		return
+	}
+	writeJSON(w, http.StatusOK, datasetInfo(name, ds))
+}
+
+// handleDiscover runs one discovery request and returns the report as JSON:
+// POST /v1/datasets/{name}/discover. Interrupted runs (budget or deadline
+// exhausted) are successes — HTTP 200 with "interrupted": true and the
+// partial report — because the partial-result contract guarantees every
+// reported dependency is individually valid. Invalid requests are 400s via
+// fastod.ErrInvalidRequest; algorithm failures are 500s.
+func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	ds, req, ok := s.prepareDiscover(w, r)
+	if !ok {
+		return
+	}
+	ctx, end, ok := s.beginRun(w, r, req)
+	if !ok {
+		return
+	}
+	defer end()
+
+	rep, err := ds.Run(ctx, req)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, discoverResponse(r.PathValue("name"), req, rep, ds.ColumnNames()))
+}
+
+// handleDiscoverStream is handleDiscover over Server-Sent Events:
+// POST /v1/datasets/{name}/discover/stream emits one "progress" event per
+// completed lattice level (and per condition slice), then a final "report"
+// event with the same JSON body handleDiscover returns. Request validation
+// failures still surface as plain HTTP 400s — the stream only starts once
+// the run does. Run failures after that arrive as a terminal "error" event,
+// since the 200 header is already on the wire.
+func (s *Server) handleDiscoverStream(w http.ResponseWriter, r *http.Request) {
+	ds, req, ok := s.prepareDiscover(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, errors.New("response writer does not support streaming"))
+		return
+	}
+	ctx, end, ok := s.beginRun(w, r, req)
+	if !ok {
+		return
+	}
+	defer end()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	// Progress callbacks are delivered synchronously from the discovery
+	// goroutine — this handler's own — so writing the stream here is safe.
+	onProgress := func(ev fastod.ProgressEvent) {
+		writeSSE(w, "progress", progressEvent(ev))
+		flusher.Flush()
+	}
+	rep, err := ds.RunWithProgress(ctx, req, onProgress)
+	if err != nil {
+		writeSSE(w, "error", errorBody{Error: err.Error()})
+		flusher.Flush()
+		return
+	}
+	writeSSE(w, "report", discoverResponse(r.PathValue("name"), req, rep, ds.ColumnNames()))
+	flusher.Flush()
+}
+
+// prepareDiscover resolves the dataset, decodes the JSON request, applies the
+// server-side budget cap and validates — everything that can still produce a
+// clean client error before any discovery work starts. On failure it writes
+// the error response and returns ok=false.
+func (s *Server) prepareDiscover(w http.ResponseWriter, r *http.Request) (*fastod.Dataset, fastod.Request, bool) {
+	name := r.PathValue("name")
+	ds, ok := s.dataset(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no dataset %q (upload one with POST /v1/datasets?name=%s)", name, name))
+		return nil, fastod.Request{}, false
+	}
+	var q DiscoverRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&q); err != nil && !errors.Is(err, io.EOF) {
+		// An empty body is a default FASTOD run; anything undecodable is 400.
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return nil, fastod.Request{}, false
+	}
+	req := q.toRequest()
+	req.Budget = capBudget(req.Budget, s.maxBudget)
+	// The dataset-aware variant, so even failures Validate alone cannot see
+	// (condition attrs beyond the dataset's width) become clean 400s here —
+	// before the SSE handler commits its 200 header to the wire.
+	if err := ds.ValidateRequest(req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, fastod.Request{}, false
+	}
+	return ds, req, true
+}
+
+// runContext derives the run's context: the request context bounded by the
+// effective budget timeout, so a client that disconnects and a deadline that
+// fires both interrupt the run the same cooperative way.
+func (s *Server) runContext(parent context.Context, req fastod.Request) (context.Context, context.CancelFunc) {
+	if req.Budget.Timeout > 0 {
+		return context.WithTimeout(parent, req.Budget.Timeout)
+	}
+	return context.WithCancel(parent)
+}
+
+// beginRun derives the run context and takes one slot of the global run
+// semaphore. The deadline starts before the semaphore wait, so it bounds
+// queue time plus run time: a saturated server cannot hold a 50ms request
+// hostage for another run's 30s budget. On failure the 503 is already
+// written; on success the caller must defer end().
+func (s *Server) beginRun(w http.ResponseWriter, r *http.Request, req fastod.Request) (ctx context.Context, end func(), ok bool) {
+	ctx, cancel := s.runContext(r.Context(), req)
+	release := s.acquire(ctx.Done())
+	if release == nil {
+		cancel()
+		writeError(w, http.StatusServiceUnavailable, errors.New("deadline expired or request cancelled while waiting for a run slot"))
+		return nil, nil, false
+	}
+	return ctx, func() { release(); cancel() }, true
+}
+
+// statusOf maps a Run error onto an HTTP status: typed validation failures
+// are the client's fault, everything else is ours.
+func statusOf(err error) int {
+	if errors.Is(err, fastod.ErrInvalidRequest) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body) // the status line is gone; nothing left to signal
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// writeSSE writes one Server-Sent Event with a JSON data payload. json.Marshal
+// never emits raw newlines, so the payload always fits one data: line.
+func writeSSE(w io.Writer, event string, body any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		data, _ = json.Marshal(errorBody{Error: err.Error()})
+		event = "error"
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}

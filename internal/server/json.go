@@ -1,0 +1,269 @@
+package server
+
+import (
+	"time"
+
+	fastod "repro"
+)
+
+// The wire types of the service: a JSON mirror of fastod.Request on the way
+// in, and a flattened, renderer-backed view of fastod.Report on the way out.
+// Dependencies travel as their textual form (the same syntax the CLIs print
+// and internal/odparse parses) rather than as index-level structs — the
+// server knows the column names, the client usually does not.
+
+// DiscoverRequest is the JSON mirror of fastod.Request. The per-request
+// deadline travels as timeout_ms and is mapped onto both Budget.Timeout and
+// the run's context; max_nodes bounds visited lattice nodes. Absent fields
+// take the library defaults, and both budget knobs are clamped to the
+// server-side cap (see Config.MaxBudget) before the run starts.
+type DiscoverRequest struct {
+	Algorithm string `json:"algorithm,omitempty"`
+	Workers   int    `json:"workers,omitempty"`
+	MaxLevel  int    `json:"max_level,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	MaxNodes  int    `json:"max_nodes,omitempty"`
+
+	FASTOD      *FASTODOptions      `json:"fastod,omitempty"`
+	Approx      *ApproxOptions      `json:"approx,omitempty"`
+	Conditional *ConditionalOptions `json:"conditional,omitempty"`
+}
+
+// FASTODOptions mirrors fastod.FASTODRunOptions.
+type FASTODOptions struct {
+	DisablePruning     bool `json:"disable_pruning,omitempty"`
+	DisableKeyPruning  bool `json:"disable_key_pruning,omitempty"`
+	DisableNodePruning bool `json:"disable_node_pruning,omitempty"`
+	NaiveSwapCheck     bool `json:"naive_swap_check,omitempty"`
+	CountOnly          bool `json:"count_only,omitempty"`
+	CollectLevelStats  bool `json:"collect_level_stats,omitempty"`
+}
+
+// ApproxOptions mirrors fastod.ApproxRunOptions.
+type ApproxOptions struct {
+	Threshold float64 `json:"threshold"`
+}
+
+// ConditionalOptions mirrors fastod.ConditionalRunOptions.
+type ConditionalOptions struct {
+	MaxConditionCardinality int   `json:"max_condition_cardinality,omitempty"`
+	MinSliceRows            int   `json:"min_slice_rows,omitempty"`
+	ConditionAttrs          []int `json:"condition_attrs,omitempty"`
+}
+
+// toRequest maps the wire request onto the library envelope. No validation
+// happens here: Request.Validate owns that, so invalid values (negative
+// workers, out-of-range thresholds) surface as typed 400s, not decode quirks.
+func (q DiscoverRequest) toRequest() fastod.Request {
+	req := fastod.Request{
+		Algorithm: fastod.Algorithm(q.Algorithm),
+		RunOptions: fastod.RunOptions{
+			Workers:  q.Workers,
+			MaxLevel: q.MaxLevel,
+			Budget: fastod.Budget{
+				Timeout:  time.Duration(q.TimeoutMS) * time.Millisecond,
+				MaxNodes: q.MaxNodes,
+			},
+		},
+	}
+	if q.FASTOD != nil {
+		req.FASTOD = fastod.FASTODRunOptions{
+			DisablePruning:     q.FASTOD.DisablePruning,
+			DisableKeyPruning:  q.FASTOD.DisableKeyPruning,
+			DisableNodePruning: q.FASTOD.DisableNodePruning,
+			NaiveSwapCheck:     q.FASTOD.NaiveSwapCheck,
+			CountOnly:          q.FASTOD.CountOnly,
+			CollectLevelStats:  q.FASTOD.CollectLevelStats,
+		}
+	}
+	if q.Approx != nil {
+		req.Approx = fastod.ApproxRunOptions{Threshold: q.Approx.Threshold}
+	}
+	if q.Conditional != nil {
+		req.Conditional = fastod.ConditionalRunOptions{
+			MaxConditionCardinality: q.Conditional.MaxConditionCardinality,
+			MinSliceRows:            q.Conditional.MinSliceRows,
+			ConditionAttrs:          q.Conditional.ConditionAttrs,
+		}
+	}
+	return req
+}
+
+// DatasetInfo describes one resident dataset.
+type DatasetInfo struct {
+	Name    string   `json:"name"`
+	Rows    int      `json:"rows"`
+	Columns []string `json:"columns"`
+}
+
+func datasetInfo(name string, ds *fastod.Dataset) DatasetInfo {
+	return DatasetInfo{Name: name, Rows: ds.NumRows(), Columns: ds.ColumnNames()}
+}
+
+// DatasetList is the response of GET /v1/datasets.
+type DatasetList struct {
+	Datasets []DatasetInfo `json:"datasets"`
+}
+
+// BudgetInfo reports the budget a run was actually subject to, after the
+// server-side cap.
+type BudgetInfo struct {
+	TimeoutMS int64 `json:"timeout_ms"`
+	MaxNodes  int   `json:"max_nodes"`
+}
+
+// StatsInfo mirrors fastod.RunStats.
+type StatsInfo struct {
+	NodesVisited    int `json:"nodes_visited"`
+	MaxLevelReached int `json:"max_level_reached"`
+	PartitionHits   int `json:"partition_hits"`
+	PartitionMisses int `json:"partition_misses"`
+}
+
+// CountInfo is the paper-style tally of discovered canonical ODs.
+type CountInfo struct {
+	Total       int `json:"total"`
+	Constancy   int `json:"constancy"`
+	OrderCompat int `json:"order_compatible"`
+}
+
+// Dependency is one discovered dependency rendered over column names. OD uses
+// the parseable textual syntax of the CLIs; Error and Condition are filled by
+// the approximate and conditional algorithms respectively.
+type Dependency struct {
+	OD string `json:"od"`
+	// Error is the measured error rate of an approximate OD.
+	Error *float64 `json:"error,omitempty"`
+	// Condition and Rows describe the slice a conditional OD holds on.
+	Condition string `json:"condition,omitempty"`
+	Rows      int    `json:"rows,omitempty"`
+}
+
+// DiscoverResponse is the response of the discover endpoints: the effective
+// run parameters (workers after resolution, budget after the cap), the
+// interrupted flag of the partial-result contract, unified stats, and the
+// dependencies rendered over the dataset's column names.
+type DiscoverResponse struct {
+	Dataset   string `json:"dataset"`
+	Algorithm string `json:"algorithm"`
+	// Workers is the effective worker count of the run (after resolving the
+	// requested value; 0 selects all CPUs), not the raw request value.
+	Workers int        `json:"workers"`
+	Budget  BudgetInfo `json:"budget"`
+	// Interrupted reports the run was cut short by its budget or deadline;
+	// Dependencies then hold everything discovered before the interrupt.
+	Interrupted bool       `json:"interrupted"`
+	ElapsedMS   float64    `json:"elapsed_ms"`
+	Stats       StatsInfo  `json:"stats"`
+	Counts      *CountInfo `json:"counts,omitempty"`
+	// Count is len(Dependencies), except in count-only mode where it reports
+	// the tally of a run that materialized nothing.
+	Count        int          `json:"count"`
+	Dependencies []Dependency `json:"dependencies"`
+	// SlicesExamined counts processed condition slices (conditional only).
+	SlicesExamined int `json:"slices_examined,omitempty"`
+}
+
+// ProgressEvent is the SSE form of fastod.ProgressEvent. Slice marks the
+// per-condition-slice events of conditional runs (their Level is the
+// SliceProgressLevel sentinel, not a lattice level).
+type ProgressEvent struct {
+	Level            int     `json:"level"`
+	Slice            bool    `json:"slice,omitempty"`
+	Nodes            int     `json:"nodes"`
+	NodesVisited     int     `json:"nodes_visited"`
+	PartitionsCached int     `json:"partitions_cached"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
+}
+
+func progressEvent(ev fastod.ProgressEvent) ProgressEvent {
+	return ProgressEvent{
+		Level:            ev.Level,
+		Slice:            ev.Level == fastod.SliceProgressLevel,
+		Nodes:            ev.Nodes,
+		NodesVisited:     ev.NodesVisited,
+		PartitionsCached: ev.PartitionsCached,
+		ElapsedMS:        ms(ev.Elapsed),
+	}
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// discoverResponse flattens a Report into the wire response, rendering each
+// payload's dependencies over the dataset's column names.
+func discoverResponse(dataset string, req fastod.Request, rep *fastod.Report, names []string) DiscoverResponse {
+	resp := DiscoverResponse{
+		Dataset:   dataset,
+		Algorithm: string(rep.Algorithm),
+		Workers:   req.EffectiveWorkers(),
+		Budget: BudgetInfo{
+			TimeoutMS: req.Budget.Timeout.Milliseconds(),
+			MaxNodes:  req.Budget.MaxNodes,
+		},
+		Interrupted: rep.Interrupted,
+		ElapsedMS:   ms(rep.Elapsed),
+		Stats: StatsInfo{
+			NodesVisited:    rep.Stats.NodesVisited,
+			MaxLevelReached: rep.Stats.MaxLevelReached,
+			PartitionHits:   rep.Stats.PartitionHits,
+			PartitionMisses: rep.Stats.PartitionMisses,
+		},
+		// Marshal as [] rather than null when a run discovers nothing (or
+		// materializes nothing, in count-only mode).
+		Dependencies: []Dependency{},
+	}
+	switch {
+	case rep.FASTOD != nil:
+		res := rep.FASTOD
+		resp.Counts = &CountInfo{Total: res.Counts.Total, Constancy: res.Counts.Constancy, OrderCompat: res.Counts.OrderCompat}
+		resp.Count = res.Counts.Total
+		for _, od := range res.ODs {
+			resp.Dependencies = append(resp.Dependencies, Dependency{OD: od.NamesString(names)})
+		}
+	case rep.TANE != nil:
+		res := rep.TANE
+		resp.Count = len(res.FDs)
+		for _, fd := range res.FDs {
+			resp.Dependencies = append(resp.Dependencies, Dependency{OD: fd.NamesString(names)})
+		}
+	case rep.Approx != nil:
+		res := rep.Approx
+		counts := res.Counts()
+		resp.Counts = &CountInfo{Total: counts.Total, Constancy: counts.Constancy, OrderCompat: counts.OrderCompat}
+		resp.Count = len(res.ODs)
+		for _, d := range res.ODs {
+			rate := d.Error.Rate
+			resp.Dependencies = append(resp.Dependencies, Dependency{OD: d.OD.NamesString(names), Error: &rate})
+		}
+	case rep.Bidir != nil:
+		res := rep.Bidir
+		resp.Count = len(res.ODs)
+		for _, od := range res.ODs {
+			resp.Dependencies = append(resp.Dependencies, Dependency{OD: od.NamesString(names)})
+		}
+	case rep.Conditional != nil:
+		res := rep.Conditional
+		resp.Count = len(res.ODs)
+		resp.SlicesExamined = res.SlicesExamined
+		for _, c := range res.ODs {
+			resp.Dependencies = append(resp.Dependencies, Dependency{
+				OD:        c.OD.NamesString(names),
+				Condition: c.Condition.NamesString(names),
+				Rows:      c.Condition.Rows,
+			})
+		}
+	case rep.ORDER != nil:
+		res := rep.ORDER
+		resp.Counts = &CountInfo{Total: res.Counts.Total, Constancy: res.Counts.Constancy, OrderCompat: res.Counts.OrderCompat}
+		resp.Count = len(res.ODs)
+		for _, od := range res.ODs {
+			resp.Dependencies = append(resp.Dependencies, Dependency{OD: od.Names(names)})
+		}
+	}
+	return resp
+}

@@ -1,0 +1,221 @@
+// Package server exposes the unified Run discovery API over HTTP with JSON,
+// turning the library into a deployable discovery service in the style of the
+// Metanome-class platforms the paper's experimental setup assumes: datasets
+// are uploaded once as CSV, then profiled repeatedly — by any of the six
+// algorithms — through budgeted, cancellable discovery requests.
+//
+// Endpoints:
+//
+//	POST /v1/datasets?name=N           upload a CSV body as dataset N
+//	GET  /v1/datasets                  list loaded datasets
+//	GET  /v1/datasets/{name}           describe one dataset
+//	POST /v1/datasets/{name}/discover  run discovery, JSON request/response
+//	POST /v1/datasets/{name}/discover/stream
+//	                                   same, but stream per-level progress
+//	                                   events as SSE before the final report
+//	GET  /healthz                      readiness probe
+//
+// Every uploaded dataset gets a shared partition cache
+// (fastod.Dataset.EnablePartitionCache), so repeated discovery requests
+// against the same dataset reuse stripped partitions across algorithms — the
+// access pattern a profiling service spends most of its time on.
+//
+// Resource discipline: a global semaphore bounds how many discovery runs
+// execute at once, and a server-side budget cap bounds each run's wall-clock
+// time and visited lattice nodes, so no request — including one that asks for
+// no budget at all — can run away. A request that exhausts its budget is not
+// an error: it yields HTTP 200 with "interrupted": true and the partial
+// report (see the fastod.Report partial-result contract). Invalid requests
+// are rejected up front via fastod.ErrInvalidRequest and map to HTTP 400;
+// only genuine algorithm/input failures map to HTTP 500.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	fastod "repro"
+)
+
+// Typed AddDataset failures, so the upload handler can map each to its HTTP
+// status with errors.Is instead of guessing from server state.
+var (
+	// ErrDatasetExists reports a name collision with a resident dataset.
+	ErrDatasetExists = errors.New("dataset already exists")
+	// ErrDatasetLimit reports that the server is at its dataset capacity.
+	ErrDatasetLimit = errors.New("dataset limit reached")
+)
+
+// Config tunes a Server. The zero value is usable: DefaultBudget caps every
+// run, DefaultMaxConcurrent bounds parallel runs and DefaultMaxUploadBytes
+// bounds CSV uploads.
+type Config struct {
+	// MaxConcurrent bounds how many discovery runs may execute at once
+	// (<= 0 selects DefaultMaxConcurrent). Further discover requests wait
+	// until a slot frees or their own context/deadline fires.
+	MaxConcurrent int
+	// MaxBudget caps every run's budget knob-by-knob: a request may ask for
+	// less than the cap, never for more, and an absent (zero) knob — which
+	// the library reads as "unbounded" — is replaced by the cap. Zero knobs
+	// here select fastod.DefaultBudget()'s values.
+	MaxBudget fastod.Budget
+	// MaxUploadBytes bounds the size of one CSV upload body
+	// (<= 0 selects DefaultMaxUploadBytes).
+	MaxUploadBytes int64
+	// MaxDatasets bounds how many datasets may be resident at once
+	// (<= 0 selects DefaultMaxDatasets). Uploads beyond it are refused —
+	// eviction is a deliberate non-feature for now (see ROADMAP).
+	MaxDatasets int
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultMaxConcurrent  = 4
+	DefaultMaxUploadBytes = 64 << 20
+	DefaultMaxDatasets    = 64
+)
+
+// Server is the HTTP discovery service: a named collection of uploaded
+// datasets plus the resource limits every discovery run is subject to.
+// All methods are safe for concurrent use.
+type Server struct {
+	mu       sync.RWMutex
+	datasets map[string]*fastod.Dataset
+
+	sem            chan struct{}
+	maxBudget      fastod.Budget
+	maxUploadBytes int64
+	maxDatasets    int
+}
+
+// Normalized returns the config with zero values replaced by the defaults:
+// the limits a Server built from it actually enforces. Front ends log these,
+// not the raw flag values.
+func (c Config) Normalized() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = DefaultMaxUploadBytes
+	}
+	if c.MaxDatasets <= 0 {
+		c.MaxDatasets = DefaultMaxDatasets
+	}
+	def := fastod.DefaultBudget()
+	if c.MaxBudget.Timeout <= 0 {
+		c.MaxBudget.Timeout = def.Timeout
+	}
+	if c.MaxBudget.MaxNodes <= 0 {
+		c.MaxBudget.MaxNodes = def.MaxNodes
+	}
+	return c
+}
+
+// New builds a Server from the config (zero values select the defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.Normalized()
+	return &Server{
+		datasets:       make(map[string]*fastod.Dataset),
+		sem:            make(chan struct{}, cfg.MaxConcurrent),
+		maxBudget:      cfg.MaxBudget,
+		maxUploadBytes: cfg.MaxUploadBytes,
+		maxDatasets:    cfg.MaxDatasets,
+	}
+}
+
+// Handler returns the service's HTTP handler (an http.ServeMux using
+// method+path patterns); mount it on any http.Server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/datasets", s.handleUpload)
+	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	mux.HandleFunc("POST /v1/datasets/{name}/discover", s.handleDiscover)
+	mux.HandleFunc("POST /v1/datasets/{name}/discover/stream", s.handleDiscoverStream)
+	return mux
+}
+
+// AddDataset registers an already-built dataset under the given name (used
+// by odserve's -preload and by tests) and attaches the shared partition
+// cache exactly like an upload would. It fails if the name is taken or the
+// dataset limit is reached.
+func (s *Server) AddDataset(name string, ds *fastod.Dataset) error {
+	if name == "" {
+		return fmt.Errorf("server: empty dataset name")
+	}
+	if ds == nil {
+		return fmt.Errorf("server: nil dataset %q", name)
+	}
+	ds.EnablePartitionCache(0)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.datasets[name]; ok {
+		return fmt.Errorf("server: %w: %q", ErrDatasetExists, name)
+	}
+	if len(s.datasets) >= s.maxDatasets {
+		return fmt.Errorf("server: %w (%d)", ErrDatasetLimit, s.maxDatasets)
+	}
+	s.datasets[name] = ds
+	return nil
+}
+
+// atCapacity reports whether the dataset limit is reached. Advisory only —
+// AddDataset re-checks under its write lock.
+func (s *Server) atCapacity() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.datasets) >= s.maxDatasets
+}
+
+// dataset looks a dataset up by name.
+func (s *Server) dataset(name string) (*fastod.Dataset, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ds, ok := s.datasets[name]
+	return ds, ok
+}
+
+// datasetInfos snapshots every resident dataset's description under one
+// read lock, sorted by name.
+func (s *Server) datasetInfos() []DatasetInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	infos := make([]DatasetInfo, 0, len(s.datasets))
+	for name, ds := range s.datasets {
+		infos = append(infos, datasetInfo(name, ds))
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// acquire takes one slot of the global run semaphore, waiting until either a
+// slot frees or done fires; the returned release func is nil in the latter
+// case. Waiting (rather than failing fast) keeps bursty clients simple: the
+// per-request deadline still bounds the total wait+run time.
+func (s *Server) acquire(done <-chan struct{}) (release func()) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }
+	case <-done:
+		return nil
+	}
+}
+
+// capBudget clamps a requested budget to the server-wide cap, knob by knob: a
+// zero knob means the client asked for no bound, which on a shared server
+// becomes the cap itself — never unbounded. Negative knobs pass through so
+// request validation can reject them with a 400 rather than being silently
+// "fixed" here.
+func capBudget(req, max fastod.Budget) fastod.Budget {
+	if req.Timeout == 0 || req.Timeout > max.Timeout {
+		req.Timeout = max.Timeout
+	}
+	if req.MaxNodes == 0 || req.MaxNodes > max.MaxNodes {
+		req.MaxNodes = max.MaxNodes
+	}
+	return req
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	fastod "repro"
+)
+
+func TestCapBudget(t *testing.T) {
+	max := fastod.Budget{Timeout: 10 * time.Second, MaxNodes: 1000}
+	cases := []struct {
+		name string
+		req  fastod.Budget
+		want fastod.Budget
+	}{
+		{"zero means the cap, never unbounded", fastod.Budget{}, max},
+		{"below the cap passes through", fastod.Budget{Timeout: time.Second, MaxNodes: 10}, fastod.Budget{Timeout: time.Second, MaxNodes: 10}},
+		{"above the cap clamps", fastod.Budget{Timeout: time.Minute, MaxNodes: 1 << 30}, max},
+		{"knobs clamp independently", fastod.Budget{Timeout: time.Minute, MaxNodes: 5}, fastod.Budget{Timeout: 10 * time.Second, MaxNodes: 5}},
+		// Negative knobs pass through so Validate can reject them with a 400
+		// instead of the cap silently repairing an invalid request.
+		{"negative passes through for validation", fastod.Budget{Timeout: -1, MaxNodes: -2}, fastod.Budget{Timeout: -1, MaxNodes: -2}},
+	}
+	for _, tc := range cases {
+		if got := capBudget(tc.req, max); got != tc.want {
+			t.Errorf("%s: capBudget(%+v) = %+v, want %+v", tc.name, tc.req, got, tc.want)
+		}
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	s := New(Config{})
+	if cap(s.sem) != DefaultMaxConcurrent {
+		t.Errorf("semaphore capacity = %d, want %d", cap(s.sem), DefaultMaxConcurrent)
+	}
+	if s.maxBudget != fastod.DefaultBudget() {
+		t.Errorf("maxBudget = %+v, want DefaultBudget %+v", s.maxBudget, fastod.DefaultBudget())
+	}
+	if s.maxUploadBytes != DefaultMaxUploadBytes || s.maxDatasets != DefaultMaxDatasets {
+		t.Errorf("limits = (%d, %d), want defaults", s.maxUploadBytes, s.maxDatasets)
+	}
+}
+
+func TestAcquireRespectsCancellation(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1})
+	release := s.acquire(nil)
+	if release == nil {
+		t.Fatal("acquire on an idle server failed")
+	}
+	// The only slot is taken: a caller whose request is already done must
+	// give up instead of queueing forever.
+	done := make(chan struct{})
+	close(done)
+	if got := s.acquire(done); got != nil {
+		t.Fatal("acquire with a closed done channel should return nil")
+	}
+	// After release the slot is free again. (A closed done is not used here:
+	// with both select cases ready, acquire may legitimately pick either.)
+	release()
+	if release = s.acquire(nil); release == nil {
+		t.Fatal("acquire after release should succeed")
+	}
+	release()
+}
+
+func TestAddDatasetLimits(t *testing.T) {
+	s := New(Config{MaxDatasets: 1})
+	if err := s.AddDataset("", fastod.EmployeesExample()); err == nil {
+		t.Error("empty name must be rejected")
+	}
+	if err := s.AddDataset("a", fastod.EmployeesExample()); err != nil {
+		t.Fatalf("first AddDataset: %v", err)
+	}
+	if err := s.AddDataset("a", fastod.EmployeesExample()); err == nil {
+		t.Error("duplicate name must be rejected")
+	}
+	if err := s.AddDataset("b", fastod.EmployeesExample()); err == nil {
+		t.Error("dataset limit must be enforced")
+	}
+}

@@ -2,7 +2,9 @@ package fastod
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/approx"
@@ -150,6 +152,115 @@ type Request struct {
 	Conditional ConditionalRunOptions
 }
 
+// ErrInvalidRequest marks request-validation failures of Run: the request
+// itself is malformed (negative resource knobs, out-of-range threshold,
+// unknown algorithm), as opposed to algorithm or input failures. Errors
+// returned by Run for such requests wrap it, so transport layers can test
+// errors.Is(err, ErrInvalidRequest) and map it to a client error (HTTP 400)
+// while everything else stays a server error.
+var ErrInvalidRequest = errors.New("fastod: invalid request")
+
+// Validate checks the request envelope without touching the dataset: shared
+// options must be non-negative, the algorithm must be known, and the
+// algorithm-specific block actually read by the run (see Request) must be
+// in range. Run calls it before any encoding or partition-store work, so a
+// bad request fails fast with an ErrInvalidRequest-wrapped error instead of
+// surfacing from deep inside an algorithm — or worse, being silently
+// coerced (negative Workers used to be clamped to 1 by the engine).
+func (r Request) Validate() error {
+	if r.Workers < 0 {
+		return fmt.Errorf("%w: negative Workers %d (0 selects all CPUs, 1 is sequential)", ErrInvalidRequest, r.Workers)
+	}
+	if r.MaxLevel < 0 {
+		return fmt.Errorf("%w: negative MaxLevel %d (0 means unlimited)", ErrInvalidRequest, r.MaxLevel)
+	}
+	if r.Budget.Timeout < 0 {
+		return fmt.Errorf("%w: negative Budget.Timeout %v (0 means none)", ErrInvalidRequest, r.Budget.Timeout)
+	}
+	if r.Budget.MaxNodes < 0 {
+		return fmt.Errorf("%w: negative Budget.MaxNodes %d (0 means none)", ErrInvalidRequest, r.Budget.MaxNodes)
+	}
+	alg := r.Algorithm
+	if alg == "" {
+		alg = AlgorithmFASTOD
+	}
+	switch alg {
+	case AlgorithmFASTOD, AlgorithmTANE, AlgorithmBidirectional, AlgorithmORDER:
+	case AlgorithmApprox:
+		// The NaN check is explicit: NaN slips through both range
+		// comparisons and would silently yield an empty result (every
+		// error-rate comparison against NaN is false).
+		if t := r.Approx.Threshold; t < 0 || t >= 1 || math.IsNaN(t) {
+			return fmt.Errorf("%w: Approx.Threshold %v outside [0, 1)", ErrInvalidRequest, t)
+		}
+	case AlgorithmConditional:
+		if r.Conditional.MinSliceRows < 0 {
+			return fmt.Errorf("%w: negative Conditional.MinSliceRows %d (0 selects the default)", ErrInvalidRequest, r.Conditional.MinSliceRows)
+		}
+		if r.Conditional.MaxConditionCardinality < 0 {
+			return fmt.Errorf("%w: negative Conditional.MaxConditionCardinality %d (0 selects the default)", ErrInvalidRequest, r.Conditional.MaxConditionCardinality)
+		}
+		seen := make(map[int]bool, len(r.Conditional.ConditionAttrs))
+		for _, attr := range r.Conditional.ConditionAttrs {
+			if attr < 0 {
+				return fmt.Errorf("%w: negative Conditional.ConditionAttrs entry %d", ErrInvalidRequest, attr)
+			}
+			if seen[attr] {
+				// A duplicate would double-discover the attribute's slices:
+				// duplicated conditional ODs and double the node budget spent.
+				return fmt.Errorf("%w: duplicate Conditional.ConditionAttrs entry %d", ErrInvalidRequest, attr)
+			}
+			seen[attr] = true
+		}
+	default:
+		return fmt.Errorf("%w: unknown algorithm %q (want one of %v)", ErrInvalidRequest, r.Algorithm, Algorithms())
+	}
+	return nil
+}
+
+// ResolveWorkers maps a RunOptions.Workers-style request onto the concrete
+// worker count a run will use: 0 selects all CPUs (GOMAXPROCS). It exists so
+// front ends can report the effective parallelism of a run instead of
+// echoing the raw setting. Negative values resolve to 1 for historical
+// callers, but Run itself rejects them up front (Validate).
+func ResolveWorkers(requested int) int { return lattice.ResolveWorkers(requested) }
+
+// ValidateRequest is Validate plus the dataset-aware checks a bare Request
+// cannot perform — today, that Conditional.ConditionAttrs fit the dataset's
+// width. Run calls it before any encoding or store work; transport layers
+// call it to reject invalid requests before committing to a response (e.g.
+// before the SSE stream's 200 header goes on the wire).
+func (d *Dataset) ValidateRequest(req Request) error {
+	if err := req.Validate(); err != nil {
+		return err
+	}
+	if alg := req.Algorithm; alg == AlgorithmConditional {
+		for _, attr := range req.Conditional.ConditionAttrs {
+			if attr >= d.enc.NumCols() {
+				return fmt.Errorf("%w: Conditional.ConditionAttrs entry %d out of range (dataset has %d attributes)",
+					ErrInvalidRequest, attr, d.enc.NumCols())
+			}
+		}
+	}
+	return nil
+}
+
+// EffectiveWorkers reports the worker count this request's run will actually
+// use: ResolveWorkers of the requested value, except for ORDER, whose
+// list-lattice search is sequential and ignores Workers entirely.
+func (r Request) EffectiveWorkers() int {
+	if r.Algorithm == AlgorithmORDER {
+		return 1
+	}
+	return ResolveWorkers(r.Workers)
+}
+
+// SliceProgressLevel is the ProgressEvent.Level marker of conditional
+// discovery's per-slice events: the unconditional pass reports ordinary
+// lattice levels (1, 2, ...), then each processed condition slice reports
+// one event with this level, its node count and the cumulative NodesVisited.
+const SliceProgressLevel = conditional.SliceProgressLevel
+
 // RunStats are the unified work counters of a Report, comparable across
 // algorithms; see lattice.Stats for the field semantics. For the conditional
 // algorithm NodesVisited totals the unconditional and slice passes while the
@@ -217,10 +328,16 @@ func (d *Dataset) Run(ctx context.Context, req Request) (*Report, error) {
 // from the discovery goroutine, so the callback must be fast and may safely
 // cancel the context to stop the run (the idiomatic way to implement
 // caller-side policies the Budget knobs do not cover). For the conditional
-// algorithm, events describe the unconditional pass.
+// algorithm, per-level events describe the unconditional pass; each condition
+// slice processed afterwards reports one event with Level ==
+// SliceProgressLevel (slice passes are whole-lattice runs of their own, so a
+// long conditional discovery stays observable end to end).
 func (d *Dataset) RunWithProgress(ctx context.Context, req Request, onProgress func(ProgressEvent)) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if err := d.ValidateRequest(req); err != nil {
+		return nil, err
 	}
 	store := d.partitions(req.Partitions)
 	rep := &Report{Algorithm: req.Algorithm}
@@ -327,7 +444,9 @@ func (d *Dataset) RunWithProgress(ctx context.Context, req Request, onProgress f
 		}
 
 	default:
-		return nil, fmt.Errorf("fastod: unknown algorithm %q (want one of %v)", req.Algorithm, Algorithms())
+		// Unreachable: Validate rejected unknown algorithms above. Kept as a
+		// safety net should the switches ever drift apart.
+		return nil, fmt.Errorf("%w: unknown algorithm %q (want one of %v)", ErrInvalidRequest, req.Algorithm, Algorithms())
 	}
 	rep.Interrupted = rep.Stats.Interrupted
 	rep.Elapsed = time.Since(start)
