@@ -5,15 +5,20 @@
 // Usage:
 //
 //	odserve [-addr :8080] [-max-concurrent N] [-max-timeout D] [-max-nodes N]
-//	        [-max-upload-bytes N] [-max-datasets N] [name=path.csv ...]
+//	        [-max-upload-bytes N] [-max-datasets N] [-max-request-bytes N]
+//	        [-report-cache-bytes N] [name=path.csv ...]
 //
 // Positional name=path arguments preload CSV files as named datasets; more
 // can be uploaded at runtime with POST /v1/datasets?name=N. Every discovery
 // request is subject to the server-side budget cap (-max-timeout and
 // -max-nodes): a request may ask for less, never for more, and a run that
 // exhausts its budget returns HTTP 200 with "interrupted": true and the
-// partial report. Invalid requests fail fast with HTTP 400. See the README
-// section "Serving discovery over HTTP" for the endpoint and JSON shapes.
+// partial report. Invalid requests fail fast with HTTP 400; JSON bodies over
+// -max-request-bytes with 413. Completed reports are memoized in a bounded
+// report cache (-report-cache-bytes) keyed by dataset version and canonical
+// request, so a repeated question is answered in microseconds with
+// "cached": true. See the README section "Serving discovery over HTTP" for
+// the endpoint and JSON shapes.
 package main
 
 import (
@@ -42,15 +47,19 @@ func main() {
 		maxNodes      = flag.Int("max-nodes", fastod.DefaultBudget().MaxNodes, "server-side cap on one run's visited lattice nodes")
 		maxUpload     = flag.Int64("max-upload-bytes", server.DefaultMaxUploadBytes, "largest accepted CSV upload body")
 		maxDatasets   = flag.Int("max-datasets", server.DefaultMaxDatasets, "datasets allowed to be resident at once")
+		maxRequest    = flag.Int64("max-request-bytes", server.DefaultMaxRequestBytes, "largest accepted JSON discover request body")
+		reportCache   = flag.Int("report-cache-bytes", server.DefaultReportCacheBytes, "report cache bound in estimated bytes (completed reports memoized per dataset version and request)")
 	)
 	flag.Parse()
 	cfg := config{
 		addr: *addr,
 		server: server.Config{
-			MaxConcurrent:  *maxConcurrent,
-			MaxBudget:      fastod.Budget{Timeout: *maxTimeout, MaxNodes: *maxNodes},
-			MaxUploadBytes: *maxUpload,
-			MaxDatasets:    *maxDatasets,
+			MaxConcurrent:    *maxConcurrent,
+			MaxBudget:        fastod.Budget{Timeout: *maxTimeout, MaxNodes: *maxNodes},
+			MaxUploadBytes:   *maxUpload,
+			MaxDatasets:      *maxDatasets,
+			MaxRequestBytes:  *maxRequest,
+			ReportCacheBytes: *reportCache,
 		},
 		preload: flag.Args(),
 	}

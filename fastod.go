@@ -38,6 +38,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/canonical"
@@ -124,6 +125,36 @@ type Dataset struct {
 	rel   *relation.Relation
 	enc   *relation.Encoded
 	parts *lattice.PartitionStore
+	// version is this dataset's content-version stamp; see Version.
+	version atomic.Uint64
+}
+
+// datasetVersions issues version stamps. One process-global counter (rather
+// than a per-dataset one) makes stamps unique across every dataset and view
+// a process ever creates, so a cache key built from a stamp can never collide
+// with a different dataset that happens to share a name — e.g. after a future
+// delete-and-reupload path.
+var datasetVersions atomic.Uint64
+
+// Version returns the dataset's content-version stamp. Stamps are issued from
+// one process-global monotonic counter: every dataset (and every Project/
+// HeadRows view, which is a distinct relation instance) gets a fresh stamp at
+// construction, and BumpVersion re-stamps after a mutation. Any cache keyed
+// by (version, request) is therefore invalidated by construction whenever the
+// underlying data can have changed — the report cache's dataset half (the
+// request half is Request.Fingerprint).
+func (d *Dataset) Version() uint64 { return d.version.Load() }
+
+// BumpVersion marks the dataset's contents as changed and returns the fresh
+// stamp. Every mutation path (today none exist in-package; future row appends
+// or deletes will be one) must call it AFTER the mutation is visible, so a
+// reader that still observes the old stamp can at worst cache a report of the
+// old contents under the old stamp — stale entries are never served because
+// readers key by the current stamp. Safe for concurrent use.
+func (d *Dataset) BumpVersion() uint64 {
+	v := datasetVersions.Add(1)
+	d.version.Store(v)
+	return v
 }
 
 // LoadCSVFile reads a CSV file with a header row, sniffs column types
@@ -161,7 +192,9 @@ func newDataset(rel *relation.Relation) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{rel: rel, enc: enc}, nil
+	d := &Dataset{rel: rel, enc: enc}
+	d.BumpVersion()
+	return d, nil
 }
 
 // Name returns the dataset's name (file path or constructor-supplied name).
@@ -191,14 +224,18 @@ func (d *Dataset) ColumnIndex(name string) int { return d.enc.ColumnIndex(name) 
 // and the parent's partitions would be wrong for the view anyway. Call
 // EnablePartitionCache on the view itself to cache its partitions.
 func (d *Dataset) Project(k int) *Dataset {
-	return &Dataset{rel: d.rel, enc: d.enc.ProjectColumns(k)}
+	v := &Dataset{rel: d.rel, enc: d.enc.ProjectColumns(k)}
+	v.BumpVersion()
+	return v
 }
 
 // HeadRows returns a dataset restricted to the first n tuples. Like Project,
 // the view does not inherit the parent's partition cache (stores bind to one
 // relation instance); enable one on the view if needed.
 func (d *Dataset) HeadRows(n int) *Dataset {
-	return &Dataset{rel: d.rel, enc: d.enc.HeadRows(n)}
+	v := &Dataset{rel: d.rel, enc: d.enc.HeadRows(n)}
+	v.BumpVersion()
+	return v
 }
 
 // EnablePartitionCache attaches a bounded partition store to the dataset:

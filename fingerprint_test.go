@@ -1,0 +1,157 @@
+package fastod_test
+
+import (
+	"testing"
+	"time"
+
+	fastod "repro"
+)
+
+// --- Request.Canonical / Request.Fingerprint: the report-cache key must ---
+// --- identify exactly the knobs that can change a completed report.     ---
+
+func TestFingerprintIgnoresExecutionKnobs(t *testing.T) {
+	base := fastod.Request{Algorithm: fastod.AlgorithmFASTOD}
+	for name, variant := range map[string]fastod.Request{
+		"workers 1":          {Algorithm: fastod.AlgorithmFASTOD, RunOptions: fastod.RunOptions{Workers: 1}},
+		"workers 8":          {Algorithm: fastod.AlgorithmFASTOD, RunOptions: fastod.RunOptions{Workers: 8}},
+		"partition override": {Algorithm: fastod.AlgorithmFASTOD, RunOptions: fastod.RunOptions{Partitions: fastod.NewPartitionStore(0)}},
+		"zero algorithm":     {},
+	} {
+		if got, want := variant.Fingerprint(), base.Fingerprint(); got != want {
+			t.Errorf("%s: fingerprint %q != base %q — execution knob leaked into the key", name, got, want)
+		}
+	}
+}
+
+func TestFingerprintSeparatesResultShapingKnobs(t *testing.T) {
+	// Every request here asks a genuinely different question, so every
+	// fingerprint must be distinct — a collision would silently serve one
+	// request's report to another.
+	requests := []fastod.Request{
+		{},
+		{Algorithm: fastod.AlgorithmTANE},
+		{Algorithm: fastod.AlgorithmBidirectional},
+		{Algorithm: fastod.AlgorithmORDER},
+		{Algorithm: fastod.AlgorithmApprox},
+		{Algorithm: fastod.AlgorithmApprox, Approx: fastod.ApproxRunOptions{Threshold: 0.05}},
+		{Algorithm: fastod.AlgorithmApprox, Approx: fastod.ApproxRunOptions{Threshold: 0.1}},
+		{Algorithm: fastod.AlgorithmConditional},
+		{RunOptions: fastod.RunOptions{MaxLevel: 2}},
+		{RunOptions: fastod.RunOptions{MaxLevel: 3}},
+		{RunOptions: fastod.RunOptions{Budget: fastod.Budget{Timeout: time.Second}}},
+		{RunOptions: fastod.RunOptions{Budget: fastod.Budget{Timeout: 2 * time.Second}}},
+		{RunOptions: fastod.RunOptions{Budget: fastod.Budget{MaxNodes: 100}}},
+		{RunOptions: fastod.RunOptions{Budget: fastod.Budget{MaxNodes: 200}}},
+		{FASTOD: fastod.FASTODRunOptions{CountOnly: true}},
+		{FASTOD: fastod.FASTODRunOptions{DisablePruning: true}},
+		{FASTOD: fastod.FASTODRunOptions{CollectLevelStats: true}},
+	}
+	seen := make(map[string]int)
+	for i, r := range requests {
+		fp := r.Fingerprint()
+		if j, dup := seen[fp]; dup {
+			t.Errorf("requests %d and %d collide on fingerprint %q", j, i, fp)
+		}
+		seen[fp] = i
+	}
+}
+
+func TestFingerprintConditionalAttrs(t *testing.T) {
+	mk := func(attrs []int) fastod.Request {
+		return fastod.Request{
+			Algorithm:   fastod.AlgorithmConditional,
+			Conditional: fastod.ConditionalRunOptions{ConditionAttrs: attrs},
+		}
+	}
+	// Attribute order is irrelevant: the slices enumerated are a set.
+	if mk([]int{2, 0, 1}).Fingerprint() != mk([]int{0, 1, 2}).Fingerprint() {
+		t.Error("condition attr order changed the fingerprint")
+	}
+	// nil (auto-enumerate) and empty (no conditions) are different questions.
+	if mk(nil).Fingerprint() == mk([]int{}).Fingerprint() {
+		t.Error("nil and empty ConditionAttrs collide")
+	}
+	// With explicit attrs the cardinality bound is unread, so it must not
+	// split the key; with nil attrs it steers enumeration, so it must.
+	explicit := mk([]int{1})
+	explicit.Conditional.MaxConditionCardinality = 99
+	if explicit.Fingerprint() != mk([]int{1}).Fingerprint() {
+		t.Error("unread MaxConditionCardinality split the key for explicit attrs")
+	}
+	auto := mk(nil)
+	auto.Conditional.MaxConditionCardinality = 99
+	if auto.Fingerprint() == mk(nil).Fingerprint() {
+		t.Error("MaxConditionCardinality ignored for auto enumeration")
+	}
+}
+
+func TestCanonicalErasesIrrelevantOptionBlocks(t *testing.T) {
+	// Knobs belonging to algorithms the request does not run are unread, so
+	// they must not split the cache key.
+	r := fastod.Request{
+		Algorithm:   fastod.AlgorithmTANE,
+		FASTOD:      fastod.FASTODRunOptions{DisablePruning: true, CountOnly: true},
+		Approx:      fastod.ApproxRunOptions{Threshold: 0.25},
+		Conditional: fastod.ConditionalRunOptions{MinSliceRows: 7},
+	}
+	plain := fastod.Request{Algorithm: fastod.AlgorithmTANE}
+	if r.Fingerprint() != plain.Fingerprint() {
+		t.Errorf("irrelevant option blocks split the key:\n %q\n %q", r.Fingerprint(), plain.Fingerprint())
+	}
+	// CountOnly is forced off by the conditional runner, so it is unread
+	// there too.
+	cond := fastod.Request{Algorithm: fastod.AlgorithmConditional, FASTOD: fastod.FASTODRunOptions{CountOnly: true}}
+	condPlain := fastod.Request{Algorithm: fastod.AlgorithmConditional}
+	if cond.Fingerprint() != condPlain.Fingerprint() {
+		t.Error("CountOnly split the key for a conditional run that never reads it")
+	}
+	// But DisablePruning does steer conditional passes.
+	condPruned := fastod.Request{Algorithm: fastod.AlgorithmConditional, FASTOD: fastod.FASTODRunOptions{DisablePruning: true}}
+	if condPruned.Fingerprint() == condPlain.Fingerprint() {
+		t.Error("DisablePruning ignored for a conditional run that reads it")
+	}
+}
+
+func TestCanonicalIsIdempotent(t *testing.T) {
+	for _, r := range []fastod.Request{
+		{},
+		{Algorithm: fastod.AlgorithmApprox, Approx: fastod.ApproxRunOptions{Threshold: 0.1}, RunOptions: fastod.RunOptions{Workers: 4}},
+		{Algorithm: fastod.AlgorithmConditional, Conditional: fastod.ConditionalRunOptions{ConditionAttrs: []int{3, 1}}},
+	} {
+		once := r.Canonical()
+		if twice := once.Canonical(); twice.Fingerprint() != once.Fingerprint() {
+			t.Errorf("Canonical not idempotent for %+v", r)
+		}
+	}
+}
+
+// --- Dataset version stamps: every dataset instance is a distinct cache ---
+// --- generation, and bumps are monotone.                                ---
+
+func TestDatasetVersionStamps(t *testing.T) {
+	ds := fastod.EmployeesExample()
+	v0 := ds.Version()
+	if v0 == 0 {
+		t.Fatal("fresh dataset has no version stamp")
+	}
+	if v := ds.BumpVersion(); v <= v0 {
+		t.Fatalf("BumpVersion %d not greater than %d", v, v0)
+	}
+	if ds.Version() != ds.Version() {
+		t.Fatal("Version not stable between reads")
+	}
+
+	// Derived views are new instances and must never share a stamp with the
+	// parent — or with each other — so stale cache entries cannot be served
+	// for a projection.
+	proj := ds.Project(2)
+	head := ds.HeadRows(3)
+	stamps := map[uint64]string{ds.Version(): "parent"}
+	for name, v := range map[string]uint64{"project": proj.Version(), "head": head.Version()} {
+		if prev, taken := stamps[v]; taken {
+			t.Errorf("%s shares version stamp %d with %s", name, v, prev)
+		}
+		stamps[v] = name
+	}
+}

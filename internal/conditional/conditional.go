@@ -31,6 +31,16 @@ import (
 // work — one FASTOD run per condition slice — is still ahead.
 const SliceProgressLevel = -1
 
+// Defaults resolved for the zero values of the corresponding Options knobs.
+// Exported so request canonicalization (the report cache's fingerprint) can
+// map "0" and the explicit default onto the same effective request.
+const (
+	// DefaultMaxConditionCardinality bounds condition-attribute cardinality.
+	DefaultMaxConditionCardinality = 16
+	// DefaultMinSliceRows is the smallest condition slice processed.
+	DefaultMinSliceRows = 4
+)
+
 // Condition is an equality binding "attribute = value" selecting a portion of
 // the relation. Value is the raw rank of the encoded column; Rows is the
 // number of tuples it selects.
@@ -76,6 +86,13 @@ type Result struct {
 	// NodesVisited totals the lattice nodes of the unconditional pass and
 	// every slice pass, the quantity Options.Discovery.Budget.MaxNodes bounds.
 	NodesVisited int
+	// MaxLevelReached is the deepest lattice level processed by ANY pass of
+	// the run — the unconditional pass or a slice pass — not just the
+	// unconditional one. (With today's exact discovery a slice can never out-
+	// run the full relation: dependencies survive row restriction, so slices
+	// prune at least as early. The max is taken anyway so the counter stays
+	// honest if a pass is ever bounded or restarted asymmetrically.)
+	MaxLevelReached int
 	// Interrupted reports that the run stopped early — during the
 	// unconditional pass, between slices, or inside a slice — because the
 	// context was cancelled or the shared budget exhausted. The result then
@@ -107,10 +124,10 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 		return nil, fmt.Errorf("conditional: empty relation")
 	}
 	if opts.MaxConditionCardinality <= 0 {
-		opts.MaxConditionCardinality = 16
+		opts.MaxConditionCardinality = DefaultMaxConditionCardinality
 	}
 	if opts.MinSliceRows <= 0 {
-		opts.MinSliceRows = 4
+		opts.MinSliceRows = DefaultMinSliceRows
 	}
 	start := time.Now()
 	budget := opts.Discovery.Budget
@@ -123,7 +140,11 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Global: global, NodesVisited: global.Stats.NodesVisited}
+	res := &Result{
+		Global:          global,
+		NodesVisited:    global.Stats.NodesVisited,
+		MaxLevelReached: global.Stats.MaxLevelReached,
+	}
 	if global.Stats.Interrupted {
 		res.Interrupted = true
 		res.Elapsed = time.Since(start)
@@ -208,6 +229,9 @@ slices:
 				return nil, err
 			}
 			res.NodesVisited += sliceRes.Stats.NodesVisited
+			if sliceRes.Stats.MaxLevelReached > res.MaxLevelReached {
+				res.MaxLevelReached = sliceRes.Stats.MaxLevelReached
+			}
 			res.SlicesExamined++
 			if opts.Discovery.Progress != nil {
 				opts.Discovery.Progress(lattice.ProgressEvent{

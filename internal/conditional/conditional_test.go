@@ -151,3 +151,70 @@ func TestDiscoverOnEmployees(t *testing.T) {
 		}
 	}
 }
+
+// TestMaxLevelReachedCoversSlicePasses is the regression test for the stats
+// under-report fixed alongside the report cache: Result.MaxLevelReached must
+// be the deepest lattice level processed by ANY pass — the unconditional pass
+// or a slice pass — verified here against an oracle that re-runs FASTOD on
+// every slice the conditional traversal visits. Before the fix the field did
+// not exist and callers (run.go) reported the unconditional pass alone.
+func TestMaxLevelReachedCoversSlicePasses(t *testing.T) {
+	for _, enc := range []*relation.Encoded{
+		bracketRelation(t),
+		mustEncode(t, datagen.HepatitisLike(80, 5, 7)),
+	} {
+		res, err := Discover(enc, Options{})
+		if err != nil {
+			t.Fatalf("Discover: %v", err)
+		}
+		// Oracle: the global pass plus an independent FASTOD run per slice,
+		// replicating the slicing rules (default cardinality/row bounds).
+		global, err := core.Discover(enc, core.Options{})
+		if err != nil {
+			t.Fatalf("core.Discover: %v", err)
+		}
+		want := global.Stats.MaxLevelReached
+		for attr := 0; attr < enc.NumCols(); attr++ {
+			if enc.Cardinality[attr] < 2 || enc.Cardinality[attr] > 16 {
+				continue
+			}
+			groups := make(map[int32][]int)
+			for row, v := range enc.Column(attr) {
+				groups[v] = append(groups[v], row)
+			}
+			for _, rows := range groups {
+				if len(rows) < 4 {
+					continue
+				}
+				slice, err := enc.SelectRows(rows)
+				if err != nil {
+					t.Fatalf("SelectRows: %v", err)
+				}
+				sliceRes, err := core.Discover(slice, core.Options{})
+				if err != nil {
+					t.Fatalf("slice core.Discover: %v", err)
+				}
+				if sliceRes.Stats.MaxLevelReached > want {
+					want = sliceRes.Stats.MaxLevelReached
+				}
+			}
+		}
+		if res.MaxLevelReached != want {
+			t.Errorf("%s: MaxLevelReached = %d, want max over all passes %d",
+				enc.Name, res.MaxLevelReached, want)
+		}
+		if res.MaxLevelReached < res.Global.Stats.MaxLevelReached {
+			t.Errorf("%s: MaxLevelReached = %d below the unconditional pass's %d",
+				enc.Name, res.MaxLevelReached, res.Global.Stats.MaxLevelReached)
+		}
+	}
+}
+
+func mustEncode(t *testing.T, rel *relation.Relation) *relation.Encoded {
+	t.Helper()
+	enc, err := relation.Encode(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}

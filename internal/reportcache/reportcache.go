@@ -1,0 +1,202 @@
+// Package reportcache is a bounded, concurrency-safe LRU cache of whole
+// discovery reports — the answer-level analog of lattice.PartitionStore.
+// Where the partition store amortizes the sub-expressions of ONE run, the
+// report cache amortizes entire runs across users: a profiling service's
+// dominant access pattern is many clients asking the same questions of the
+// same dataset, and the second identical question should cost a map lookup,
+// not a lattice traversal.
+//
+// Keys are opaque strings assembled by Key from the three coordinates that
+// fully determine a complete report: a dataset name, its content-version
+// stamp (fastod.Dataset.Version — any mutation bumps it, so stale entries die
+// by construction rather than by explicit invalidation), and the canonical
+// request fingerprint (fastod.Request.Fingerprint — requests differing only
+// in execution knobs such as Workers share an entry).
+//
+// Correctness rules are enforced IN the cache, not left to callers: an
+// interrupted (partial) report is never stored — where a run stops on budget
+// exhaustion depends on machine load and worker scheduling, so a partial
+// report is not a function of its key and must be recomputed every time.
+// Entries larger than the whole bound are refused rather than evicting
+// everything else.
+package reportcache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	fastod "repro"
+)
+
+// DefaultMaxBytes is the default cache bound: 32 MiB of estimated retained
+// report data.
+const DefaultMaxBytes = 32 << 20
+
+// Cache is the bounded LRU report cache. All methods are safe for concurrent
+// use. Reports handed out are shared, not copied — callers must treat them as
+// immutable, the same contract discovery results already carry.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int
+	bytes    int
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used; values are *entry
+	stats    Stats
+}
+
+type entry struct {
+	key  string
+	rep  *fastod.Report
+	cost int
+}
+
+// Stats describes a cache's accounting at one point in time, mirroring the
+// shape of lattice.StoreStats so operators read both the same way.
+type Stats struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses int
+	// Puts counts reports accepted into the cache; Rejects counts Put calls
+	// refused by the correctness rules (interrupted reports, reports larger
+	// than the whole bound); Evictions counts entries removed for space.
+	Puts, Rejects, Evictions int
+	// Entries and Cost describe the current contents; Cost is the estimated
+	// retained bytes and never exceeds MaxCost.
+	Entries, Cost, MaxCost int
+}
+
+// New builds an empty cache bounded to maxBytes of estimated report data;
+// maxBytes <= 0 selects DefaultMaxBytes.
+func New(maxBytes int) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Key assembles the cache key of one (dataset, version, request) coordinate.
+// The version separator cannot occur in a fingerprint and versions are
+// process-unique (see fastod.Dataset.Version), so distinct coordinates can
+// never collide even when dataset names contain unusual characters.
+func Key(dataset string, version uint64, fingerprint string) string {
+	return fmt.Sprintf("%s@%d|%s", dataset, version, fingerprint)
+}
+
+// Get returns the cached report for a key, refreshing its recency.
+func (c *Cache) Get(key string) (*fastod.Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.stats.Hits++
+	return el.Value.(*entry).rep, true
+}
+
+// Put stores a complete report under a key and reports whether it was
+// accepted. Nil and interrupted reports are refused (a partial report is not
+// a function of its key — see the package comment), as are reports whose
+// estimated size exceeds the whole bound. Storing under an existing key
+// refreshes recency and keeps the existing report: complete reports for one
+// key are interchangeable, so the first one in wins.
+func (c *Cache) Put(key string, rep *fastod.Report) bool {
+	if rep == nil || rep.Interrupted {
+		c.mu.Lock()
+		c.stats.Rejects++
+		c.mu.Unlock()
+		return false
+	}
+	cost := reportCost(rep)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cost > c.maxBytes {
+		c.stats.Rejects++
+		return false
+	}
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return true
+	}
+	for c.bytes+cost > c.maxBytes {
+		el := c.lru.Back()
+		if el == nil {
+			break
+		}
+		ent := el.Value.(*entry)
+		c.lru.Remove(el)
+		delete(c.entries, ent.key)
+		c.bytes -= ent.cost
+		c.stats.Evictions++
+	}
+	c.entries[key] = c.lru.PushFront(&entry{key: key, rep: rep, cost: cost})
+	c.bytes += cost
+	c.stats.Puts++
+	return true
+}
+
+// Len returns the number of cached reports.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the cache's accounting.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = len(c.entries)
+	st.Cost = c.bytes
+	st.MaxCost = c.maxBytes
+	return st
+}
+
+// Per-element cost estimates of reportCost, in bytes. Unlike the partition
+// store's byte-exact accounting these are approximations (reports are pointer
+// shaped, not flat arenas); they only need to be proportional so the bound
+// tracks real memory within a small constant factor.
+const (
+	baseReportCost = 512 // envelope, payload struct, slice headers
+	odCost         = 40  // canonical/bidir OD: context set + kind + attrs
+	levelStatCost  = 64
+	stringCost     = 32 // column name: header + short string data
+)
+
+// reportCost estimates the retained bytes of a report's payload.
+func reportCost(rep *fastod.Report) int {
+	cost := baseReportCost
+	addResult := func(res *fastod.Result) {
+		if res == nil {
+			return
+		}
+		cost += len(res.ODs)*odCost + len(res.Levels)*levelStatCost + len(res.ColumnNames)*stringCost
+	}
+	switch {
+	case rep.FASTOD != nil:
+		addResult(rep.FASTOD)
+	case rep.TANE != nil:
+		cost += len(rep.TANE.FDs) * odCost
+	case rep.Approx != nil:
+		cost += len(rep.Approx.ODs) * (odCost + 24) // OD + measured error
+	case rep.Bidir != nil:
+		cost += len(rep.Bidir.ODs) * (odCost + 8) // OD + polarity
+	case rep.Conditional != nil:
+		addResult(rep.Conditional.Global)
+		cost += len(rep.Conditional.ODs) * (odCost + 32) // OD + condition
+	case rep.ORDER != nil:
+		res := rep.ORDER
+		cost += len(res.Canonical) * odCost
+		for _, od := range res.ODs {
+			cost += 48 + 8*(len(od.Left)+len(od.Right))
+		}
+	}
+	return cost
+}

@@ -1,0 +1,198 @@
+package reportcache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	fastod "repro"
+	"repro/internal/approx"
+)
+
+// report builds a minimal complete FASTOD report with n dependencies, so
+// tests can steer entry costs.
+func report(n int) *fastod.Report {
+	res := &fastod.Result{}
+	for i := 0; i < n; i++ {
+		res.ODs = append(res.ODs, fastod.NewConstancyOD([]int{0}, i%8))
+	}
+	return &fastod.Report{Algorithm: fastod.AlgorithmFASTOD, FASTOD: res}
+}
+
+func TestGetPutHitMiss(t *testing.T) {
+	c := New(0)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	rep := report(3)
+	if !c.Put("k", rep) {
+		t.Fatal("Put of a complete report refused")
+	}
+	got, ok := c.Get("k")
+	if !ok || got != rep {
+		t.Fatalf("Get = (%v, %v), want the stored report", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 put, 1 entry", st)
+	}
+	if st.Cost <= 0 || st.MaxCost != DefaultMaxBytes {
+		t.Errorf("stats = %+v, want positive cost under the default bound", st)
+	}
+}
+
+func TestInterruptedReportsAreNeverCached(t *testing.T) {
+	c := New(0)
+	rep := report(1)
+	rep.Interrupted = true
+	if c.Put("k", rep) {
+		t.Fatal("Put accepted an interrupted report")
+	}
+	if c.Put("k", nil) {
+		t.Fatal("Put accepted a nil report")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("interrupted report was served")
+	}
+	if st := c.Stats(); st.Rejects != 2 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want 2 rejects and no entries", st)
+	}
+}
+
+func TestBoundAndLRUEviction(t *testing.T) {
+	// Size the bound to hold roughly three of the five entries.
+	cost := reportCost(report(10))
+	c := New(3*cost + cost/2)
+	for i := 0; i < 5; i++ {
+		if !c.Put(fmt.Sprintf("k%d", i), report(10)) {
+			t.Fatalf("Put k%d refused", i)
+		}
+	}
+	st := c.Stats()
+	if st.Cost > st.MaxCost {
+		t.Errorf("cost %d exceeds the bound %d", st.Cost, st.MaxCost)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions despite exceeding the bound")
+	}
+	// The oldest entries are gone, the newest survive.
+	if _, ok := c.Get("k0"); ok {
+		t.Error("k0 survived eviction ahead of newer entries")
+	}
+	if _, ok := c.Get("k4"); !ok {
+		t.Error("newest entry k4 was evicted")
+	}
+	// Refreshing k2's recency must make k3 the next victim.
+	if _, ok := c.Get("k2"); !ok {
+		t.Fatal("k2 missing before the recency check")
+	}
+	for i := 5; i < 7; i++ {
+		c.Put(fmt.Sprintf("k%d", i), report(10))
+	}
+	if _, ok := c.Get("k2"); !ok {
+		t.Error("recently used k2 was evicted before stale k3")
+	}
+	if _, ok := c.Get("k3"); ok {
+		t.Error("stale k3 survived while newer entries were inserted")
+	}
+}
+
+func TestOversizedReportRefused(t *testing.T) {
+	c := New(1024)
+	if c.Put("big", report(10_000)) {
+		t.Fatal("Put accepted a report larger than the whole bound")
+	}
+	if st := c.Stats(); st.Rejects != 1 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want 1 reject and no entries", st)
+	}
+}
+
+func TestPutExistingKeyKeepsFirstReport(t *testing.T) {
+	c := New(0)
+	first, second := report(2), report(2)
+	c.Put("k", first)
+	if !c.Put("k", second) {
+		t.Fatal("Put on an existing key refused")
+	}
+	if got, _ := c.Get("k"); got != first {
+		t.Error("Put on an existing key replaced the report")
+	}
+	if st := c.Stats(); st.Puts != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want one put and one entry", st)
+	}
+}
+
+func TestKeySeparatesCoordinates(t *testing.T) {
+	// Distinct (dataset, version, fingerprint) coordinates must yield
+	// distinct keys, including adversarial dataset names.
+	keys := map[string]bool{
+		Key("a", 1, "alg=fastod"):             true,
+		Key("a", 2, "alg=fastod"):             true,
+		Key("b", 1, "alg=fastod"):             true,
+		Key("a", 1, "alg=tane"):               true,
+		Key("a@2", 1, "alg=fastod"):           true,
+		Key("a", 21, "alg=fastod"):            true,
+		Key("a@2|x", 3, "alg=tane"):           true,
+		Key("a", 2, "x|alg=tane"):             true,
+		Key("a@1|alg=x", 1, "y"):              true,
+		Key("a@1", 1, "alg=x|y"):              true,
+		Key("weird|name", 7, "f"):             true,
+		Key("weird", 7, "name|f"):             true,
+		Key("", 0, ""):                        true,
+		Key("a", 12, "alg=fastod3"):           true,
+		Key("a", 123, "alg=fastod"):           true,
+		Key("a1", 23, "alg=fastod"):           true,
+		Key("x", 1, "thr=0x1p-04"):            true,
+		Key("x", 1, "thr=0x1p-03"):            true,
+		Key("x", 11, "thr=0x1p-04"):           true,
+		Key("x1", 1, "thr=0x1p-04"):           true,
+		Key("y", 1, "attrs=1,2"):              true,
+		Key("y", 1, "attrs=12"):               true,
+		Key("y", 1, "attrs=auto"):             true,
+		Key("y", 1, "attrs="):                 true,
+		Key("z", 1, strings.Repeat("f", 100)): true,
+	}
+	if len(keys) != 25 {
+		t.Fatalf("coordinate collision: %d distinct keys, want 25", len(keys))
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(reportCost(report(5)) * 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (w+i)%16)
+				if rep, ok := c.Get(key); ok && rep == nil {
+					t.Error("hit returned a nil report")
+					return
+				}
+				c.Put(key, report(5))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Cost > st.MaxCost {
+		t.Errorf("cost %d exceeds bound %d after concurrent churn", st.Cost, st.MaxCost)
+	}
+}
+
+func TestCostCoversEveryPayload(t *testing.T) {
+	base := reportCost(&fastod.Report{})
+	for name, rep := range map[string]*fastod.Report{
+		"fastod":      {FASTOD: &fastod.Result{ODs: report(4).FASTOD.ODs}},
+		"tane":        {TANE: &fastod.TANEResult{FDs: make([]fastod.FD, 4)}},
+		"approx":      {Approx: &fastod.ApproxResult{ODs: make([]approx.Discovered, 4)}},
+		"bidir":       {Bidir: &fastod.BidirResult{ODs: make([]fastod.BidirOD, 4)}},
+		"conditional": {Conditional: &fastod.ConditionalResult{ODs: make([]fastod.ConditionalOD, 4)}},
+		"order":       {ORDER: &fastod.ORDERResult{ODs: make([]fastod.ListOD, 4)}},
+	} {
+		if got := reportCost(rep); got <= base {
+			t.Errorf("%s payload not charged: cost %d <= empty %d", name, got, base)
+		}
+	}
+}

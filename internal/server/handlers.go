@@ -12,8 +12,10 @@ import (
 )
 
 // handleHealthz is the readiness probe: the process is up and the mux routes.
+// The body doubles as the operator's cache dashboard: report-cache accounting
+// rides along so hit rates are observable without a metrics stack.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, healthResponse(s.reports.Stats()))
 }
 
 // handleUpload creates a named dataset from a CSV request body:
@@ -83,10 +85,21 @@ func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 // partial report — because the partial-result contract guarantees every
 // reported dependency is individually valid. Invalid requests are 400s via
 // fastod.ErrInvalidRequest; algorithm failures are 500s.
+// A cache hit skips the run AND the run semaphore: replaying a stored report
+// is a map lookup plus JSON encoding, so it must never queue behind actual
+// discovery work.
 func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	ds, req, ok := s.prepareDiscover(w, r)
 	if !ok {
 		return
+	}
+	name := r.PathValue("name")
+	key, version, cacheable := cacheKey(name, ds, req)
+	if cacheable {
+		if rep, hit := s.reports.Get(key); hit {
+			writeJSON(w, http.StatusOK, discoverResponse(name, req, rep, ds.ColumnNames(), true))
+			return
+		}
 	}
 	ctx, end, ok := s.beginRun(w, r, req)
 	if !ok {
@@ -99,7 +112,14 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusOf(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, discoverResponse(r.PathValue("name"), req, rep, ds.ColumnNames()))
+	// Cache only reports that are still current: if the dataset version moved
+	// while the run executed, the report may mix pre- and post-mutation data
+	// and is served once but never stored. The cache itself refuses
+	// interrupted partials.
+	if cacheable && ds.Version() == version {
+		s.reports.Put(key, rep)
+	}
+	writeJSON(w, http.StatusOK, discoverResponse(name, req, rep, ds.ColumnNames(), false))
 }
 
 // handleDiscoverStream is handleDiscover over Server-Sent Events:
@@ -119,16 +139,30 @@ func (s *Server) handleDiscoverStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, errors.New("response writer does not support streaming"))
 		return
 	}
+	name := r.PathValue("name")
+	startStream := func() {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusOK)
+		flusher.Flush()
+	}
+	// A cache hit replays the final "report" event immediately — no progress
+	// events (no run is happening to report on), no run-semaphore wait.
+	key, version, cacheable := cacheKey(name, ds, req)
+	if cacheable {
+		if rep, hit := s.reports.Get(key); hit {
+			startStream()
+			writeSSE(w, "report", discoverResponse(name, req, rep, ds.ColumnNames(), true))
+			flusher.Flush()
+			return
+		}
+	}
 	ctx, end, ok := s.beginRun(w, r, req)
 	if !ok {
 		return
 	}
 	defer end()
-
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.WriteHeader(http.StatusOK)
-	flusher.Flush()
+	startStream()
 
 	// Progress callbacks are delivered synchronously from the discovery
 	// goroutine — this handler's own — so writing the stream here is safe.
@@ -142,7 +176,12 @@ func (s *Server) handleDiscoverStream(w http.ResponseWriter, r *http.Request) {
 		flusher.Flush()
 		return
 	}
-	writeSSE(w, "report", discoverResponse(r.PathValue("name"), req, rep, ds.ColumnNames()))
+	// Same rule as handleDiscover: store only if the dataset version did not
+	// move during the run (the cache refuses interrupted partials itself).
+	if cacheable && ds.Version() == version {
+		s.reports.Put(key, rep)
+	}
+	writeSSE(w, "report", discoverResponse(name, req, rep, ds.ColumnNames(), false))
 	flusher.Flush()
 }
 
@@ -157,13 +196,37 @@ func (s *Server) prepareDiscover(w http.ResponseWriter, r *http.Request) (*fasto
 		writeError(w, http.StatusNotFound, fmt.Errorf("no dataset %q (upload one with POST /v1/datasets?name=%s)", name, name))
 		return nil, fastod.Request{}, false
 	}
+	// The request body is bounded like the upload path: a JSON request has no
+	// business being megabytes, and an unbounded decoder would buffer whatever
+	// a client streams at it. MaxBytesReader also hard-closes the connection
+	// on overrun, so an abusive client cannot keep feeding.
+	body := http.MaxBytesReader(w, r.Body, s.maxRequestBytes)
 	var q DiscoverRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&q); err != nil && !errors.Is(err, io.EOF) {
-		// An empty body is a default FASTOD run; anything undecodable is 400.
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+	err := dec.Decode(&q)
+	switch {
+	case errors.Is(err, io.EOF):
+		// An empty body is a default FASTOD run — and trivially has nothing
+		// trailing it.
+	case err != nil:
+		// Anything undecodable is the client's doing: 400, or 413 when the
+		// decoder hit the body bound.
+		writeError(w, requestBodyStatus(err), fmt.Errorf("decoding request body: %w", err))
 		return nil, fastod.Request{}, false
+	default:
+		// Exactly one JSON value is allowed. Without this check a body like
+		// `{}{"workers":-1}` would silently run a default discovery and drop
+		// everything after the first object — a malformed request accepted
+		// and half-ignored instead of rejected.
+		var trailing json.RawMessage
+		if err := dec.Decode(&trailing); !errors.Is(err, io.EOF) {
+			if err == nil {
+				err = errors.New("request body must be a single JSON object")
+			}
+			writeError(w, requestBodyStatus(err), fmt.Errorf("trailing data after the JSON request object: %w", err))
+			return nil, fastod.Request{}, false
+		}
 	}
 	req := q.toRequest()
 	req.Budget = capBudget(req.Budget, s.maxBudget)
@@ -201,6 +264,16 @@ func (s *Server) beginRun(w http.ResponseWriter, r *http.Request, req fastod.Req
 		return nil, nil, false
 	}
 	return ctx, func() { release(); cancel() }, true
+}
+
+// requestBodyStatus maps a request-body decode failure onto its HTTP status:
+// 413 when the body bound was hit (mirroring the upload path), 400 otherwise.
+func requestBodyStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // statusOf maps a Run error onto an HTTP status: typed validation failures

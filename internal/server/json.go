@@ -4,6 +4,7 @@ import (
 	"time"
 
 	fastod "repro"
+	"repro/internal/reportcache"
 )
 
 // The wire types of the service: a JSON mirror of fastod.Request on the way
@@ -152,10 +153,15 @@ type DiscoverResponse struct {
 	Budget  BudgetInfo `json:"budget"`
 	// Interrupted reports the run was cut short by its budget or deadline;
 	// Dependencies then hold everything discovered before the interrupt.
-	Interrupted bool       `json:"interrupted"`
-	ElapsedMS   float64    `json:"elapsed_ms"`
-	Stats       StatsInfo  `json:"stats"`
-	Counts      *CountInfo `json:"counts,omitempty"`
+	Interrupted bool `json:"interrupted"`
+	// Cached reports the response was served from the report cache: no run
+	// happened, and ElapsedMS/Stats describe the original cached run. Always
+	// present (not omitempty) so clients and smoke tests can assert both
+	// polarities.
+	Cached    bool       `json:"cached"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+	Stats     StatsInfo  `json:"stats"`
+	Counts    *CountInfo `json:"counts,omitempty"`
 	// Count is len(Dependencies), except in count-only mode where it reports
 	// the tally of a run that materialized nothing.
 	Count        int          `json:"count"`
@@ -187,6 +193,41 @@ func progressEvent(ev fastod.ProgressEvent) ProgressEvent {
 	}
 }
 
+// CacheStatsInfo mirrors reportcache.Stats on the wire (the /healthz body),
+// the report-cache analog of the partition store's StoreStats.
+type CacheStatsInfo struct {
+	Hits         int `json:"hits"`
+	Misses       int `json:"misses"`
+	Puts         int `json:"puts"`
+	Rejects      int `json:"rejects"`
+	Evictions    int `json:"evictions"`
+	Entries      int `json:"entries"`
+	CostBytes    int `json:"cost_bytes"`
+	MaxCostBytes int `json:"max_cost_bytes"`
+}
+
+// HealthResponse is the response of GET /healthz.
+type HealthResponse struct {
+	Status      string         `json:"status"`
+	ReportCache CacheStatsInfo `json:"report_cache"`
+}
+
+func healthResponse(st reportcache.Stats) HealthResponse {
+	return HealthResponse{
+		Status: "ok",
+		ReportCache: CacheStatsInfo{
+			Hits:         st.Hits,
+			Misses:       st.Misses,
+			Puts:         st.Puts,
+			Rejects:      st.Rejects,
+			Evictions:    st.Evictions,
+			Entries:      st.Entries,
+			CostBytes:    st.Cost,
+			MaxCostBytes: st.MaxCost,
+		},
+	}
+}
+
 // errorBody is the uniform JSON error envelope.
 type errorBody struct {
 	Error string `json:"error"`
@@ -196,7 +237,7 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 
 // discoverResponse flattens a Report into the wire response, rendering each
 // payload's dependencies over the dataset's column names.
-func discoverResponse(dataset string, req fastod.Request, rep *fastod.Report, names []string) DiscoverResponse {
+func discoverResponse(dataset string, req fastod.Request, rep *fastod.Report, names []string, cached bool) DiscoverResponse {
 	resp := DiscoverResponse{
 		Dataset:   dataset,
 		Algorithm: string(rep.Algorithm),
@@ -206,6 +247,7 @@ func discoverResponse(dataset string, req fastod.Request, rep *fastod.Report, na
 			MaxNodes:  req.Budget.MaxNodes,
 		},
 		Interrupted: rep.Interrupted,
+		Cached:      cached,
 		ElapsedMS:   ms(rep.Elapsed),
 		Stats: StatsInfo{
 			NodesVisited:    rep.Stats.NodesVisited,

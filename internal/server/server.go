@@ -18,7 +18,13 @@
 // Every uploaded dataset gets a shared partition cache
 // (fastod.Dataset.EnablePartitionCache), so repeated discovery requests
 // against the same dataset reuse stripped partitions across algorithms — the
-// access pattern a profiling service spends most of its time on.
+// access pattern a profiling service spends most of its time on. One level
+// above it, a bounded report cache (internal/reportcache) memoizes whole
+// completed reports by (dataset name, dataset version, canonical request
+// fingerprint): a repeated question skips the run — and the run semaphore —
+// entirely and is answered in microseconds with "cached": true. Interrupted
+// (partial) reports are never cached, and any dataset version bump
+// invalidates by construction since the version is part of the key.
 //
 // Resource discipline: a global semaphore bounds how many discovery runs
 // execute at once, and a server-side budget cap bounds each run's wall-clock
@@ -38,6 +44,7 @@ import (
 	"sync"
 
 	fastod "repro"
+	"repro/internal/reportcache"
 )
 
 // Typed AddDataset failures, so the upload handler can map each to its HTTP
@@ -69,13 +76,24 @@ type Config struct {
 	// (<= 0 selects DefaultMaxDatasets). Uploads beyond it are refused —
 	// eviction is a deliberate non-feature for now (see ROADMAP).
 	MaxDatasets int
+	// MaxRequestBytes bounds the size of one JSON discover request body
+	// (<= 0 selects DefaultMaxRequestBytes). Oversized bodies are refused
+	// with 413, mirroring the CSV upload path.
+	MaxRequestBytes int64
+	// ReportCacheBytes bounds the report cache — completed discovery reports
+	// memoized by (dataset name, dataset version, canonical request), so a
+	// repeated question costs a map lookup instead of a run (<= 0 selects
+	// reportcache.DefaultMaxBytes). Interrupted reports are never cached.
+	ReportCacheBytes int
 }
 
 // Defaults for Config's zero values.
 const (
-	DefaultMaxConcurrent  = 4
-	DefaultMaxUploadBytes = 64 << 20
-	DefaultMaxDatasets    = 64
+	DefaultMaxConcurrent    = 4
+	DefaultMaxUploadBytes   = 64 << 20
+	DefaultMaxDatasets      = 64
+	DefaultMaxRequestBytes  = 1 << 20
+	DefaultReportCacheBytes = reportcache.DefaultMaxBytes
 )
 
 // Server is the HTTP discovery service: a named collection of uploaded
@@ -85,10 +103,12 @@ type Server struct {
 	mu       sync.RWMutex
 	datasets map[string]*fastod.Dataset
 
-	sem            chan struct{}
-	maxBudget      fastod.Budget
-	maxUploadBytes int64
-	maxDatasets    int
+	sem             chan struct{}
+	maxBudget       fastod.Budget
+	maxUploadBytes  int64
+	maxDatasets     int
+	maxRequestBytes int64
+	reports         *reportcache.Cache
 }
 
 // Normalized returns the config with zero values replaced by the defaults:
@@ -104,6 +124,12 @@ func (c Config) Normalized() Config {
 	if c.MaxDatasets <= 0 {
 		c.MaxDatasets = DefaultMaxDatasets
 	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	if c.ReportCacheBytes <= 0 {
+		c.ReportCacheBytes = DefaultReportCacheBytes
+	}
 	def := fastod.DefaultBudget()
 	if c.MaxBudget.Timeout <= 0 {
 		c.MaxBudget.Timeout = def.Timeout
@@ -118,11 +144,13 @@ func (c Config) Normalized() Config {
 func New(cfg Config) *Server {
 	cfg = cfg.Normalized()
 	return &Server{
-		datasets:       make(map[string]*fastod.Dataset),
-		sem:            make(chan struct{}, cfg.MaxConcurrent),
-		maxBudget:      cfg.MaxBudget,
-		maxUploadBytes: cfg.MaxUploadBytes,
-		maxDatasets:    cfg.MaxDatasets,
+		datasets:        make(map[string]*fastod.Dataset),
+		sem:             make(chan struct{}, cfg.MaxConcurrent),
+		maxBudget:       cfg.MaxBudget,
+		maxUploadBytes:  cfg.MaxUploadBytes,
+		maxDatasets:     cfg.MaxDatasets,
+		maxRequestBytes: cfg.MaxRequestBytes,
+		reports:         reportcache.New(cfg.ReportCacheBytes),
 	}
 }
 
@@ -204,6 +232,26 @@ func (s *Server) acquire(done <-chan struct{}) (release func()) {
 		return nil
 	}
 }
+
+// cacheKey computes the report-cache coordinate of one discover request: the
+// key plus the dataset version stamp it captured (re-checked after the run so
+// a report computed across a concurrent mutation is never cached), or
+// cacheable=false when the request must not be cached at all. The one
+// uncacheable shape today is an explicit Request.Partitions override: such a
+// run bypasses the dataset's own store, so its provenance is not fully
+// described by (dataset, version, request). Interrupted reports are refused
+// by the cache itself (see reportcache.Cache.Put).
+func cacheKey(name string, ds *fastod.Dataset, req fastod.Request) (key string, version uint64, cacheable bool) {
+	if req.Partitions != nil {
+		return "", 0, false
+	}
+	version = ds.Version()
+	return reportcache.Key(name, version, req.Fingerprint()), version, true
+}
+
+// ReportCacheStats returns a snapshot of the report cache's accounting (the
+// healthz payload; exported for tests and operators embedding the server).
+func (s *Server) ReportCacheStats() reportcache.Stats { return s.reports.Stats() }
 
 // capBudget clamps a requested budget to the server-wide cap, knob by knob: a
 // zero knob means the client asked for no bound, which on a shared server

@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/approx"
@@ -245,6 +248,113 @@ func (d *Dataset) ValidateRequest(req Request) error {
 	return nil
 }
 
+// Canonical returns the request in its effective form — the request the run
+// actually executes once defaults are resolved — with every knob that cannot
+// change the run's OUTPUT erased. Two valid requests with equal canonical
+// forms produce identical complete reports, which is what makes the form (via
+// Fingerprint) a sound cache key:
+//
+//   - the zero Algorithm becomes AlgorithmFASTOD, its documented meaning;
+//   - Workers is erased: the engine's contract is that output is identical
+//     for every worker count, so parallelism must not fragment a cache;
+//   - Partitions is erased: a partition store changes where partitions are
+//     cached, never what is computed (callers that do supply an explicit
+//     store should not cache across it — see the server's rules — but the
+//     pointer itself has no place in a request identity);
+//   - the sub-option blocks the selected algorithm never reads are zeroed
+//     (e.g. an approx threshold on a FASTOD request is dead weight);
+//   - for conditional runs, FASTOD.CountOnly is forced off (the run overrides
+//     it — its global-cover comparison needs materialized ODs), the zero
+//     cardinality/row knobs are resolved to their documented defaults, the
+//     cardinality bound is erased when ConditionAttrs is explicit (the
+//     enumeration never consults it then), and ConditionAttrs is sorted —
+//     each attribute's slices are discovered independently and the result is
+//     re-sorted, so order cannot change a complete report. (An interrupted
+//     run may stop mid-way through the attribute list, so order does affect
+//     partial reports — one more reason interrupted reports are never cached.)
+//
+// Budget is deliberately KEPT: it bounds how much of the search space a run
+// may explore, so differently budgeted requests are different questions even
+// when both complete.
+func (r Request) Canonical() Request {
+	if r.Algorithm == "" {
+		r.Algorithm = AlgorithmFASTOD
+	}
+	r.Workers = 0
+	r.Partitions = nil
+	if r.Algorithm != AlgorithmFASTOD && r.Algorithm != AlgorithmConditional {
+		r.FASTOD = FASTODRunOptions{}
+	}
+	if r.Algorithm != AlgorithmApprox {
+		r.Approx = ApproxRunOptions{}
+	}
+	if r.Algorithm != AlgorithmConditional {
+		r.Conditional = ConditionalRunOptions{}
+	} else {
+		r.FASTOD.CountOnly = false
+		if r.Conditional.MinSliceRows == 0 {
+			r.Conditional.MinSliceRows = conditional.DefaultMinSliceRows
+		}
+		if r.Conditional.ConditionAttrs == nil {
+			if r.Conditional.MaxConditionCardinality == 0 {
+				r.Conditional.MaxConditionCardinality = conditional.DefaultMaxConditionCardinality
+			}
+		} else {
+			// An explicit attribute list (even an empty one, which selects no
+			// conditions at all) bypasses the cardinality-bounded enumeration,
+			// so the bound is unread and erased.
+			r.Conditional.MaxConditionCardinality = 0
+			attrs := append([]int(nil), r.Conditional.ConditionAttrs...)
+			sort.Ints(attrs)
+			r.Conditional.ConditionAttrs = attrs
+		}
+	}
+	return r
+}
+
+// Fingerprint returns a stable textual identity of the request's canonical
+// form (see Canonical): two valid requests have equal fingerprints exactly
+// when their complete runs are interchangeable. It is the request half of a
+// report-cache key — pair it with a dataset identity and version, since a
+// fingerprint says nothing about the data the request runs against. Only
+// fields the selected algorithm actually reads are rendered, so the format
+// stays stable when unrelated option blocks grow.
+func (r Request) Fingerprint() string {
+	c := r.Canonical()
+	var b strings.Builder
+	fmt.Fprintf(&b, "alg=%s;lvl=%d;to=%d;nodes=%d",
+		c.Algorithm, c.MaxLevel, c.Budget.Timeout.Nanoseconds(), c.Budget.MaxNodes)
+	if c.Algorithm == AlgorithmFASTOD || c.Algorithm == AlgorithmConditional {
+		f := c.FASTOD
+		fmt.Fprintf(&b, ";fastod=%t,%t,%t,%t,%t,%t",
+			f.DisablePruning, f.DisableKeyPruning, f.DisableNodePruning,
+			f.NaiveSwapCheck, f.CountOnly, f.CollectLevelStats)
+	}
+	switch c.Algorithm {
+	case AlgorithmApprox:
+		// Hex float formatting is exact: distinct thresholds can never
+		// collide the way a rounded decimal rendering could.
+		fmt.Fprintf(&b, ";thr=%s", strconv.FormatFloat(c.Approx.Threshold, 'x', -1, 64))
+	case AlgorithmConditional:
+		fmt.Fprintf(&b, ";card=%d;minrows=%d;attrs=",
+			c.Conditional.MaxConditionCardinality, c.Conditional.MinSliceRows)
+		if c.Conditional.ConditionAttrs == nil {
+			// nil means "enumerate every attribute within the cardinality
+			// bound" — a different request than an explicit empty list, which
+			// selects no condition attributes at all.
+			b.WriteString("auto")
+		} else {
+			for i, a := range c.Conditional.ConditionAttrs {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.Itoa(a))
+			}
+		}
+	}
+	return b.String()
+}
+
 // EffectiveWorkers reports the worker count this request's run will actually
 // use: ResolveWorkers of the requested value, except for ORDER, whose
 // list-lattice search is sequential and ignores Workers entirely.
@@ -420,8 +530,11 @@ func (d *Dataset) RunWithProgress(ctx context.Context, req Request, onProgress f
 		}
 		rep.Conditional = res
 		rep.Stats = RunStats{
-			NodesVisited:    res.NodesVisited,
-			MaxLevelReached: res.Global.Stats.MaxLevelReached,
+			NodesVisited: res.NodesVisited,
+			// The deepest level of ANY pass (unconditional or slice), not just
+			// the unconditional one — the global pass alone under-reports the
+			// run's work, which matters once reports are cached and replayed.
+			MaxLevelReached: res.MaxLevelReached,
 			PartitionHits:   res.Global.Stats.PartitionHits,
 			PartitionMisses: res.Global.Stats.PartitionMisses,
 			Interrupted:     res.Interrupted,
