@@ -4,7 +4,8 @@
 // Usage:
 //
 //	fastod -input data.csv [-algorithm fastod|tane|approx|bidir|conditional|order]
-//	       [-max-level N] [-workers N] [-timeout D] [-max-nodes N]
+//	       [-max-level N] [-workers N] [-scheduler dag|barrier]
+//	       [-timeout D] [-max-nodes N]
 //	       [-threshold F] [-no-pruning] [-count-only] [-levels] [-progress]
 //	       [-limit N]
 //
@@ -33,6 +34,7 @@ func main() {
 		algorithm = flag.String("algorithm", "fastod", "algorithm to run: fastod, tane, approx, bidir, conditional or order")
 		maxLevel  = flag.Int("max-level", 0, "stop after this lattice level (0 = unlimited)")
 		workers   = flag.Int("workers", 0, "worker goroutines per lattice level (0 = all CPUs, 1 = sequential)")
+		scheduler = flag.String("scheduler", "", "lattice node scheduler: dag (default) or barrier; the output is identical")
 		timeout   = flag.Duration("timeout", 0, "interrupt the run after this wall-clock budget (0 = none; ORDER defaults to 30s)")
 		maxNodes  = flag.Int("max-nodes", 0, "interrupt the run after visiting this many lattice nodes (0 = none; ORDER defaults to 2000000)")
 		threshold = flag.Float64("threshold", 0.05, "error threshold for -algorithm approx, in [0, 1)")
@@ -53,6 +55,7 @@ func main() {
 		algorithm: *algorithm,
 		maxLevel:  *maxLevel,
 		workers:   *workers,
+		scheduler: *scheduler,
 		timeout:   *timeout,
 		maxNodes:  *maxNodes,
 		threshold: *threshold,
@@ -80,6 +83,7 @@ type config struct {
 	algorithm string
 	maxLevel  int
 	workers   int
+	scheduler string
 	timeout   time.Duration
 	maxNodes  int
 	threshold float64
@@ -103,9 +107,10 @@ func (cfg config) request() fastod.Request {
 	return fastod.Request{
 		Algorithm: alg,
 		RunOptions: fastod.RunOptions{
-			Workers:  cfg.workers,
-			MaxLevel: cfg.maxLevel,
-			Budget:   budget,
+			Workers:   cfg.workers,
+			Scheduler: fastod.Scheduler(cfg.scheduler),
+			MaxLevel:  cfg.maxLevel,
+			Budget:    budget,
 		},
 		FASTOD: fastod.FASTODRunOptions{
 			DisablePruning:    cfg.noPrune,
@@ -138,6 +143,12 @@ func run(ctx context.Context, cfg config) error {
 			// Conditional runs follow the unconditional pass's per-level
 			// events with one event per condition slice.
 			if ev.Level == fastod.SliceProgressLevel {
+				if ev.Slice != nil {
+					fmt.Fprintf(os.Stderr, "slice #%d=rank(%d) (%d rows): %d nodes (%d total), %v elapsed\n",
+						ev.Slice.Attr, ev.Slice.Value, ev.Slice.Rows,
+						ev.Nodes, ev.NodesVisited, ev.Elapsed.Round(time.Millisecond))
+					return
+				}
 				fmt.Fprintf(os.Stderr, "slice: %d nodes (%d total), %v elapsed\n",
 					ev.Nodes, ev.NodesVisited, ev.Elapsed.Round(time.Millisecond))
 				return

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/bitset"
@@ -21,10 +22,13 @@ type Options struct {
 	// MaxLevel, when positive, bounds the lattice level processed (context
 	// size + right-hand attributes), which bounds cost on wide schemas.
 	MaxLevel int
-	// Workers is the number of goroutines used per lattice level, with the
+	// Workers is the number of goroutines processing lattice nodes, with the
 	// same convention as core.Options.Workers (0 = GOMAXPROCS, 1 =
 	// sequential). The output is identical regardless of the setting.
 	Workers int
+	// Scheduler selects the node ordering (DAG work-stealing by default,
+	// level-synchronous barrier as an option); see core.Options.Scheduler.
+	Scheduler lattice.Scheduler
 	// Budget bounds the run's wall-clock time and visited lattice nodes; see
 	// core.Options.Budget for the interrupt semantics.
 	Budget lattice.Budget
@@ -102,6 +106,7 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 
 	eng, err := lattice.New(enc, lattice.Config{
 		Ctx:        ctx,
+		Scheduler:  opts.Scheduler,
 		Workers:    opts.Workers,
 		MaxLevel:   opts.MaxLevel,
 		Budget:     opts.Budget,
@@ -135,33 +140,38 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 		return newError(ctxPart.SwapRemovals(enc.Column(a), enc.Column(b), s), enc.NumRows())
 	}
 
-	// Per-node validation reads only the satisfied-lists as frozen at the
-	// level barrier — equivalent to the sequential in-level ordering, since
-	// everything a level adds has a context of the level's own candidate
-	// sizes (l-1 / l-2) and a same-sized subset is an equal set, which only
-	// the same node could have produced. Nodes are therefore sharded across
-	// the worker pool, with per-node emission buffers merged in node order.
-	eng.Run(func(l int, level []bitset.AttrSet) []bitset.AttrSet {
-		bufs := make([][]Discovered, len(level))
-		eng.ParallelFor(len(level), func(wk, i int) {
-			x := level[i]
-			scratch := eng.Scratch(wk)
-			// Constancy candidates: X\A: [] ↦ A.
-			for _, a := range x.Attrs() {
-				ctx := x.Remove(a)
-				if hasSubset(satisfiedConst[a], ctx) {
-					continue // not minimal
-				}
-				e := colErr(eng.Partition(ctx), a, scratch)
-				if e.Rate <= opts.Threshold {
-					bufs[i] = append(bufs[i], Discovered{OD: canonical.NewConstancy(ctx, a), Error: e})
-				}
+	// Node-reentrant validation with the satisfied-lists under one mutex,
+	// following the same argument as internal/bidir: any list entry that can
+	// gate node X originates at a subset node of X, which the scheduler
+	// guarantees completed (and published) before X starts; entries from
+	// concurrently running nodes are never subsets of X's contexts, so they
+	// cannot flip a gate. Each visit evaluates its minimality gates under the
+	// lock, computes the error counts off it, and publishes its discoveries
+	// before completing.
+	type constCand struct {
+		a   int
+		ctx bitset.AttrSet
+	}
+	type ocCand struct {
+		a, b int
+		ctx  bitset.AttrSet
+	}
+	var mu sync.Mutex
+	eng.RunNodes(nil, func(wk, l int, x bitset.AttrSet, _ []any) (any, bool) {
+		scratch := eng.Scratch(wk)
+		attrs := x.Attrs()
+		var constCands []constCand
+		var ocCands []ocCand
+		mu.Lock()
+		// Constancy candidates: X\A: [] ↦ A.
+		for _, a := range attrs {
+			ctx := x.Remove(a)
+			if !hasSubset(satisfiedConst[a], ctx) {
+				constCands = append(constCands, constCand{a: a, ctx: ctx})
 			}
-			// Order-compatibility candidates: X\{A,B}: A ~ B.
-			if l < 2 {
-				return
-			}
-			attrs := x.Attrs()
+		}
+		// Order-compatibility candidates: X\{A,B}: A ~ B.
+		if l >= 2 {
 			for p := 0; p < len(attrs); p++ {
 				for q := p + 1; q < len(attrs); q++ {
 					a, b := attrs[p], attrs[q]
@@ -172,17 +182,29 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 					if hasSubset(satisfiedConst[a], ctx) || hasSubset(satisfiedConst[b], ctx) {
 						continue // not minimal (Propagate analogue)
 					}
-					e := pairErr(eng.Partition(ctx), a, b, scratch)
-					if e.Rate <= opts.Threshold {
-						bufs[i] = append(bufs[i], Discovered{OD: canonical.NewOrderCompatible(ctx, a, b), Error: e})
-					}
+					ocCands = append(ocCands, ocCand{a: a, b: b, ctx: ctx})
 				}
 			}
-		})
-		// Level barrier: emit in node order and fold the discoveries into the
-		// satisfied-lists the next level's minimality checks read.
-		for _, buf := range bufs {
-			for _, d := range buf {
+		}
+		mu.Unlock()
+
+		var found []Discovered
+		for _, c := range constCands {
+			e := colErr(eng.Partition(c.ctx), c.a, scratch)
+			if e.Rate <= opts.Threshold {
+				found = append(found, Discovered{OD: canonical.NewConstancy(c.ctx, c.a), Error: e})
+			}
+		}
+		for _, c := range ocCands {
+			e := pairErr(eng.Partition(c.ctx), c.a, c.b, scratch)
+			if e.Rate <= opts.Threshold {
+				found = append(found, Discovered{OD: canonical.NewOrderCompatible(c.ctx, c.a, c.b), Error: e})
+			}
+		}
+
+		if len(found) > 0 {
+			mu.Lock()
+			for _, d := range found {
 				res.ODs = append(res.ODs, d)
 				if d.OD.Kind == canonical.Constancy {
 					satisfiedConst[d.OD.A] = append(satisfiedConst[d.OD.A], d.OD.Context)
@@ -191,8 +213,9 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 					satisfiedOC[pair] = append(satisfiedOC[pair], d.OD.Context)
 				}
 			}
+			mu.Unlock()
 		}
-		return level
+		return nil, false
 	})
 	res.Stats = eng.Stats()
 	res.NodesVisited = res.Stats.NodesVisited

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/bitset"
@@ -286,10 +287,13 @@ func checkAttrs(enc *relation.Encoded, od OD) error {
 type Options struct {
 	// MaxLevel, when positive, bounds the processed lattice level.
 	MaxLevel int
-	// Workers is the number of goroutines used per lattice level, with the
+	// Workers is the number of goroutines processing lattice nodes, with the
 	// same convention as core.Options.Workers (0 = GOMAXPROCS, 1 =
 	// sequential). The output is identical regardless of the setting.
 	Workers int
+	// Scheduler selects the node ordering (DAG work-stealing by default,
+	// level-synchronous barrier as an option); see core.Options.Scheduler.
+	Scheduler lattice.Scheduler
 	// Budget bounds the run's wall-clock time and visited lattice nodes; see
 	// core.Options.Budget for the interrupt semantics.
 	Budget lattice.Budget
@@ -343,6 +347,7 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 
 	eng, err := lattice.New(enc, lattice.Config{
 		Ctx:        ctx,
+		Scheduler:  opts.Scheduler,
 		Workers:    opts.Workers,
 		MaxLevel:   opts.MaxLevel,
 		Budget:     opts.Budget,
@@ -374,32 +379,38 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 		reversed[a] = reverseRanks(enc.Column(a), enc.Cardinality[a])
 	}
 
-	// Per-node discovery only reads the satisfied-lists as frozen at the
-	// level barrier, which is equivalent to the sequential in-level ordering:
-	// everything a level adds has a context of the level's own candidate
-	// sizes (l-1 for constancy, l-2 for order compatibility), and a
-	// same-sized subset is an equal set — which can only originate from the
-	// same (unique) node. Nodes therefore never observe each other's in-level
-	// discoveries, and the engine shards them across the worker pool with
-	// per-node emission buffers merged back in node order.
-	eng.Run(func(l int, level []bitset.AttrSet) []bitset.AttrSet {
-		bufs := make([][]OD, len(level))
-		eng.ParallelFor(len(level), func(wk, i int) {
-			x := level[i]
-			scratch := eng.Scratch(wk)
-			for _, a := range x.Attrs() {
-				ctx := x.Remove(a)
-				if hasSubset(satisfiedConst[a], ctx) {
-					continue
-				}
-				if eng.Partition(ctx).ConstantInClasses(enc.Column(a)) {
-					bufs[i] = append(bufs[i], NewConstancy(ctx, a))
-				}
+	// Node-reentrant discovery with shared satisfied-lists under one mutex.
+	// The minimality gates stay schedule-independent: an entry S relevant to
+	// node X (S ⊆ context ⊂ X) was discovered at the node S ∪ {checked
+	// attrs}, a subset of X — and the scheduler guarantees every subset of X
+	// completed (and published its discoveries) before X starts. Entries from
+	// concurrently running nodes are never subsets of X's contexts, so they
+	// cannot flip a gate; the lock only makes the slice reads safe. Each
+	// visit evaluates its gates under the lock, runs the expensive partition
+	// checks off it, and publishes its discoveries before completing.
+	type constCand struct {
+		a   int
+		ctx bitset.AttrSet
+	}
+	type ocCand struct {
+		a, b int
+		ctx  bitset.AttrSet
+		pol  Polarity
+	}
+	var mu sync.Mutex
+	eng.RunNodes(nil, func(wk, l int, x bitset.AttrSet, _ []any) (any, bool) {
+		scratch := eng.Scratch(wk)
+		attrs := x.Attrs()
+		var constCands []constCand
+		var ocCands []ocCand
+		mu.Lock()
+		for _, a := range attrs {
+			ctx := x.Remove(a)
+			if !hasSubset(satisfiedConst[a], ctx) {
+				constCands = append(constCands, constCand{a: a, ctx: ctx})
 			}
-			if l < 2 {
-				return
-			}
-			attrs := x.Attrs()
+		}
+		if l >= 2 {
 			for p := 0; p < len(attrs); p++ {
 				for q := p + 1; q < len(attrs); q++ {
 					a, b := attrs[p], attrs[q]
@@ -407,27 +418,36 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 					if hasSubset(satisfiedConst[a], ctx) || hasSubset(satisfiedConst[b], ctx) {
 						continue // Propagate: constant attributes are compatible both ways
 					}
-					ctxPart := eng.Partition(ctx)
 					pair := bitset.NewPair(a, b)
 					for _, pol := range []Polarity{SameDirection, OppositeDirection} {
-						if hasSubset(satisfiedOC[polKey{pair: pair, pol: pol}], ctx) {
-							continue
-						}
-						colB := enc.Column(b)
-						if pol == OppositeDirection {
-							colB = reversed[b]
-						}
-						if !ctxPart.HasSwapWith(enc.Column(a), colB, scratch) {
-							bufs[i] = append(bufs[i], NewOrderCompatible(ctx, a, b, pol))
+						if !hasSubset(satisfiedOC[polKey{pair: pair, pol: pol}], ctx) {
+							ocCands = append(ocCands, ocCand{a: a, b: b, ctx: ctx, pol: pol})
 						}
 					}
 				}
 			}
-		})
-		// Level barrier: emit in node order and fold the discoveries into the
-		// satisfied-lists the next level's minimality checks read.
-		for _, buf := range bufs {
-			for _, od := range buf {
+		}
+		mu.Unlock()
+
+		var found []OD
+		for _, c := range constCands {
+			if eng.Partition(c.ctx).ConstantInClasses(enc.Column(c.a)) {
+				found = append(found, NewConstancy(c.ctx, c.a))
+			}
+		}
+		for _, c := range ocCands {
+			colB := enc.Column(c.b)
+			if c.pol == OppositeDirection {
+				colB = reversed[c.b]
+			}
+			if !eng.Partition(c.ctx).HasSwapWith(enc.Column(c.a), colB, scratch) {
+				found = append(found, NewOrderCompatible(c.ctx, c.a, c.b, c.pol))
+			}
+		}
+
+		if len(found) > 0 {
+			mu.Lock()
+			for _, od := range found {
 				res.ODs = append(res.ODs, od)
 				if od.Kind == canonical.Constancy {
 					satisfiedConst[od.A] = append(satisfiedConst[od.A], od.Context)
@@ -436,8 +456,9 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 					satisfiedOC[key] = append(satisfiedOC[key], od.Context)
 				}
 			}
+			mu.Unlock()
 		}
-		return level
+		return nil, false
 	})
 	res.Stats = eng.Stats()
 	res.NodesVisited = res.Stats.NodesVisited

@@ -88,6 +88,15 @@ func (s AttrSet) ForEach(fn func(a int)) {
 	}
 }
 
+// Rank returns the number of attributes in s smaller than a — the position of
+// a in the ascending enumeration of s when a is a member. The lattice
+// algorithms use it to index per-node dependency slices that are ordered by
+// ascending removed attribute.
+func (s AttrSet) Rank(a int) int {
+	checkIndex(a)
+	return bits.OnesCount64(uint64(s) & (1<<uint(a) - 1))
+}
+
 // Subsets returns every proper subset of s obtained by removing exactly one
 // attribute, in ascending order of the removed attribute.
 func (s AttrSet) Subsets() []AttrSet {

@@ -7,13 +7,15 @@
 // Discovery partitions the relation by each candidate condition attribute
 // (bounded-cardinality attributes only), runs FASTOD on every partition slice,
 // and reports the ODs that hold in a slice but are not implied by the ODs of
-// the full relation.
+// the full relation. Condition slices are disjoint row subsets, so the slice
+// passes fan out across the worker pool under the run's one shared budget.
 package conditional
 
 import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/canonical"
@@ -25,10 +27,14 @@ import (
 // SliceProgressLevel is the ProgressEvent.Level marker of per-slice progress
 // events. The unconditional pass reports ordinary lattice levels (1, 2, ...);
 // once slice passes begin, each processed condition slice reports exactly one
-// event carrying this level, the slice's lattice-node count in Nodes and the
-// run's cumulative total in NodesVisited. Without the marker long conditional
-// discoveries go dark after the unconditional pass even though most of the
-// work — one FASTOD run per condition slice — is still ahead.
+// event carrying this level, the slice's lattice-node count in Nodes, the
+// run's cumulative total in NodesVisited, and the condition that defined the
+// slice in the event's Slice field (attribute, encoded value, row count).
+// Without the marker long conditional discoveries go dark after the
+// unconditional pass even though most of the work — one FASTOD run per
+// condition slice — is still ahead. With slice passes running in parallel,
+// events arrive in completion order (serialized, never concurrently), so
+// consumers must not assume the enumeration order of conditions.
 const SliceProgressLevel = -1
 
 // Defaults resolved for the zero values of the corresponding Options knobs.
@@ -71,7 +77,11 @@ type Options struct {
 	// (default: every attribute within the cardinality bound).
 	ConditionAttrs []int
 	// Discovery is passed through to the per-slice FASTOD runs (e.g.
-	// MaxLevel to bound context sizes).
+	// MaxLevel to bound context sizes). Discovery.Workers additionally sets
+	// how many condition slices are processed concurrently: with more than
+	// one worker, slices fan out across the pool and each slice pass runs
+	// sequentially inside. The merged output of a complete run is identical
+	// for every worker count.
 	Discovery core.Options
 }
 
@@ -159,8 +169,82 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 	sliceOpts := opts.Discovery
 	sliceOpts.Partitions = nil
 	sliceOpts.Progress = nil
+	globalCover := canonical.NewCover(global.ODs)
+
+	condAttrs := opts.ConditionAttrs
+	if condAttrs == nil {
+		for a := 0; a < enc.NumCols(); a++ {
+			if enc.Cardinality[a] >= 2 && enc.Cardinality[a] <= opts.MaxConditionCardinality {
+				condAttrs = append(condAttrs, a)
+			}
+		}
+	}
+
+	// Enumerate every (attribute, value) slice job up front in deterministic
+	// order — condition attributes in option order, values ascending — so
+	// invalid attributes fail before any slice work and the parallel pool has
+	// a fixed job list to draw from.
+	type sliceJob struct {
+		attr  int
+		value int32
+		rows  []int
+	}
+	var jobs []sliceJob
+	for _, attr := range condAttrs {
+		if attr < 0 || attr >= enc.NumCols() {
+			return nil, fmt.Errorf("conditional: condition attribute %d out of range", attr)
+		}
+		// Group row indexes by the condition attribute's value.
+		groups := make(map[int32][]int)
+		for row, v := range enc.Column(attr) {
+			groups[v] = append(groups[v], row)
+		}
+		values := make([]int32, 0, len(groups))
+		for v := range groups {
+			values = append(values, v)
+		}
+		sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+		for _, v := range values {
+			if len(groups[v]) < opts.MinSliceRows {
+				continue
+			}
+			jobs = append(jobs, sliceJob{attr: attr, value: v, rows: groups[v]})
+		}
+	}
+
+	// Slice passes fan out across the run's worker pool. With W > 1 workers
+	// each slice runs with Workers: 1 and W slices run at once: slice lattices
+	// are small and numerous, so parallelism across slices beats parallelism
+	// inside each tiny slice. With one worker (or a single job) the sequential
+	// path keeps the inner runs' own parallelism setting.
+	workers := lattice.ResolveWorkers(opts.Discovery.Workers)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers > 1 {
+		sliceOpts.Workers = 1
+	}
+
+	// outcomes[i] holds job i's filtered conditional ODs; merging in job order
+	// after the pool drains makes a complete run byte-identical to a
+	// sequential one regardless of worker count. Counters (NodesVisited,
+	// SlicesExamined, MaxLevelReached) commute, so they merge at completion.
+	type sliceOutcome struct {
+		ods []OD
+	}
+	outcomes := make([]sliceOutcome, len(jobs))
+	var (
+		mu      sync.Mutex
+		cursor  int
+		stopped bool
+		runErr  error
+	)
 	// remainingBudget converts the shared allowance into the budget for the
-	// next slice run; exhausted reports that nothing is left.
+	// next slice run; exhausted reports that nothing is left. Callers hold mu
+	// (it reads the accumulated node count). Each concurrent slice is handed
+	// the allowance remaining when it starts, so in-flight slices can jointly
+	// overshoot MaxNodes by the nodes of the other W-1 running slices — the
+	// bound is enforced at every handout, not retroactively across workers.
 	remainingBudget := func() (lattice.Budget, bool) {
 		var b lattice.Budget
 		if ctx.Err() != nil {
@@ -182,86 +266,101 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 		}
 		return b, false
 	}
-	globalCover := canonical.NewCover(global.ODs)
-
-	condAttrs := opts.ConditionAttrs
-	if condAttrs == nil {
-		for a := 0; a < enc.NumCols(); a++ {
-			if enc.Cardinality[a] >= 2 && enc.Cardinality[a] <= opts.MaxConditionCardinality {
-				condAttrs = append(condAttrs, a)
-			}
-		}
-	}
-
-slices:
-	for _, attr := range condAttrs {
-		if attr < 0 || attr >= enc.NumCols() {
-			return nil, fmt.Errorf("conditional: condition attribute %d out of range", attr)
-		}
-		// Group row indexes by the condition attribute's value.
-		groups := make(map[int32][]int)
-		for row, v := range enc.Column(attr) {
-			groups[v] = append(groups[v], row)
-		}
-		values := make([]int32, 0, len(groups))
-		for v := range groups {
-			values = append(values, v)
-		}
-		sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
-
-		for _, v := range values {
-			rows := groups[v]
-			if len(rows) < opts.MinSliceRows {
-				continue
+	runWorker := func() {
+		for {
+			mu.Lock()
+			if stopped || runErr != nil || cursor >= len(jobs) {
+				mu.Unlock()
+				return
 			}
 			left, exhausted := remainingBudget()
 			if exhausted {
 				res.Interrupted = true
-				break slices
+				stopped = true
+				mu.Unlock()
+				return
 			}
-			sliceOpts.Budget = left
-			slice, err := enc.SelectRows(rows)
+			i := cursor
+			cursor++
+			mu.Unlock()
+
+			job := jobs[i]
+			jobOpts := sliceOpts
+			jobOpts.Budget = left
+			slice, err := enc.SelectRows(job.rows)
+			var sliceRes *core.Result
+			if err == nil {
+				sliceRes, err = core.DiscoverContext(ctx, slice, jobOpts)
+			}
 			if err != nil {
-				return nil, err
+				mu.Lock()
+				if runErr == nil {
+					runErr = err
+				}
+				mu.Unlock()
+				return
 			}
-			sliceRes, err := core.DiscoverContext(ctx, slice, sliceOpts)
-			if err != nil {
-				return nil, err
+			// Filter off the lock: the cover is read-only after construction.
+			cond := Condition{Attr: job.attr, Value: job.value, Rows: len(job.rows)}
+			var kept []OD
+			for _, od := range sliceRes.ODs {
+				// Skip ODs that mention the condition attribute itself: within
+				// the slice it is constant, so such ODs carry no information.
+				if od.Attributes().Contains(job.attr) {
+					continue
+				}
+				if globalCover.Implies(od) {
+					continue
+				}
+				kept = append(kept, OD{Condition: cond, OD: od})
 			}
+
+			mu.Lock()
 			res.NodesVisited += sliceRes.Stats.NodesVisited
 			if sliceRes.Stats.MaxLevelReached > res.MaxLevelReached {
 				res.MaxLevelReached = sliceRes.Stats.MaxLevelReached
 			}
 			res.SlicesExamined++
+			outcomes[i] = sliceOutcome{ods: kept}
 			if opts.Discovery.Progress != nil {
 				opts.Discovery.Progress(lattice.ProgressEvent{
 					Level:        SliceProgressLevel,
 					Nodes:        sliceRes.Stats.NodesVisited,
 					NodesVisited: res.NodesVisited,
 					Elapsed:      time.Since(start),
+					Slice:        &lattice.SliceInfo{Attr: job.attr, Value: job.value, Rows: len(job.rows)},
 				})
-			}
-			cond := Condition{Attr: attr, Value: v, Rows: len(rows)}
-			for _, od := range sliceRes.ODs {
-				// Skip ODs that mention the condition attribute itself: within
-				// the slice it is constant, so such ODs carry no information.
-				if od.Attributes().Contains(attr) {
-					continue
-				}
-				if globalCover.Implies(od) {
-					continue
-				}
-				res.ODs = append(res.ODs, OD{Condition: cond, OD: od})
 			}
 			if sliceRes.Stats.Interrupted {
 				// The budget ran out inside the slice. The ODs it emitted up
 				// to the interrupt are valid on the slice (each was verified
 				// individually) and are kept; the rest of the search is
-				// abandoned.
+				// abandoned. In-flight slices on other workers finish their
+				// own (already budgeted) runs and their results are kept too.
 				res.Interrupted = true
-				break slices
+				stopped = true
 			}
+			mu.Unlock()
 		}
+	}
+	if workers <= 1 {
+		runWorker()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				runWorker()
+			}()
+		}
+		wg.Wait()
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	for i := range outcomes {
+		res.ODs = append(res.ODs, outcomes[i].ods...)
 	}
 
 	sort.Slice(res.ODs, func(i, j int) bool {

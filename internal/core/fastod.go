@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/bitset"
@@ -20,10 +21,11 @@ func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
 // DiscoverContext runs FASTOD (Algorithm 1 of the paper) over an encoded
 // relation instance and returns the complete, minimal set of canonical ODs
 // that hold, or — with Options.DisablePruning — every valid OD, minimal or
-// not. The context and Options.Budget are checked cooperatively at level
-// barriers and between parallel chunk handouts; a cancelled or over-budget
-// run returns the ODs discovered so far with Stats.Interrupted set rather
-// than an error.
+// not. The context and Options.Budget are checked cooperatively — at node
+// handout under the DAG scheduler, at level barriers and between parallel
+// chunk handouts under the barrier scheduler; a cancelled or over-budget run
+// returns the ODs discovered so far with Stats.Interrupted set rather than an
+// error.
 func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (*Result, error) {
 	if enc == nil {
 		return nil, fmt.Errorf("core: nil relation")
@@ -46,6 +48,9 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 	}
 	res := d.result
 	if !opts.CountOnly {
+		// Node completion order is schedule-dependent (under the DAG scheduler
+		// even across levels); the total order restores a byte-identical
+		// output for any scheduler and worker count.
 		canonical.Sort(res.ODs)
 		res.Counts = canonical.CountByKind(res.ODs)
 	}
@@ -54,11 +59,11 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 	return res, nil
 }
 
-// discoverer carries the per-run state of the level-wise traversal. The
-// traversal itself — node generation, partition products and retention, the
-// worker pool — is owned by the shared lattice engine; this type contributes
-// FASTOD's candidate-set bookkeeping (Algorithms 3 and 4) through the
-// engine's per-level visit callback.
+// discoverer carries the per-run state of the lattice traversal. The
+// traversal itself — node generation and scheduling, partition products and
+// retention, the worker pool — is owned by the shared lattice engine; this
+// type contributes FASTOD's candidate-set bookkeeping (Algorithms 3 and 4)
+// through the engine's node-reentrant visit callback.
 type discoverer struct {
 	enc  *relation.Encoded
 	opts Options
@@ -67,31 +72,41 @@ type discoverer struct {
 	all      bitset.AttrSet // the full schema R
 	eng      *lattice.Engine
 
-	// Candidate sets per level: only the last two levels are retained. The
-	// maps are written solely at level barriers and are read-only while a
-	// level's nodes are being processed in parallel.
-	cc map[int]map[bitset.AttrSet]bitset.AttrSet
-	cs map[int]map[bitset.AttrSet]*bitset.PairSet
+	// shards accumulate per-worker validation counters across the whole run;
+	// they are summed into the result at finish (addition commutes, so the
+	// totals match a sequential run exactly).
+	shards []checkShard
 
-	// pending is the LevelStat of the level currently being visited; the
-	// engine's OnLevelEnd hook stamps its elapsed time (which includes
-	// next-level generation, as before the engine extraction).
-	pending *LevelStat
+	// mu guards the node-completion merge: the result's OD list and counters,
+	// the per-level stats. Nodes complete out of order under the DAG
+	// scheduler, so the merge moved from the level barrier to per-node
+	// completion; determinism survives because counters commute and the OD
+	// list is sorted in a total order at the end of the run.
+	mu         sync.Mutex
+	levelStats map[int]*LevelStat
 
 	result *Result
 }
 
+// nodeState is the per-node result the traversal threads along dependency
+// edges: the node's candidate sets C+c(X) and C+s(X), exactly the state
+// Algorithm 3 reads from the immediate subsets of each node it processes.
+type nodeState struct {
+	cc bitset.AttrSet
+	cs *bitset.PairSet
+}
+
 func newDiscoverer(ctx context.Context, enc *relation.Encoded, opts Options) (*discoverer, error) {
 	d := &discoverer{
-		enc:      enc,
-		opts:     opts,
-		numAttrs: enc.NumCols(),
-		cc:       make(map[int]map[bitset.AttrSet]bitset.AttrSet),
-		cs:       make(map[int]map[bitset.AttrSet]*bitset.PairSet),
-		result:   &Result{},
+		enc:        enc,
+		opts:       opts,
+		numAttrs:   enc.NumCols(),
+		levelStats: make(map[int]*LevelStat),
+		result:     &Result{},
 	}
 	eng, err := lattice.New(enc, lattice.Config{
 		Ctx:        ctx,
+		Scheduler:  opts.Scheduler,
 		Workers:    opts.Workers,
 		MaxLevel:   opts.MaxLevel,
 		Budget:     opts.Budget,
@@ -104,24 +119,54 @@ func newDiscoverer(ctx context.Context, enc *relation.Encoded, opts Options) (*d
 	}
 	d.eng = eng
 	d.all = eng.All()
+	d.shards = make([]checkShard, eng.Workers())
 	return d, nil
 }
 
-// levelEnd stamps the pending level's wall-clock time once the engine has
-// finished generating its successor level.
-func (d *discoverer) levelEnd(_ int, elapsed time.Duration) {
-	if d.pending == nil {
+// levelEnd stamps a completed level's wall-clock time and, when requested,
+// publishes its LevelStat. The engine invokes it in level order under both
+// schedulers; levels cut short by an interrupt never fully complete under the
+// DAG scheduler and are then absent from Result.Levels.
+func (d *discoverer) levelEnd(l int, elapsed time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.levelStats[l]
+	if st == nil {
 		return
 	}
-	d.pending.Elapsed = elapsed
+	st.Elapsed = elapsed
 	if d.opts.CollectLevelStats {
-		d.result.Levels = append(d.result.Levels, *d.pending)
+		d.result.Levels = append(d.result.Levels, *st)
 	}
-	d.pending = nil
+	delete(d.levelStats, l)
 }
 
-// finish folds the engine's traversal counters into the result.
+// flushNode merges one completed node into the run: its discovered ODs, the
+// per-kind counters, its level's stats and the pruning tally.
+func (d *discoverer) flushNode(l int, buf *emitBuffer, pruned bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.levelStats[l]
+	if st == nil {
+		st = &LevelStat{Level: l}
+		d.levelStats[l] = st
+	}
+	st.Nodes++
+	st.Constancy += buf.constancy
+	st.OrderCompat += buf.orderCompat
+	d.result.Counts.Constancy += buf.constancy
+	d.result.Counts.OrderCompat += buf.orderCompat
+	d.result.Counts.Total += buf.constancy + buf.orderCompat
+	d.result.ODs = append(d.result.ODs, buf.ods...)
+	if pruned {
+		d.result.Stats.NodesPruned++
+	}
+}
+
+// finish folds the per-worker shards and the engine's traversal counters into
+// the result.
 func (d *discoverer) finish() {
+	d.mergeShards(d.shards)
 	st := d.eng.Stats()
 	d.result.Stats.NodesVisited = st.NodesVisited
 	d.result.Stats.MaxLevelReached = st.MaxLevelReached
@@ -131,144 +176,103 @@ func (d *discoverer) finish() {
 }
 
 // run executes FASTOD with the full candidate-set machinery (Algorithms 1-4).
+// The root state seeds every singleton with C+c(∅) = R and C+s(∅) = ∅.
 func (d *discoverer) run() {
-	empty := bitset.AttrSet(0)
-	d.cc[0] = map[bitset.AttrSet]bitset.AttrSet{empty: d.all}
-	d.cs[0] = map[bitset.AttrSet]*bitset.PairSet{empty: bitset.NewPairSet()}
-
-	d.eng.Run(func(l int, level []bitset.AttrSet) []bitset.AttrSet {
-		stat := LevelStat{Level: l, Nodes: len(level)}
-		d.pending = &stat
-		d.computeODs(level, l, &stat)
-		if d.eng.Interrupted() {
-			// The level was cut short: the ODs found so far are already
-			// buffered into the result, but the per-node candidate sets are
-			// incomplete, so no pruning decision may be taken. The engine
-			// stops the traversal before generating another level.
-			return level
-		}
-		kept := d.pruneLevels(level, l)
-		// Candidate sets of level l-1 are no longer needed once level l+1
-		// starts.
-		delete(d.cc, l-1)
-		delete(d.cs, l-1)
-		return kept
-	})
+	root := &nodeState{cc: d.all, cs: bitset.NewPairSet()}
+	d.eng.RunNodes(root, d.visitNode)
 	d.finish()
 }
 
-// computeODs is Algorithm 3: it derives the candidate sets C+c(X) and C+s(X)
-// for every node of the level, validates the candidate ODs, and emits the
-// minimal ones.
-//
-// Both passes of the algorithm only read previous-level state (ccPrev/csPrev,
-// the engine's partition window) plus the node's own candidate sets, so the
-// per-node work is sharded across the worker pool: each node writes its
-// results into slots indexed by its position in the level (no locks, no
-// shared maps), and the level barrier below merges them back
-// deterministically.
-func (d *discoverer) computeODs(level []bitset.AttrSet, l int, stat *LevelStat) {
-	ccPrev := d.cc[l-1]
-	csPrev := d.cs[l-1]
-	n := len(level)
-	ccArr := make([]bitset.AttrSet, n)
-	csArr := make([]*bitset.PairSet, n)
-	emitted := make([]emitBuffer, n)
-	shards := make([]checkShard, d.eng.Workers())
+// visitNode is Algorithm 3 for one lattice node: it derives the candidate
+// sets C+c(X) and C+s(X) from the immediate-subset states in deps, validates
+// the candidate ODs, emits the minimal ones, and decides Algorithm 4's
+// pruning (both candidate sets empty — Lemma 11). It only reads the node's
+// deps and the engine's partition window, so it is node-reentrant: the
+// scheduler may run it concurrently on any set of mutually non-dependent
+// nodes, across levels.
+func (d *discoverer) visitNode(wk, l int, x bitset.AttrSet, deps []any) (any, bool) {
+	sh := &d.shards[wk]
+	// deps are ordered by ascending removed attribute, so the state of X\{a}
+	// sits at a's rank within X.
+	prev := func(a int) *nodeState { return deps[x.Rank(a)].(*nodeState) }
 
-	d.eng.ParallelFor(n, func(wk, i int) {
-		x := level[i]
-		sh := &shards[wk]
-
-		// Pass 1 (lines 1-8): candidate sets from the previous level.
-		cc := d.all
-		x.ForEach(func(a int) {
-			cc = cc.Intersect(ccPrev[x.Remove(a)])
-		})
-		var cs *bitset.PairSet
-		switch {
-		case l == 2:
-			attrs := x.Attrs()
-			cs = bitset.NewPairSet()
-			cs.Add(bitset.NewPair(attrs[0], attrs[1]))
-		case l > 2:
-			union := bitset.NewPairSet()
-			x.ForEach(func(c int) {
-				union = union.Union(csPrev[x.Remove(c)])
-			})
-			cs = bitset.NewPairSet()
-			for _, p := range union.Pairs() {
-				keep := true
-				x.Diff(p.AsSet()).ForEach(func(dAttr int) {
-					if !keep {
-						return
-					}
-					if !csPrev[x.Remove(dAttr)].Contains(p) {
-						keep = false
-					}
-				})
-				if keep {
-					cs.Add(p)
-				}
-			}
-		default:
-			cs = bitset.NewPairSet()
-		}
-
-		// Pass 2 (lines 9-25): validation and emission.
-
-		// Constancy candidates X\A: [] ↦ A for A ∈ X ∩ C+c(X) (Lemma 7).
-		for _, a := range x.Intersect(cc).Attrs() {
-			ctx := x.Remove(a)
-			if d.checkConstancy(ctx, x, sh) {
-				d.bufferOD(&emitted[i], canonical.NewConstancy(ctx, a))
-				cc = cc.Remove(a)
-				cc = cc.Intersect(x) // remove all B ∈ R \ X (line 14)
-			}
-		}
-
-		// Order-compatibility candidates X\{A,B}: A ~ B for {A,B} ∈ C+s(X)
-		// (Lemma 8).
-		for _, p := range cs.Pairs() {
-			a, b := p.A, p.B
-			if !ccPrev[x.Remove(b)].Contains(a) || !ccPrev[x.Remove(a)].Contains(b) {
-				cs.Remove(p) // line 19: constancy in a sub-context makes it non-minimal
-				continue
-			}
-			ctx := x.Remove(a).Remove(b)
-			valid, minimal := d.checkOrderCompat(ctx, a, b, sh, d.eng.Scratch(wk))
-			if valid {
-				if minimal {
-					d.bufferOD(&emitted[i], canonical.NewOrderCompatible(ctx, a, b))
-				}
-				cs.Remove(p) // line 22
-			}
-		}
-
-		ccArr[i] = cc
-		csArr[i] = cs
+	// Pass 1 (lines 1-8): candidate sets from the immediate subsets.
+	cc := d.all
+	x.ForEach(func(a int) {
+		cc = cc.Intersect(prev(a).cc)
 	})
-
-	// Level barrier: fold worker counters into the run totals, emit buffered
-	// ODs in node order, and publish the per-node candidate sets as the maps
-	// the next level's derivations read.
-	d.mergeShards(shards)
-	d.flushEmits(emitted, stat)
-	ccCur := make(map[bitset.AttrSet]bitset.AttrSet, n)
-	csCur := make(map[bitset.AttrSet]*bitset.PairSet, n)
-	for i, x := range level {
-		ccCur[x] = ccArr[i]
-		csCur[x] = csArr[i]
+	var cs *bitset.PairSet
+	switch {
+	case l == 2:
+		attrs := x.Attrs()
+		cs = bitset.NewPairSet()
+		cs.Add(bitset.NewPair(attrs[0], attrs[1]))
+	case l > 2:
+		union := bitset.NewPairSet()
+		x.ForEach(func(c int) {
+			union = union.Union(prev(c).cs)
+		})
+		cs = bitset.NewPairSet()
+		for _, p := range union.Pairs() {
+			keep := true
+			x.Diff(p.AsSet()).ForEach(func(dAttr int) {
+				if !keep {
+					return
+				}
+				if !prev(dAttr).cs.Contains(p) {
+					keep = false
+				}
+			})
+			if keep {
+				cs.Add(p)
+			}
+		}
+	default:
+		cs = bitset.NewPairSet()
 	}
-	d.cc[l] = ccCur
-	d.cs[l] = csCur
+
+	// Pass 2 (lines 9-25): validation and emission.
+	var buf emitBuffer
+
+	// Constancy candidates X\A: [] ↦ A for A ∈ X ∩ C+c(X) (Lemma 7).
+	for _, a := range x.Intersect(cc).Attrs() {
+		ctx := x.Remove(a)
+		if d.checkConstancy(ctx, x, sh) {
+			d.bufferOD(&buf, canonical.NewConstancy(ctx, a))
+			cc = cc.Remove(a)
+			cc = cc.Intersect(x) // remove all B ∈ R \ X (line 14)
+		}
+	}
+
+	// Order-compatibility candidates X\{A,B}: A ~ B for {A,B} ∈ C+s(X)
+	// (Lemma 8).
+	for _, p := range cs.Pairs() {
+		a, b := p.A, p.B
+		if !prev(b).cc.Contains(a) || !prev(a).cc.Contains(b) {
+			cs.Remove(p) // line 19: constancy in a sub-context makes it non-minimal
+			continue
+		}
+		ctx := x.Remove(a).Remove(b)
+		valid, minimal := d.checkOrderCompat(ctx, a, b, sh, d.eng.Scratch(wk))
+		if valid {
+			if minimal {
+				d.bufferOD(&buf, canonical.NewOrderCompatible(ctx, a, b))
+			}
+			cs.Remove(p) // line 22
+		}
+	}
+
+	pruned := l >= 2 && !d.opts.DisableNodePruning && cc.IsEmpty() && cs.IsEmpty()
+	d.flushNode(l, &buf, pruned)
+	return &nodeState{cc: cc, cs: cs}, pruned
 }
 
 // checkConstancy validates X\A: [] ↦ A using the partition-error criterion of
 // Section 4.6: the FD holds iff e(Π_ctx) == e(Π_x), because Π_x refines
 // Π_ctx. When the context is a superkey the OD holds trivially (Lemma 12) and
 // the comparison is skipped under key pruning. Counters go to the calling
-// worker's shard; the engine's partition window is read-only during a level.
+// worker's shard; the engine guarantees the partitions of a node and its two
+// preceding levels are readable while the node runs.
 func (d *discoverer) checkConstancy(ctx, x bitset.AttrSet, sh *checkShard) bool {
 	sh.fdChecks++
 	ctxPart := d.eng.Partition(ctx)
@@ -299,63 +303,35 @@ func (d *discoverer) checkOrderCompat(ctx bitset.AttrSet, a, b int, sh *checkSha
 	return !ctxPart.HasSwapWith(colA, colB, s), true
 }
 
-// pruneLevels is Algorithm 4: nodes whose candidate sets are both empty can
-// no longer contribute minimal ODs at any superset (Lemma 11) and are removed
-// from the level before the engine generates the next one.
-func (d *discoverer) pruneLevels(level []bitset.AttrSet, l int) []bitset.AttrSet {
-	if l < 2 || d.opts.DisableNodePruning {
-		return level
-	}
-	ccCur := d.cc[l]
-	csCur := d.cs[l]
-	kept := level[:0]
-	for _, x := range level {
-		if ccCur[x].IsEmpty() && csCur[x].IsEmpty() {
-			d.result.Stats.NodesPruned++
-			continue
-		}
-		kept = append(kept, x)
-	}
-	return kept
-}
-
-// runNoPruning enumerates the full set lattice level by level and validates
-// every candidate OD without any minimality reasoning. It reproduces the
-// "FASTOD-No Pruning" configuration of Figure 6: the output contains every
-// valid OD, including all the redundant ones. The per-node validation uses
-// the same sharded worker pool as the pruned traversal.
+// runNoPruning enumerates the full set lattice and validates every candidate
+// OD without any minimality reasoning. It reproduces the "FASTOD-No Pruning"
+// configuration of Figure 6: the output contains every valid OD, including
+// all the redundant ones. Nodes carry no state (the validations only read the
+// partition window), so the visit ignores root and deps and never prunes.
 func (d *discoverer) runNoPruning() {
-	d.eng.Run(func(l int, level []bitset.AttrSet) []bitset.AttrSet {
-		stat := LevelStat{Level: l, Nodes: len(level)}
-		d.pending = &stat
-
-		emitted := make([]emitBuffer, len(level))
-		shards := make([]checkShard, d.eng.Workers())
-		d.eng.ParallelFor(len(level), func(wk, i int) {
-			x := level[i]
-			sh := &shards[wk]
-			attrs := x.Attrs()
-			for _, a := range attrs {
-				ctx := x.Remove(a)
-				if d.checkConstancy(ctx, x, sh) {
-					d.bufferOD(&emitted[i], canonical.NewConstancy(ctx, a))
-				}
+	d.eng.RunNodes(nil, func(wk, l int, x bitset.AttrSet, _ []any) (any, bool) {
+		sh := &d.shards[wk]
+		var buf emitBuffer
+		attrs := x.Attrs()
+		for _, a := range attrs {
+			ctx := x.Remove(a)
+			if d.checkConstancy(ctx, x, sh) {
+				d.bufferOD(&buf, canonical.NewConstancy(ctx, a))
 			}
-			if l >= 2 {
-				for p := 0; p < len(attrs); p++ {
-					for q := p + 1; q < len(attrs); q++ {
-						a, b := attrs[p], attrs[q]
-						ctx := x.Remove(a).Remove(b)
-						if valid, _ := d.checkOrderCompat(ctx, a, b, sh, d.eng.Scratch(wk)); valid {
-							d.bufferOD(&emitted[i], canonical.NewOrderCompatible(ctx, a, b))
-						}
+		}
+		if l >= 2 {
+			for p := 0; p < len(attrs); p++ {
+				for q := p + 1; q < len(attrs); q++ {
+					a, b := attrs[p], attrs[q]
+					ctx := x.Remove(a).Remove(b)
+					if valid, _ := d.checkOrderCompat(ctx, a, b, sh, d.eng.Scratch(wk)); valid {
+						d.bufferOD(&buf, canonical.NewOrderCompatible(ctx, a, b))
 					}
 				}
 			}
-		})
-		d.mergeShards(shards)
-		d.flushEmits(emitted, &stat)
-		return level
+		}
+		d.flushNode(l, &buf, false)
+		return nil, false
 	})
 	d.finish()
 }

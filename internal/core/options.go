@@ -17,15 +17,22 @@ import (
 // configuration with all optimizations enabled, running one worker per
 // available CPU.
 type Options struct {
-	// Workers is the number of goroutines used to process each lattice level.
-	// Every node within a level is independent of its siblings, so the three
-	// per-node phases — candidate-set derivation, FD/swap validation and
-	// partition products — are sharded across the pool and merged
-	// deterministically at a per-level barrier: the result (ODs, counts and
-	// work counters) is identical to a sequential run regardless of the
-	// setting. 0 selects runtime.GOMAXPROCS(0); 1 forces the fully sequential
-	// path with no goroutines; values below zero are treated as 1.
+	// Workers is the number of goroutines processing lattice nodes. A node
+	// only depends on its immediate subsets, so the per-node phases —
+	// candidate-set derivation, FD/swap validation and partition products —
+	// run concurrently across nodes and the results are merged at node
+	// completion: counters commute and the OD list is sorted in a total order
+	// at the end, so the result (ODs, counts and work counters) is identical
+	// to a sequential run regardless of the setting. 0 selects
+	// runtime.GOMAXPROCS(0); 1 forces the fully sequential path with no
+	// goroutines; values below zero are treated as 1.
 	Workers int
+
+	// Scheduler selects how node work is ordered: the dependency-aware
+	// work-stealing DAG scheduler (the default), which starts a node the
+	// moment its immediate subsets are done, or the level-synchronous barrier
+	// path. Both produce byte-identical results; see lattice.Scheduler.
+	Scheduler lattice.Scheduler
 
 	// Budget bounds the run's wall-clock time and visited lattice nodes (see
 	// lattice.Budget; the zero value means no bound). An exhausted budget

@@ -4,17 +4,16 @@ import (
 	"repro/internal/canonical"
 )
 
-// The worker pool and level-wise scheduling live in internal/lattice since
-// the engine extraction; this file keeps FASTOD's deterministic merge
-// machinery: per-worker counter shards and per-node emission buffers that are
-// folded into the result at each level barrier, so a parallel run is
-// byte-identical to a sequential one.
+// The worker pool and node scheduling live in internal/lattice since the
+// engine extraction; this file keeps FASTOD's deterministic merge machinery:
+// per-worker counter shards and per-node emission buffers that are folded
+// into the result at node completion, so a parallel run is byte-identical to
+// a sequential one under either scheduler.
 
-// checkShard accumulates the validation counters of one worker during a
-// level. Shards are padded to a cache line so that concurrent increments by
+// checkShard accumulates the validation counters of one worker across the
+// run. Shards are padded to a cache line so that concurrent increments by
 // neighbouring workers do not false-share; they are summed into Result.Stats
-// at the level barrier (addition commutes, so totals match the sequential
-// run exactly).
+// at finish (addition commutes, so totals match the sequential run exactly).
 type checkShard struct {
 	fdChecks   int
 	swapChecks int
@@ -32,9 +31,9 @@ func (d *discoverer) mergeShards(shards []checkShard) {
 }
 
 // emitBuffer collects the ODs discovered at a single lattice node. Each node
-// owns one buffer (indexed by its position in the level), so workers never
-// contend; buffers are flushed in node order at the level barrier, which
-// keeps the emission order identical to the sequential traversal. In
+// owns one stack-local buffer, so workers never contend while validating;
+// the buffer is merged under the discoverer's mutex when the node completes
+// (emission order is schedule-dependent, the final sort restores it). In
 // CountOnly mode only the per-kind counters are kept, so the no-pruning runs
 // (whose OD counts explode into the millions) stay within memory budget.
 type emitBuffer struct {

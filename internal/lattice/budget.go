@@ -19,8 +19,10 @@ type Budget struct {
 	// chunk of work, not one lattice level.
 	Timeout time.Duration
 	// MaxNodes interrupts the run once it has visited this many lattice
-	// nodes (0 = none). It is enforced at level barriers: the level that
-	// crosses the bound completes and no further level starts.
+	// nodes (0 = none). Under the barrier scheduler it is enforced at level
+	// barriers: the level that crosses the bound completes and no further
+	// level starts. Under the DAG scheduler it is enforced at node handout:
+	// at most MaxNodes nodes are ever dispatched.
 	MaxNodes int
 }
 
@@ -47,4 +49,21 @@ type ProgressEvent struct {
 	PartitionsCached int
 	// Elapsed is the wall-clock time since the run started.
 	Elapsed time.Duration
+	// Slice identifies the condition slice a conditional-discovery event
+	// reports on (nil for unconditional traversals and for the global pass of
+	// a conditional run). Conditional discovery emits one event per completed
+	// slice with Level = the slice-progress marker; Slice carries which
+	// condition that was.
+	Slice *SliceInfo
+}
+
+// SliceInfo describes one condition slice of a conditional discovery run: the
+// equality condition defining it and how many rows satisfy it.
+type SliceInfo struct {
+	// Attr is the condition attribute (column index) and Value the encoded
+	// value the slice fixes it to.
+	Attr  int
+	Value int32
+	// Rows is the number of rows in the slice.
+	Rows int
 }

@@ -29,11 +29,17 @@ import (
 // Config configures an Engine.
 type Config struct {
 	// Ctx, when non-nil, is checked cooperatively throughout the traversal:
-	// at every level barrier and between ParallelFor chunk handouts. A
-	// cancelled context interrupts the run within one chunk of work; the
-	// engine keeps everything computed so far and reports Stats.Interrupted.
-	// Nil behaves like context.Background().
+	// at every level barrier and between ParallelFor chunk handouts (barrier
+	// scheduler) or at every node handout (DAG scheduler). A cancelled
+	// context interrupts the run within one chunk — respectively one node —
+	// of work; the engine keeps everything computed so far and reports
+	// Stats.Interrupted. Nil behaves like context.Background().
 	Ctx context.Context
+	// Scheduler selects how node work is ordered for the node-reentrant
+	// traversal API (RunNodes): the dependency-aware DAG scheduler (the
+	// default) or the level-synchronous barrier path. See Scheduler. The
+	// level-callback Run API always uses the barrier path.
+	Scheduler Scheduler
 	// Workers is the number of goroutines used per lattice level, with the
 	// same convention as core.Options.Workers: 0 selects runtime.GOMAXPROCS,
 	// 1 forces the fully sequential path, negatives clamp to 1.
@@ -87,6 +93,7 @@ type Stats struct {
 type Engine struct {
 	enc        *relation.Encoded
 	ctx        context.Context
+	scheduler  Scheduler
 	workers    int
 	maxLevel   int
 	budget     Budget
@@ -113,8 +120,14 @@ type Engine struct {
 	// parts retains the stripped partitions of the last three lattice levels,
 	// keyed by level then attribute set. The maps are written only at level
 	// barriers and are read-only while a level's nodes are being visited, so
-	// visit callbacks may read them from any worker goroutine.
+	// visit callbacks may read them from any worker goroutine. Used by the
+	// barrier path only.
 	parts map[int]map[bitset.AttrSet]*partition.Partition
+
+	// dagParts is the RWMutex-guarded partition window of an active DAG
+	// traversal; non-nil exactly while runNodesDAG executes. Partition routes
+	// through it when set, so visit callbacks are scheduler-agnostic.
+	dagParts *partTable
 
 	stats Stats
 }
@@ -142,6 +155,7 @@ func New(enc *relation.Encoded, cfg Config) (*Engine, error) {
 	e := &Engine{
 		enc:        enc,
 		ctx:        ctx,
+		scheduler:  cfg.Scheduler.resolve(),
 		workers:    ResolveWorkers(cfg.Workers),
 		maxLevel:   cfg.MaxLevel,
 		budget:     cfg.Budget,
@@ -166,12 +180,14 @@ func New(enc *relation.Encoded, cfg Config) (*Engine, error) {
 func (e *Engine) Workers() int { return e.workers }
 
 // Scratch returns the engine's reusable partition workspace for one worker
-// index (as handed to ParallelFor callbacks). The engine itself uses the
-// scratches only while generating the next level, which never overlaps a
-// visit callback, so visit callbacks are free to use them for swap checks,
-// removal counting and ad-hoc products — keeping the whole validation hot
-// path allocation-free. A scratch must never be used from a different worker
-// index than the one it was requested for.
+// index (as handed to ParallelFor and NodeVisit callbacks). The engine only
+// ever uses scratch i from worker goroutine i — while generating the next
+// level on the barrier path (which never overlaps a visit callback) or while
+// deriving a node's partition on the DAG path (on the same goroutine that
+// then runs the node's visit) — so visit callbacks are free to use their
+// worker's scratch for swap checks, removal counting and ad-hoc products,
+// keeping the whole validation hot path allocation-free. A scratch must never
+// be used from a different worker index than the one it was requested for.
 func (e *Engine) Scratch(worker int) *partition.Scratch { return e.scratch[worker] }
 
 // All returns the full schema R as an attribute set.
@@ -220,6 +236,9 @@ func (e *Engine) partitionsCached() int {
 	if e.store != nil {
 		return e.store.Len()
 	}
+	if t := e.dagParts; t != nil {
+		return t.count()
+	}
 	n := 0
 	for _, m := range e.parts {
 		n += len(m)
@@ -245,11 +264,16 @@ func (e *Engine) finishLevel(l, nodes int, start time.Time) {
 }
 
 // Partition returns the stripped partition of an attribute set from the
-// retention window. During the visit of level l, the partitions of levels
-// l-2, l-1 and l are available — exactly what constancy (context size l-1)
-// and order-compatibility (context size l-2) validation need. It is safe to
-// call from visit worker goroutines.
+// retention window. During the visit of a level-l node, the partitions of
+// levels l-2, l-1 and l are available — exactly what constancy (context size
+// l-1) and order-compatibility (context size l-2) validation need. It is safe
+// to call from visit worker goroutines; under the DAG scheduler the window is
+// per-node rather than per-level (a level-j partition is only released once
+// every node that could still read it has completed).
 func (e *Engine) Partition(x bitset.AttrSet) *partition.Partition {
+	if t := e.dagParts; t != nil {
+		return t.get(x)
+	}
 	return e.parts[x.Len()][x]
 }
 
@@ -395,8 +419,10 @@ func (e *Engine) firstLevel() []bitset.AttrSet {
 // whose every immediate subset survived, and derives the new nodes'
 // partitions. Join enumeration is sequential (cheap bit-set work); the
 // partition products — the dominant cost of level generation — run in
-// parallel, each worker reusing its own scratch buffer. Store lookups happen
-// sequentially before the parallel phase so only genuine misses are computed.
+// parallel, each worker reusing its own scratch buffer. The shared store is
+// probed store-first, during candidate enumeration itself: a hit skips the
+// product staging (no generator lookups, no join slot) entirely, so a warm
+// store reduces level generation to bit-set work plus map lookups.
 func (e *Engine) nextLevel(level []bitset.AttrSet, l int) []bitset.AttrSet {
 	if len(level) == 0 {
 		return nil
@@ -422,7 +448,11 @@ func (e *Engine) nextLevel(level []bitset.AttrSet, l int) []bitset.AttrSet {
 
 	curParts := e.parts[l]
 	next := make([]bitset.AttrSet, 0)
+	partsArr := make([]*partition.Partition, 0)
 	type join struct{ left, right *partition.Partition }
+	// miss and joins run parallel to each other: joins[k] stages the product
+	// inputs for candidate index miss[k]. Store hits never occupy a slot.
+	miss := make([]int, 0)
 	joins := make([]join, 0)
 	for _, prefix := range prefixes {
 		members := blocks[prefix]
@@ -434,24 +464,22 @@ func (e *Engine) nextLevel(level []bitset.AttrSet, l int) []bitset.AttrSet {
 				if !allSubsetsPresent(x, present) {
 					continue
 				}
-				next = append(next, x)
+				if p, ok := e.storeGet(x); ok {
+					next = append(next, x)
+					partsArr = append(partsArr, p)
+					continue
+				}
+				miss = append(miss, len(next))
 				joins = append(joins, join{curParts[prefix.Add(b)], curParts[prefix.Add(c)]})
+				next = append(next, x)
+				partsArr = append(partsArr, nil)
 			}
 		}
 	}
 
-	partsArr := make([]*partition.Partition, len(next))
-	miss := make([]int, 0, len(next))
-	for i, x := range next {
-		if p, ok := e.storeGet(x); ok {
-			partsArr[i] = p
-		} else {
-			miss = append(miss, i)
-		}
-	}
 	e.ParallelFor(len(miss), func(wk, k int) {
 		i := miss[k]
-		partsArr[i] = joins[i].left.ProductWith(joins[i].right, e.scratch[wk])
+		partsArr[i] = joins[k].left.ProductWith(joins[k].right, e.scratch[wk])
 	})
 	for _, i := range miss {
 		e.storePut(next[i], partsArr[i])

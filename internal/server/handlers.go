@@ -164,8 +164,9 @@ func (s *Server) handleDiscoverStream(w http.ResponseWriter, r *http.Request) {
 	defer end()
 	startStream()
 
-	// Progress callbacks are delivered synchronously from the discovery
-	// goroutine — this handler's own — so writing the stream here is safe.
+	// Progress callbacks are serialized by the library (conditional slice
+	// passes run in parallel but emit under one mutex), so writes to the
+	// stream never interleave even when events originate on worker goroutines.
 	onProgress := func(ev fastod.ProgressEvent) {
 		writeSSE(w, "progress", progressEvent(ev))
 		flusher.Flush()

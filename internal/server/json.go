@@ -21,6 +21,7 @@ import (
 type DiscoverRequest struct {
 	Algorithm string `json:"algorithm,omitempty"`
 	Workers   int    `json:"workers,omitempty"`
+	Scheduler string `json:"scheduler,omitempty"`
 	MaxLevel  int    `json:"max_level,omitempty"`
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 	MaxNodes  int    `json:"max_nodes,omitempty"`
@@ -59,8 +60,9 @@ func (q DiscoverRequest) toRequest() fastod.Request {
 	req := fastod.Request{
 		Algorithm: fastod.Algorithm(q.Algorithm),
 		RunOptions: fastod.RunOptions{
-			Workers:  q.Workers,
-			MaxLevel: q.MaxLevel,
+			Workers:   q.Workers,
+			Scheduler: fastod.Scheduler(q.Scheduler),
+			MaxLevel:  q.MaxLevel,
 			Budget: fastod.Budget{
 				Timeout:  time.Duration(q.TimeoutMS) * time.Millisecond,
 				MaxNodes: q.MaxNodes,
@@ -172,10 +174,16 @@ type DiscoverResponse struct {
 
 // ProgressEvent is the SSE form of fastod.ProgressEvent. Slice marks the
 // per-condition-slice events of conditional runs (their Level is the
-// SliceProgressLevel sentinel, not a lattice level).
+// SliceProgressLevel sentinel, not a lattice level); such events also carry
+// the condition that defined the slice — attribute index, encoded value rank
+// and selected row count — so stream consumers can show which binding is
+// being processed, not just that one finished.
 type ProgressEvent struct {
 	Level            int     `json:"level"`
 	Slice            bool    `json:"slice,omitempty"`
+	ConditionAttr    *int    `json:"condition_attr,omitempty"`
+	ConditionValue   *int32  `json:"condition_value,omitempty"`
+	SliceRows        int     `json:"slice_rows,omitempty"`
 	Nodes            int     `json:"nodes"`
 	NodesVisited     int     `json:"nodes_visited"`
 	PartitionsCached int     `json:"partitions_cached"`
@@ -183,7 +191,7 @@ type ProgressEvent struct {
 }
 
 func progressEvent(ev fastod.ProgressEvent) ProgressEvent {
-	return ProgressEvent{
+	out := ProgressEvent{
 		Level:            ev.Level,
 		Slice:            ev.Level == fastod.SliceProgressLevel,
 		Nodes:            ev.Nodes,
@@ -191,6 +199,15 @@ func progressEvent(ev fastod.ProgressEvent) ProgressEvent {
 		PartitionsCached: ev.PartitionsCached,
 		ElapsedMS:        ms(ev.Elapsed),
 	}
+	if ev.Slice != nil {
+		// Pointers rather than omitempty values: attribute 0 and value rank 0
+		// are legitimate conditions that must not vanish from the wire.
+		attr, value := ev.Slice.Attr, ev.Slice.Value
+		out.ConditionAttr = &attr
+		out.ConditionValue = &value
+		out.SliceRows = ev.Slice.Rows
+	}
+	return out
 }
 
 // CacheStatsInfo mirrors reportcache.Stats on the wire (the /healthz body),

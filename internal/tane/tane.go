@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/bitset"
@@ -42,10 +43,13 @@ func (fd FD) NamesString(names []string) string {
 type Options struct {
 	// MaxLevel, when positive, bounds the lattice level that is processed.
 	MaxLevel int
-	// Workers is the number of goroutines used per lattice level, with the
+	// Workers is the number of goroutines processing lattice nodes, with the
 	// same convention as core.Options.Workers (0 = GOMAXPROCS, 1 =
 	// sequential). The output is identical regardless of the setting.
 	Workers int
+	// Scheduler selects the node ordering (DAG work-stealing by default,
+	// level-synchronous barrier as an option); see core.Options.Scheduler.
+	Scheduler lattice.Scheduler
 	// Budget bounds the run's wall-clock time and visited lattice nodes; see
 	// core.Options.Budget for the interrupt semantics.
 	Budget lattice.Budget
@@ -92,6 +96,7 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 	start := time.Now()
 	eng, err := lattice.New(enc, lattice.Config{
 		Ctx:        ctx,
+		Scheduler:  opts.Scheduler,
 		Workers:    opts.Workers,
 		MaxLevel:   opts.MaxLevel,
 		Budget:     opts.Budget,
@@ -104,59 +109,38 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 	all := eng.All()
 	res := &Result{}
 
-	empty := bitset.AttrSet(0)
-	ccPrev := map[bitset.AttrSet]bitset.AttrSet{empty: all}
-
-	eng.Run(func(l int, level []bitset.AttrSet) []bitset.AttrSet {
-		n := len(level)
-		ccArr := make([]bitset.AttrSet, n)
-		fdBufs := make([][]FD, n)
-
-		// Candidate sets and validation (X\A → A for A ∈ X ∩ C+(X)). Every
-		// node only reads previous-level candidate sets and the engine's
-		// partition window, so nodes are sharded across the worker pool; each
-		// writes its surviving candidate set and discovered FDs into per-node
-		// slots that the level barrier below merges back in node order.
-		eng.ParallelFor(n, func(_, i int) {
-			x := level[i]
-			cc := all
-			x.ForEach(func(a int) { cc = cc.Intersect(ccPrev[x.Remove(a)]) })
-			for _, a := range x.Intersect(cc).Attrs() {
-				ctx := x.Remove(a)
-				ctxPart := eng.Partition(ctx)
-				valid := ctxPart.IsSuperkey() || ctxPart.Error() == eng.Partition(x).Error()
-				if valid {
-					fdBufs[i] = append(fdBufs[i], FD{LHS: ctx, RHS: a})
-					cc = cc.Remove(a)
-					cc = cc.Intersect(x)
-				}
-			}
-			ccArr[i] = cc
+	// The per-node visit: derive C+(X) from the immediate-subset candidate
+	// sets in deps, validate X\A → A for A ∈ X ∩ C+(X) against the partition
+	// window, and prune nodes whose candidate set empties (no superset can
+	// yield a minimal FD). Discovered FDs are merged under a mutex at node
+	// completion — emission order is schedule-dependent, the final total-order
+	// sort restores determinism.
+	var mu sync.Mutex
+	root := all
+	eng.RunNodes(root, func(wk, l int, x bitset.AttrSet, deps []any) (any, bool) {
+		cc := all
+		var i int
+		x.ForEach(func(a int) {
+			cc = cc.Intersect(deps[i].(bitset.AttrSet))
+			i++
 		})
-
-		// Level barrier: emit FDs in node order, publish the candidate sets
-		// the next level reads, and prune nodes with empty candidate sets.
-		ccCur := make(map[bitset.AttrSet]bitset.AttrSet, n)
-		for i, x := range level {
-			res.FDs = append(res.FDs, fdBufs[i]...)
-			ccCur[x] = ccArr[i]
-		}
-		ccPrev = ccCur
-		if eng.Interrupted() {
-			// The level was cut short: unprocessed nodes carry empty (not yet
-			// derived) candidate sets, so no pruning decision may be taken.
-			// The engine stops before another level starts.
-			return level
-		}
-
-		kept := level[:0]
-		for _, x := range level {
-			if l >= 2 && ccCur[x].IsEmpty() {
-				continue
+		var found []FD
+		for _, a := range x.Intersect(cc).Attrs() {
+			ctx := x.Remove(a)
+			ctxPart := eng.Partition(ctx)
+			valid := ctxPart.IsSuperkey() || ctxPart.Error() == eng.Partition(x).Error()
+			if valid {
+				found = append(found, FD{LHS: ctx, RHS: a})
+				cc = cc.Remove(a)
+				cc = cc.Intersect(x)
 			}
-			kept = append(kept, x)
 		}
-		return kept
+		if len(found) > 0 {
+			mu.Lock()
+			res.FDs = append(res.FDs, found...)
+			mu.Unlock()
+		}
+		return cc, l >= 2 && cc.IsEmpty()
 	})
 	res.Stats = eng.Stats()
 	res.NodesVisited = res.Stats.NodesVisited

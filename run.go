@@ -66,6 +66,25 @@ type Budget = lattice.Budget
 // RunWithProgress.
 type ProgressEvent = lattice.ProgressEvent
 
+// SliceInfo identifies the condition slice a conditional per-slice progress
+// event describes; see ProgressEvent.Slice and SliceProgressLevel.
+type SliceInfo = lattice.SliceInfo
+
+// Scheduler selects how the set-lattice algorithms order node visits: the
+// dependency-aware work-stealing scheduler (the default) or the
+// level-synchronous barrier. The output is identical either way; see
+// lattice.Scheduler for the precise semantics and tradeoffs.
+type Scheduler = lattice.Scheduler
+
+// The schedulers a Request may select. The zero value selects SchedulerDAG.
+const (
+	// SchedulerDAG dispatches a node as soon as its immediate subsets are
+	// done, with work stealing (the default).
+	SchedulerDAG = lattice.SchedulerDAG
+	// SchedulerBarrier synchronizes all workers at every lattice level.
+	SchedulerBarrier = lattice.SchedulerBarrier
+)
+
 // DefaultBudget is a conservative budget for interactive and service use: no
 // discovery call outlives 30 seconds or two million lattice nodes. Narrow
 // schemas never notice it; wide schemas (where the lattice explodes
@@ -84,6 +103,13 @@ type RunOptions struct {
 	// GOMAXPROCS, 1 = sequential). The output is identical regardless of the
 	// setting. Ignored by ORDER, whose list-lattice search is sequential.
 	Workers int
+	// Scheduler selects the node-visit ordering of the set-lattice algorithms
+	// (FASTOD, TANE, approx, bidir, and conditional's inner passes): the
+	// dependency-aware DAG scheduler by default, or the level-synchronous
+	// barrier. The output is identical either way — the knob trades the
+	// barrier's simpler accounting against the DAG's lower cancellation
+	// latency and better load balance. Ignored by ORDER.
+	Scheduler Scheduler
 	// MaxLevel, when positive, bounds the lattice level processed: attribute
 	// set sizes for the set-lattice algorithms, attribute list lengths for
 	// ORDER. Stopping at MaxLevel is a normal completion, not an interrupt.
@@ -174,6 +200,9 @@ func (r Request) Validate() error {
 	if r.Workers < 0 {
 		return fmt.Errorf("%w: negative Workers %d (0 selects all CPUs, 1 is sequential)", ErrInvalidRequest, r.Workers)
 	}
+	if !r.Scheduler.Valid() {
+		return fmt.Errorf("%w: unknown scheduler %q (want %q or %q)", ErrInvalidRequest, r.Scheduler, SchedulerDAG, SchedulerBarrier)
+	}
 	if r.MaxLevel < 0 {
 		return fmt.Errorf("%w: negative MaxLevel %d (0 means unlimited)", ErrInvalidRequest, r.MaxLevel)
 	}
@@ -257,6 +286,9 @@ func (d *Dataset) ValidateRequest(req Request) error {
 //   - the zero Algorithm becomes AlgorithmFASTOD, its documented meaning;
 //   - Workers is erased: the engine's contract is that output is identical
 //     for every worker count, so parallelism must not fragment a cache;
+//   - Scheduler is erased for the same reason: DAG and barrier runs produce
+//     identical reports (the differential suites assert it), so the execution
+//     strategy has no place in a request identity;
 //   - Partitions is erased: a partition store changes where partitions are
 //     cached, never what is computed (callers that do supply an explicit
 //     store should not cache across it — see the server's rules — but the
@@ -281,6 +313,7 @@ func (r Request) Canonical() Request {
 		r.Algorithm = AlgorithmFASTOD
 	}
 	r.Workers = 0
+	r.Scheduler = ""
 	r.Partitions = nil
 	if r.Algorithm != AlgorithmFASTOD && r.Algorithm != AlgorithmConditional {
 		r.FASTOD = FASTODRunOptions{}
@@ -473,6 +506,7 @@ func (d *Dataset) RunWithProgress(ctx context.Context, req Request, onProgress f
 	case AlgorithmTANE:
 		res, err := tane.DiscoverContext(ctx, d.enc, tane.Options{
 			Workers:    req.Workers,
+			Scheduler:  req.Scheduler,
 			MaxLevel:   req.MaxLevel,
 			Budget:     req.Budget,
 			Progress:   onProgress,
@@ -488,6 +522,7 @@ func (d *Dataset) RunWithProgress(ctx context.Context, req Request, onProgress f
 		res, err := approx.DiscoverContext(ctx, d.enc, approx.Options{
 			Threshold:  req.Approx.Threshold,
 			Workers:    req.Workers,
+			Scheduler:  req.Scheduler,
 			MaxLevel:   req.MaxLevel,
 			Budget:     req.Budget,
 			Progress:   onProgress,
@@ -502,6 +537,7 @@ func (d *Dataset) RunWithProgress(ctx context.Context, req Request, onProgress f
 	case AlgorithmBidirectional:
 		res, err := bidir.DiscoverContext(ctx, d.enc, bidir.Options{
 			Workers:    req.Workers,
+			Scheduler:  req.Scheduler,
 			MaxLevel:   req.MaxLevel,
 			Budget:     req.Budget,
 			Progress:   onProgress,
@@ -571,6 +607,7 @@ func (d *Dataset) RunWithProgress(ctx context.Context, req Request, onProgress f
 func (d *Dataset) coreOptions(req Request, store *PartitionStore, onProgress func(ProgressEvent)) core.Options {
 	return core.Options{
 		Workers:            req.Workers,
+		Scheduler:          req.Scheduler,
 		MaxLevel:           req.MaxLevel,
 		Budget:             req.Budget,
 		Progress:           onProgress,

@@ -138,8 +138,16 @@ func TestConditionalSliceProgress(t *testing.T) {
 			if ev.Nodes <= 0 {
 				t.Errorf("slice event with no nodes: %+v", ev)
 			}
+			if ev.Slice == nil {
+				t.Errorf("slice event without condition info: %+v", ev)
+			} else if ev.Slice.Attr < 0 || ev.Slice.Attr >= ds.NumCols() || ev.Slice.Rows <= 0 {
+				t.Errorf("slice event with bad condition info: %+v", *ev.Slice)
+			}
 		} else {
 			levels++
+			if ev.Slice != nil {
+				t.Errorf("level event %+v carries slice info", ev)
+			}
 			if slices > 0 {
 				t.Errorf("level event %+v after slice events began", ev)
 			}

@@ -1,0 +1,165 @@
+package fastod_test
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	fastod "repro"
+)
+
+// --- Differential tests: the DAG scheduler must produce byte-identical ---
+// --- reports to the barrier scheduler, at every worker count, for every ---
+// --- algorithm. Only wall-clock fields may differ between runs.         ---
+
+// zeroReportTimings clears every wall-clock field of a report in place so two
+// runs can be compared with reflect.DeepEqual: timing is the only thing a
+// scheduler or worker count is allowed to change.
+func zeroReportTimings(rep *fastod.Report) {
+	rep.Elapsed = 0
+	switch {
+	case rep.FASTOD != nil:
+		rep.FASTOD.Elapsed = 0
+		for i := range rep.FASTOD.Levels {
+			rep.FASTOD.Levels[i].Elapsed = 0
+		}
+	case rep.TANE != nil:
+		rep.TANE.Elapsed = 0
+	case rep.Approx != nil:
+		rep.Approx.Elapsed = 0
+	case rep.Bidir != nil:
+		rep.Bidir.Elapsed = 0
+	case rep.Conditional != nil:
+		rep.Conditional.Elapsed = 0
+		rep.Conditional.Global.Elapsed = 0
+		for i := range rep.Conditional.Global.Levels {
+			rep.Conditional.Global.Levels[i].Elapsed = 0
+		}
+	case rep.ORDER != nil:
+		rep.ORDER.Elapsed = 0
+	}
+}
+
+// schedulerDiffRequests covers all six algorithms, including a FASTOD ablation
+// (no pruning, count-only) whose node set differs radically from the default
+// run. ORDER ignores both knobs; it rides along to prove the plumbing does not
+// disturb it.
+func schedulerDiffRequests() map[string]fastod.Request {
+	return map[string]fastod.Request{
+		"fastod": {Algorithm: fastod.AlgorithmFASTOD,
+			FASTOD: fastod.FASTODRunOptions{CollectLevelStats: true}},
+		"fastod-nopruning": {Algorithm: fastod.AlgorithmFASTOD,
+			FASTOD: fastod.FASTODRunOptions{DisablePruning: true, CountOnly: true}},
+		"tane":   {Algorithm: fastod.AlgorithmTANE},
+		"approx": {Algorithm: fastod.AlgorithmApprox, Approx: fastod.ApproxRunOptions{Threshold: 0.05}},
+		"bidir":  {Algorithm: fastod.AlgorithmBidirectional},
+		"conditional": {Algorithm: fastod.AlgorithmConditional,
+			Conditional: fastod.ConditionalRunOptions{MaxConditionCardinality: 8}},
+		"order": {Algorithm: fastod.AlgorithmORDER, RunOptions: fastod.RunOptions{MaxLevel: 3}},
+	}
+}
+
+func TestSchedulerDifferential(t *testing.T) {
+	ds := fastod.SyntheticFlight(200, 6, 2017)
+	for name, base := range schedulerDiffRequests() {
+		t.Run(name, func(t *testing.T) {
+			var ref *fastod.Report
+			for _, sched := range []fastod.Scheduler{fastod.SchedulerBarrier, fastod.SchedulerDAG} {
+				for _, workers := range []int{1, 4} {
+					req := base
+					req.Workers = workers
+					req.Scheduler = sched
+					rep, err := ds.Run(context.Background(), req)
+					if err != nil {
+						t.Fatalf("scheduler=%s workers=%d: %v", sched, workers, err)
+					}
+					if rep.Interrupted {
+						t.Fatalf("scheduler=%s workers=%d: unbudgeted run interrupted", sched, workers)
+					}
+					zeroReportTimings(rep)
+					if ref == nil {
+						ref = rep
+						continue
+					}
+					if !reflect.DeepEqual(ref, rep) {
+						t.Errorf("scheduler=%s workers=%d: report differs from barrier/workers=1\n got: %+v\nwant: %+v",
+							sched, workers, rep, ref)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSchedulerDifferentialSecondShape repeats the core differential on a
+// dataset with a different correlation shape, so an ordering bug that happens
+// to be invisible on one generator still has a second chance to surface.
+func TestSchedulerDifferentialSecondShape(t *testing.T) {
+	ds := fastod.SyntheticNCVoter(150, 7, 41)
+	for _, alg := range []fastod.Algorithm{fastod.AlgorithmFASTOD, fastod.AlgorithmBidirectional} {
+		var ref *fastod.Report
+		for _, sched := range []fastod.Scheduler{fastod.SchedulerBarrier, fastod.SchedulerDAG} {
+			for _, workers := range []int{1, 4} {
+				rep, err := ds.Run(context.Background(), fastod.Request{
+					Algorithm:  alg,
+					RunOptions: fastod.RunOptions{Workers: workers, Scheduler: sched},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				zeroReportTimings(rep)
+				if ref == nil {
+					ref = rep
+					continue
+				}
+				if !reflect.DeepEqual(ref, rep) {
+					t.Errorf("%s scheduler=%s workers=%d: report differs from barrier/workers=1", alg, sched, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestSchedulerSharedStoreRace runs both schedulers concurrently against one
+// dataset partition store across several algorithms. Under -race this is the
+// end-to-end data-race canary for the DAG scheduler's store-first generation;
+// without -race it still asserts every run agrees with an uncontended one.
+func TestSchedulerSharedStoreRace(t *testing.T) {
+	ds := fastod.SyntheticFlight(120, 5, 7)
+	ds.EnablePartitionCache(0)
+	baseline, err := ds.Run(context.Background(), fastod.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := []fastod.Algorithm{
+		fastod.AlgorithmFASTOD, fastod.AlgorithmTANE,
+		fastod.AlgorithmApprox, fastod.AlgorithmBidirectional,
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sched := fastod.SchedulerDAG
+			if i%2 == 0 {
+				sched = fastod.SchedulerBarrier
+			}
+			req := fastod.Request{
+				Algorithm:  algs[i%len(algs)],
+				RunOptions: fastod.RunOptions{Workers: 2, Scheduler: sched},
+			}
+			rep, err := ds.Run(context.Background(), req)
+			if err != nil {
+				t.Errorf("goroutine %d (%s/%s): %v", i, req.Algorithm, sched, err)
+				return
+			}
+			if req.Algorithm == fastod.AlgorithmFASTOD {
+				if got, want := rep.FASTOD.Counts, baseline.FASTOD.Counts; got != want {
+					t.Errorf("goroutine %d (%s): counts %+v differ from uncontended baseline %+v", i, sched, got, want)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
