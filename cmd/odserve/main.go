@@ -6,7 +6,7 @@
 //
 //	odserve [-addr :8080] [-max-concurrent N] [-max-timeout D] [-max-nodes N]
 //	        [-max-upload-bytes N] [-max-datasets N] [-max-request-bytes N]
-//	        [-report-cache-bytes N] [name=path.csv ...]
+//	        [-report-cache-bytes N] [-max-heap-bytes N] [name=path.csv ...]
 //
 // Positional name=path arguments preload CSV files as named datasets; more
 // can be uploaded at runtime with POST /v1/datasets?name=N. Every discovery
@@ -49,6 +49,7 @@ func main() {
 		maxDatasets   = flag.Int("max-datasets", server.DefaultMaxDatasets, "datasets allowed to be resident at once")
 		maxRequest    = flag.Int64("max-request-bytes", server.DefaultMaxRequestBytes, "largest accepted JSON discover request body")
 		reportCache   = flag.Int("report-cache-bytes", server.DefaultReportCacheBytes, "report cache bound in estimated bytes (completed reports memoized per dataset version and request)")
+		maxHeapBytes  = flag.Uint64("max-heap-bytes", 0, "soft heap limit: shed new discovery runs with 503 while live heap objects exceed this (0 disables)")
 	)
 	flag.Parse()
 	cfg := config{
@@ -60,6 +61,7 @@ func main() {
 			MaxDatasets:      *maxDatasets,
 			MaxRequestBytes:  *maxRequest,
 			ReportCacheBytes: *reportCache,
+			MaxHeapBytes:     *maxHeapBytes,
 		},
 		preload: flag.Args(),
 	}

@@ -460,6 +460,11 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 		}
 		return nil, false
 	})
+	if err := eng.Err(); err != nil {
+		// A recovered worker panic: fail the discovery rather than report a
+		// possibly incoherent partial.
+		return nil, err
+	}
 	res.Stats = eng.Stats()
 	res.NodesVisited = res.Stats.NodesVisited
 	res.Interrupted = res.Stats.Interrupted

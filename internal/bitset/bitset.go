@@ -135,6 +135,10 @@ func (s AttrSet) Names(names []string) string {
 	return "{" + strings.Join(parts, ",") + "}"
 }
 
+// checkIndex guards the package's one invariant. The panic deliberately does
+// not try to name a lattice node — this package sits below the lattice and
+// cannot know one; the engine's recovery frames add that context
+// (lattice.PanicContext) when the panic crosses a worker boundary.
 func checkIndex(a int) {
 	if a < 0 || a >= MaxAttrs {
 		panic(fmt.Sprintf("bitset: attribute index %d out of range [0,%d)", a, MaxAttrs))

@@ -32,11 +32,14 @@ func Holds(enc *relation.Encoded, od OD) (bool, error) {
 }
 
 // MustHold is Holds for ODs known to reference valid attributes; it panics on
-// structural errors and is intended for tests and internal callers.
+// structural errors and is intended for tests and internal callers. Callers
+// validating externally supplied ODs (e.g. parsed expressions) must use Holds
+// and handle the error; the panic message names the offending OD so that a
+// recovered stack identifies it.
 func MustHold(enc *relation.Encoded, od OD) bool {
 	ok, err := Holds(enc, od)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("canonical: od %v: %v", od, err))
 	}
 	return ok
 }

@@ -14,6 +14,7 @@ package conditional
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -343,15 +344,34 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 			mu.Unlock()
 		}
 	}
-	if workers <= 1 {
+	// The fan-out goroutines are engine-spawned workers in the sense of the
+	// fault-containment contract: a panic in the slice scaffolding (row
+	// selection, cover filtering, result merging) must become a typed error,
+	// not a dead process. Panics inside a slice's own discovery are already
+	// contained by that slice's engine and arrive here as runErr.
+	safeRunWorker := func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err := &lattice.PanicError{Value: rec, Stack: debug.Stack()}
+				mu.Lock()
+				if runErr == nil {
+					runErr = err
+				}
+				stopped = true
+				mu.Unlock()
+			}
+		}()
 		runWorker()
+	}
+	if workers <= 1 {
+		safeRunWorker()
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				runWorker()
+				safeRunWorker()
 			}()
 		}
 		wg.Wait()

@@ -46,6 +46,12 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 	} else {
 		d.run()
 	}
+	if err := d.eng.Err(); err != nil {
+		// A recovered worker panic: the per-node state merged so far may be
+		// incoherent (unlike a budget interrupt, which stops at safe points),
+		// so fail the discovery rather than report a partial.
+		return nil, err
+	}
 	res := d.result
 	if !opts.CountOnly {
 		// Node completion order is schedule-dependent (under the DAG scheduler

@@ -156,11 +156,15 @@ func Generate(spec Spec) (*relation.Relation, error) {
 }
 
 // MustGenerate is Generate for specs known to be valid at compile time; it
-// panics on error and is intended for the preset constructors below.
+// panics on error and is intended for the preset constructors below. Callers
+// holding a runtime spec must use Generate and handle the error instead —
+// this helper exists only where a failure is a bug in the preset itself, and
+// its panic message names the spec so the recovered stack (see
+// lattice.PanicError) identifies which one.
 func MustGenerate(spec Spec) *relation.Relation {
 	r, err := Generate(spec)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("datagen: preset spec %q: %v", spec.Name, err))
 	}
 	return r
 }

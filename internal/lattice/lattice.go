@@ -18,10 +18,12 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/bitset"
+	"repro/internal/faultinject"
 	"repro/internal/partition"
 	"repro/internal/relation"
 )
@@ -109,6 +111,10 @@ type Engine struct {
 	// stop is the cooperative interrupt flag, latched by checkInterrupt from
 	// any goroutine and polled between ParallelFor chunk handouts.
 	stop atomic.Bool
+	// fail latches the first recovered worker panic (see panic.go); failMu
+	// guards it because workers recover concurrently. Read through Err.
+	failMu sync.Mutex
+	fail   *PanicError
 
 	numAttrs int
 	all      bitset.AttrSet
@@ -286,7 +292,7 @@ func (e *Engine) Partition(x bitset.AttrSet) *partition.Partition {
 // the per-item results as complete afterwards; the engine itself stops the
 // traversal before any partially generated level is visited.
 func (e *Engine) ParallelFor(n int, fn func(worker, item int)) {
-	parallelForChunk(e.workers, n, chunkFor(e.workers, n), e.checkInterrupt, fn)
+	parallelForChunk(e.workers, n, chunkFor(e.workers, n), e.checkInterrupt, e.trapWorker, fn)
 }
 
 // Run executes the level-wise traversal. Starting from the singleton level,
@@ -303,6 +309,7 @@ func (e *Engine) ParallelFor(n int, fn func(worker, item int)) {
 // of work. An interrupted run keeps everything already computed, never visits
 // a partially generated level, and reports Stats.Interrupted.
 func (e *Engine) Run(visit func(level int, nodes []bitset.AttrSet) []bitset.AttrSet) {
+	defer e.trapTraversal()
 	e.started = time.Now()
 	if e.budget.Timeout > 0 {
 		e.deadline = e.started.Add(e.budget.Timeout)
@@ -479,6 +486,17 @@ func (e *Engine) nextLevel(level []bitset.AttrSet, l int) []bitset.AttrSet {
 
 	e.ParallelFor(len(miss), func(wk, k int) {
 		i := miss[k]
+		x := next[i]
+		// A panic inside the product (an invariant violation, or an injected
+		// fault) is recorded with the node it was computing, so the recovered
+		// stack names the offending attribute set; the worker-level trap would
+		// only know the goroutine.
+		defer func() {
+			if rec := recover(); rec != nil {
+				e.recordPanic(rec, x, true)
+			}
+		}()
+		faultinject.Hit(faultinject.PartitionProduct)
 		partsArr[i] = joins[k].left.ProductWith(joins[k].right, e.scratch[wk])
 	})
 	for _, i := range miss {

@@ -1,0 +1,230 @@
+package lattice
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/faultinject"
+	"repro/internal/leakcheck"
+)
+
+// Containment contract under test: a panic anywhere inside the engine — a
+// visit function, a partition product, the DAG scheduler's own dispatch and
+// steal paths — must (a) not crash the process, (b) surface through Err() as
+// a *PanicError carrying the stack and, where known, the node, (c) mark the
+// run interrupted, and (d) leave no worker goroutine behind.
+
+func assertContained(t *testing.T, eng *Engine, wantNode bool) *PanicError {
+	t.Helper()
+	err := eng.Err()
+	if err == nil {
+		t.Fatal("Err() = nil after a worker panic")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Err() = %v (%T), want *PanicError", err, err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError carries no stack")
+	}
+	if wantNode && !pe.HasNode {
+		t.Errorf("PanicError has no node context: %v", pe)
+	}
+	if pe.HasNode && !strings.Contains(pe.Error(), pe.Node.String()) {
+		t.Errorf("Error() %q does not name node %v", pe.Error(), pe.Node)
+	}
+	return pe
+}
+
+// assertInterrupted is the traversal half of the contract: a run that was cut
+// short by a contained panic must not pretend its stats describe a complete
+// traversal. (Standalone ParallelFor calls have no traversal to mark.)
+func assertInterrupted(t *testing.T, eng *Engine) {
+	t.Helper()
+	if !eng.Stats().Interrupted {
+		t.Error("panicked run not marked interrupted")
+	}
+}
+
+// TestRunNodesVisitPanicContained: a panic thrown by the visit function is
+// contained under both schedulers at both worker counts, with the panicking
+// node attached.
+func TestRunNodesVisitPanicContained(t *testing.T) {
+	leakcheck.Check(t)
+	enc := encodeFlight(t, 60, 5)
+	for _, sched := range []Scheduler{SchedulerBarrier, SchedulerDAG} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s_w%d", sched, workers), func(t *testing.T) {
+				eng, err := New(enc, Config{Workers: workers, Scheduler: sched})
+				if err != nil {
+					t.Fatal(err)
+				}
+				n := 0
+				eng.RunNodes(nil, func(_, _ int, x bitset.AttrSet, _ []any) (any, bool) {
+					n++
+					if n == 3 {
+						panic("poisoned visit")
+					}
+					return nil, false
+				})
+				pe := assertContained(t, eng, true)
+				assertInterrupted(t, eng)
+				if !strings.Contains(fmt.Sprint(pe.Value), "poisoned visit") {
+					t.Errorf("recovered value = %v, want the poisoned-visit panic", pe.Value)
+				}
+			})
+		}
+	}
+}
+
+// TestRunVisitPanicContained: same for the level-visit Run API, where the
+// panic unwinds the traversal goroutine itself and is caught by the
+// trapTraversal catch-all (no node context — the visit owns a whole level).
+func TestRunVisitPanicContained(t *testing.T) {
+	leakcheck.Check(t)
+	enc := encodeFlight(t, 60, 5)
+	eng, err := New(enc, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(func(l int, nodes []bitset.AttrSet) []bitset.AttrSet {
+		if l == 2 {
+			panic("poisoned level visit")
+		}
+		return nodes
+	})
+	assertContained(t, eng, false)
+	assertInterrupted(t, eng)
+}
+
+// TestParallelForWorkerPanicContained: a panic inside an Engine.ParallelFor
+// body (the barrier scheduler's chunk workers) lands in trapWorker, stops the
+// sibling workers, and surfaces through Err().
+func TestParallelForWorkerPanicContained(t *testing.T) {
+	leakcheck.Check(t)
+	enc := encodeFlight(t, 60, 5)
+	eng, err := New(enc, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.ParallelFor(1000, func(wk, i int) {
+		if i == 137 {
+			panic("poisoned item")
+		}
+	})
+	// No assertInterrupted here: a standalone ParallelFor runs outside any
+	// traversal, so there is no run for the panic to interrupt — the error
+	// surfaces, the stats don't change.
+	assertContained(t, eng, false)
+}
+
+// TestInjectedFaultsContained: panics fired by the injection points inside
+// the engine itself — partition products, DAG dispatch, DAG steal — are
+// contained exactly like visit panics. These points sit on paths the visit
+// function never sees (the steal path runs while the scheduler mutex is
+// held), so they are the reason the scheduler needs its own recovery frames.
+func TestInjectedFaultsContained(t *testing.T) {
+	enc := encodeFlight(t, 60, 5)
+	cases := []struct {
+		point faultinject.Point
+		sched Scheduler
+	}{
+		{faultinject.PartitionProduct, SchedulerBarrier},
+		{faultinject.PartitionProduct, SchedulerDAG},
+		{faultinject.NodeDispatch, SchedulerDAG},
+		{faultinject.NodeSteal, SchedulerDAG},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 4} {
+			if tc.point == faultinject.NodeSteal && workers == 1 {
+				continue // a single worker never steals
+			}
+			t.Run(fmt.Sprintf("%s_%s_w%d", tc.point, tc.sched, workers), func(t *testing.T) {
+				leakcheck.Check(t)
+				plan := faultinject.NewPlan(faultinject.Rule{
+					Point:  tc.point,
+					Action: faultinject.ActionPanic,
+					After:  2,
+					Times:  1,
+				})
+				defer faultinject.Enable(plan)()
+				eng, err := New(enc, Config{Workers: workers, Scheduler: tc.sched})
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng.RunNodes(nil, func(_, _ int, _ bitset.AttrSet, _ []any) (any, bool) { return nil, false })
+				if plan.Fired() == 0 {
+					t.Skip("injection point not reached in this configuration")
+				}
+				assertContained(t, eng, false)
+				assertInterrupted(t, eng)
+			})
+		}
+	}
+}
+
+// TestInjectedStoreFaultsDegrade: error-action faults at the store points
+// have defined degradation paths, not failure paths — a failing Get is a
+// miss (the partition is recomputed), a failing evict leaves the store
+// temporarily over its bound. Either way the run completes with the same
+// node set as a clean run.
+func TestInjectedStoreFaultsDegrade(t *testing.T) {
+	leakcheck.Check(t)
+	enc := encodeFlight(t, 60, 5)
+	clean, err := New(enc, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean.RunNodes(nil, func(_, _ int, _ bitset.AttrSet, _ []any) (any, bool) { return nil, false })
+	want := clean.Stats().NodesVisited
+
+	for _, point := range []faultinject.Point{faultinject.StoreGet, faultinject.StoreEvict} {
+		t.Run(string(point), func(t *testing.T) {
+			plan := faultinject.NewPlan(faultinject.Rule{Point: point, Action: faultinject.ActionError})
+			defer faultinject.Enable(plan)()
+			// A tight store bound forces evictions so StoreEvict actually
+			// fires (at 1 KiB this workload's 3.4 KiB of partitions evict
+			// ~24 times; at 4 KiB everything fits and nothing ever evicts).
+			store := NewPartitionStore(1024)
+			eng, err := New(enc, Config{Workers: 2, Store: store})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.RunNodes(nil, func(_, _ int, _ bitset.AttrSet, _ []any) (any, bool) { return nil, false })
+			if plan.Fired() == 0 {
+				t.Fatalf("no %s faults fired", point)
+			}
+			if err := eng.Err(); err != nil {
+				t.Fatalf("store fault escalated to run failure: %v", err)
+			}
+			st := eng.Stats()
+			if st.Interrupted {
+				t.Fatal("degraded run marked interrupted")
+			}
+			if st.NodesVisited != want {
+				t.Fatalf("degraded run visited %d nodes, clean run %d", st.NodesVisited, want)
+			}
+		})
+	}
+}
+
+// TestSchedulerSuiteLeaks applies the leak gate to a plain full traversal
+// under both schedulers, so a regression that parks workers on the exit path
+// of a *successful* run is caught here rather than only under faults.
+func TestSchedulerSuiteLeaks(t *testing.T) {
+	leakcheck.Check(t)
+	enc := encodeFlight(t, 60, 5)
+	for _, sched := range []Scheduler{SchedulerBarrier, SchedulerDAG} {
+		eng, err := New(enc, Config{Workers: 4, Scheduler: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.RunNodes(nil, func(_, _ int, _ bitset.AttrSet, _ []any) (any, bool) { return nil, false })
+		if err := eng.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -46,7 +46,7 @@ func ParallelFor(w, n int, fn func(worker, item int)) {
 	if w < 1 {
 		w = 1
 	}
-	parallelForChunk(w, n, chunkFor(w, n), nil, fn)
+	parallelForChunk(w, n, chunkFor(w, n), nil, nil, fn)
 }
 
 // chunkFor picks the batch size handed out per atomic fetch: 1 for small
@@ -75,11 +75,15 @@ func chunkFor(w, n int) int {
 
 // parallelForChunk is ParallelFor with an explicit chunk size (the handout
 // benchmark uses it to measure chunking against the one-item-per-fetch
-// baseline) and an optional stop check. A non-nil stop is polled once per
-// chunk handout — on the sequential path as well as by every worker — and
-// once it reports true the remaining items are abandoned: cancellation
-// latency is bounded by one chunk, never by the whole level.
-func parallelForChunk(w, n, chunk int, stop func() bool, fn func(worker, item int)) {
+// baseline), an optional stop check and an optional panic trap. A non-nil
+// stop is polled once per chunk handout — on the sequential path as well as
+// by every worker — and once it reports true the remaining items are
+// abandoned: cancellation latency is bounded by one chunk, never by the
+// whole level. A non-nil trap receives any panic a worker raises (the
+// worker's remaining chunks are abandoned; the trap is expected to latch the
+// stop signal so siblings drain too); with a nil trap panics propagate to
+// the caller, the package-level ParallelFor contract.
+func parallelForChunk(w, n, chunk int, stop func() bool, trap func(rec any), fn func(worker, item int)) {
 	if w > n {
 		w = n
 	}
@@ -87,18 +91,20 @@ func parallelForChunk(w, n, chunk int, stop func() bool, fn func(worker, item in
 		chunk = 1
 	}
 	if w <= 1 {
-		for start := 0; start < n; start += chunk {
-			if stop != nil && stop() {
-				return
+		runTrapped(trap, func() {
+			for start := 0; start < n; start += chunk {
+				if stop != nil && stop() {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(0, i)
+				}
 			}
-			end := start + chunk
-			if end > n {
-				end = n
-			}
-			for i := start; i < end; i++ {
-				fn(0, i)
-			}
-		}
+		})
 		return
 	}
 	var cursor atomic.Int64
@@ -107,23 +113,40 @@ func parallelForChunk(w, n, chunk int, stop func() bool, fn func(worker, item in
 	for wk := 0; wk < w; wk++ {
 		go func(wk int) {
 			defer wg.Done()
-			for {
-				if stop != nil && stop() {
-					return
+			runTrapped(trap, func() {
+				for {
+					if stop != nil && stop() {
+						return
+					}
+					start := int(cursor.Add(int64(chunk))) - chunk
+					if start >= n {
+						return
+					}
+					end := start + chunk
+					if end > n {
+						end = n
+					}
+					for i := start; i < end; i++ {
+						fn(wk, i)
+					}
 				}
-				start := int(cursor.Add(int64(chunk))) - chunk
-				if start >= n {
-					return
-				}
-				end := start + chunk
-				if end > n {
-					end = n
-				}
-				for i := start; i < end; i++ {
-					fn(wk, i)
-				}
-			}
+			})
 		}(wk)
 	}
 	wg.Wait()
+}
+
+// runTrapped runs body, routing a recovered panic to trap; a nil trap lets
+// panics propagate unchanged.
+func runTrapped(trap func(rec any), body func()) {
+	if trap == nil {
+		body()
+		return
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			trap(rec)
+		}
+	}()
+	body()
 }

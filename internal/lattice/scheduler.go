@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/bitset"
+	"repro/internal/faultinject"
 	"repro/internal/partition"
 )
 
@@ -90,6 +91,14 @@ func (e *Engine) runNodesBarrier(root any, visit NodeVisit) {
 		pruned := make([]bool, len(level))
 		e.ParallelFor(len(level), func(wk, i int) {
 			x := level[i]
+			// Recover here (inside the per-node frame) rather than relying on
+			// the worker-level trap alone, so a panicking visit is recorded
+			// with the node that poisoned it.
+			defer func() {
+				if rec := recover(); rec != nil {
+					e.recordPanic(rec, x, true)
+				}
+			}()
 			deps := depsBuf[wk][:0]
 			if l == 1 {
 				deps = append(deps, root)
@@ -245,6 +254,11 @@ type dagRun struct {
 
 // runNodesDAG executes the traversal under the dependency-aware scheduler.
 func (e *Engine) runNodesDAG(root any, visit NodeVisit) {
+	// Contain panics raised on the traversal goroutine itself (seeding, the
+	// inline worker loop's scheduling state) and make sure the window table is
+	// retired even when the folding code below is unwound past.
+	defer e.trapTraversal()
+	defer func() { e.dagParts = nil }()
 	e.started = time.Now()
 	if e.budget.Timeout > 0 {
 		e.deadline = e.started.Add(e.budget.Timeout)
@@ -312,12 +326,21 @@ func (e *Engine) runNodesDAG(root any, visit NodeVisit) {
 	if r.latched || r.inflight > 0 {
 		e.stats.Interrupted = true
 	}
-	e.dagParts = nil
 }
 
 // worker is one scheduling loop: pull a runnable node, derive its partition,
-// visit it, complete it (possibly unlocking supersets), repeat.
+// visit it, complete it (possibly unlocking supersets), repeat. A panic
+// escaping the loop (scheduling-state corruption, an injected handout fault)
+// is recovered here so it can never kill the process: the failure is latched
+// in the engine and the run aborted. Panics inside node processing are
+// recovered one frame deeper, in exec, where the node is known.
 func (r *dagRun) worker(wk int) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.e.recordPanic(rec, 0, false)
+			r.abort()
+		}
+	}()
 	for {
 		t := r.next(wk)
 		if t == nil {
@@ -325,6 +348,18 @@ func (r *dagRun) worker(wk int) {
 		}
 		r.exec(wk, t)
 	}
+}
+
+// abort ends the traversal after a contained panic: done wakes every sleeping
+// worker, latched marks the run interrupted (abandoned tasks keep inflight
+// positive as well). The failed node's task is never completed — its results
+// may be inconsistent, and the engine's latched error supersedes them.
+func (r *dagRun) abort() {
+	r.mu.Lock()
+	r.latched = true
+	r.done = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
 }
 
 // next hands out one runnable node, or nil when the traversal is over. The
@@ -347,6 +382,7 @@ func (r *dagRun) next(wk int) *nodeTask {
 			return nil
 		}
 		if t := r.pop(wk); t != nil {
+			faultinject.Hit(faultinject.NodeDispatch)
 			r.dispatched++
 			r.dispatchedAt[t.level]++
 			if r.startedAt[t.level].IsZero() {
@@ -382,6 +418,7 @@ func (r *dagRun) pop(wk int) *nodeTask {
 		return nil
 	}
 	d := r.deques[victim]
+	faultinject.Hit(faultinject.NodeSteal)
 	t := d[0]
 	r.deques[victim] = d[1:]
 	return t
@@ -408,6 +445,12 @@ func (r *dagRun) lookupStore(x bitset.AttrSet) (*partition.Partition, bool) {
 // product entirely), publishes it to the window, runs the visit and completes
 // the node.
 func (r *dagRun) exec(wk int, t *nodeTask) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.e.recordPanic(rec, t.x, true)
+			r.abort()
+		}
+	}()
 	e := r.e
 	p, ok := r.lookupStore(t.x)
 	if !ok {
@@ -422,6 +465,7 @@ func (r *dagRun) exec(wk int, t *nodeTask) {
 			attrs := t.x.Attrs()
 			left := e.dagParts.get(t.x.Remove(attrs[len(attrs)-1]))
 			right := e.dagParts.get(t.x.Remove(attrs[len(attrs)-2]))
+			faultinject.Hit(faultinject.PartitionProduct)
 			p = left.ProductWith(right, e.scratch[wk])
 		}
 		e.storePut(t.x, p)

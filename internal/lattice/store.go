@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/bitset"
+	"repro/internal/faultinject"
 	"repro/internal/partition"
 	"repro/internal/relation"
 )
@@ -132,6 +133,15 @@ func (s *PartitionStore) bind(enc *relation.Encoded) error {
 // Get returns the memoized partition for an attribute set, refreshing its
 // recency within its level.
 func (s *PartitionStore) Get(x bitset.AttrSet) (*partition.Partition, bool) {
+	if err := faultinject.Fire(faultinject.StoreGet); err != nil {
+		// An injected lookup failure degrades to a miss: the caller recomputes
+		// the partition, trading CPU for availability. (Fired before the lock
+		// so an injected panic never wedges the store.)
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el, ok := s.entries[x]
@@ -192,6 +202,11 @@ func (s *PartitionStore) Put(x bitset.AttrSet, p *partition.Partition) {
 // back to the pinned seed levels (deepest first) only when nothing else is
 // left. It reports whether an entry was evicted; callers hold the lock.
 func (s *PartitionStore) evictOne() bool {
+	if err := faultinject.Fire(faultinject.StoreEvict); err != nil {
+		// An injected eviction failure stops this Put's eviction loop: the
+		// store temporarily overshoots its bound instead of failing the run.
+		return false
+	}
 	for pass := 0; pass < 2; pass++ {
 		lo := pinnedMaxLevel + 1
 		if pass == 1 {

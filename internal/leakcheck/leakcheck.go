@@ -1,0 +1,49 @@
+// Package leakcheck asserts that a test does not leak goroutines.
+//
+// The engine's containment contract is not just "Run returns an error instead
+// of crashing" but "and every worker it started has exited" — a contained
+// panic that leaves a worker parked on a condition variable passes the first
+// half and fails the second invisibly, until enough leaked workers pile up to
+// matter. Check makes the second half observable: it snapshots the goroutine
+// count when called and, at cleanup time, polls until the count returns to
+// the snapshot or a deadline passes.
+//
+// The check is count-based rather than stack-based on purpose: it needs no
+// allow-list maintenance, and the suites that use it (scheduler, server,
+// chaos) create goroutines in the hundreds per test, so an off-by-a-few
+// steady-state drift would still be caught. Runtime-internal helpers that
+// appear once per process (e.g. the first timer goroutine) are absorbed by
+// calling Check after the suite has warmed up, and by the retry loop.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the current goroutine count and registers a cleanup that
+// fails t if the count has not returned to the snapshot within ~2s. Call it
+// at the top of a test (not a parallel one — the count is process-global).
+func Check(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		// Workers exit asynchronously after the coordinator returns (the
+		// engine's contract is "will exit", not "have exited"), so poll.
+		deadline := time.Now().Add(2 * time.Second)
+		var now int
+		for {
+			now = runtime.NumGoroutine()
+			if now <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if now > before {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("goroutine leak: %d before, %d after\n%s", before, now, buf[:n])
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package odparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the dependency-expression parser with arbitrary input —
+// odcheck reads these expressions from user files, so the parser shares the
+// CSV decoder's obligation: reject with an error, never panic. An accepted
+// statement must additionally be internally consistent (kind matches the
+// populated fields, names are non-empty and delimiter-free) and re-parse to
+// the same statement from its own Source.
+func FuzzParse(f *testing.F) {
+	f.Add("[A,B] -> [C,D]")
+	f.Add("[A] ~ [B]")
+	f.Add("{A,B}: [] -> C")
+	f.Add("{A}: B ~ C")
+	f.Add("{}: [] -> C")
+	f.Add("{}: [] ->")                // truncated
+	f.Add("[A,B] -> [C")              // unclosed bracket
+	f.Add("{A: B ~ C")                // unclosed brace
+	f.Add("[] -> []")                 // empty sides
+	f.Add("{A}}: B ~ C")              // doubled delimiter
+	f.Add("[A,,B] -> [C]")            // empty name
+	f.Add("{\x00}: \xff ~ \xfe")      // non-printable and invalid UTF-8
+	f.Add(strings.Repeat("[", 1<<10)) // deep nesting attempt
+	f.Add("# comment\n[A] -> [B]\n\n{C}: D ~ E")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		sts, err := ParseAll(input)
+		if err != nil {
+			return
+		}
+		for _, st := range sts {
+			checkStatement(t, st, input)
+			// Source must hold the exact text that produced the statement.
+			again, err := Parse(st.Source)
+			if err != nil {
+				t.Fatalf("accepted statement does not re-parse from its Source %q: %v\ninput: %q", st.Source, err, input)
+			}
+			if again.Kind != st.Kind || again.A != st.A || again.B != st.B ||
+				len(again.Left) != len(st.Left) || len(again.Right) != len(st.Right) ||
+				len(again.Context) != len(st.Context) {
+				t.Fatalf("re-parse of %q diverged: %+v vs %+v", st.Source, again, st)
+			}
+		}
+	})
+}
+
+func checkStatement(t *testing.T, st Statement, input string) {
+	t.Helper()
+	names := make([]string, 0, len(st.Left)+len(st.Right)+len(st.Context)+2)
+	switch st.Kind {
+	case ListOD, ListOrderCompat:
+		// One empty side is legal ("[] -> [C]" says C is constant); only
+		// both-empty statements are rejected.
+		if len(st.Left) == 0 && len(st.Right) == 0 {
+			t.Fatalf("accepted list statement with both sides empty: %+v\ninput: %q", st, input)
+		}
+		if st.A != "" || st.B != "" || st.Context != nil {
+			t.Fatalf("list statement carries canonical fields: %+v\ninput: %q", st, input)
+		}
+		names = append(append(names, st.Left...), st.Right...)
+	case CanonicalConstancy, CanonicalOrderCompat:
+		if st.A == "" {
+			t.Fatalf("accepted canonical statement without A: %+v\ninput: %q", st, input)
+		}
+		if (st.Kind == CanonicalOrderCompat) != (st.B != "") {
+			t.Fatalf("canonical statement kind/B mismatch: %+v\ninput: %q", st, input)
+		}
+		if st.Left != nil || st.Right != nil {
+			t.Fatalf("canonical statement carries list fields: %+v\ninput: %q", st, input)
+		}
+		names = append(append(names, st.Context...), st.A)
+		if st.B != "" {
+			names = append(names, st.B)
+		}
+	default:
+		t.Fatalf("accepted statement with unknown kind %v\ninput: %q", st.Kind, input)
+	}
+	for _, name := range names {
+		if name == "" {
+			t.Fatalf("accepted empty attribute name: %+v\ninput: %q", st, input)
+		}
+		if strings.ContainsAny(name, "{}[],~>:") {
+			t.Fatalf("accepted name %q containing a reserved character: %+v\ninput: %q", name, st, input)
+		}
+		if strings.TrimSpace(name) != name {
+			t.Fatalf("accepted name %q with surrounding whitespace: %+v\ninput: %q", name, st, input)
+		}
+	}
+}

@@ -68,7 +68,13 @@ func NewScratch() *Scratch { return &Scratch{} }
 // sequence, so identical inputs always yield identical partitions.
 func (a *Partition) ProductWith(b *Partition, s *Scratch) *Partition {
 	if a.NumRows != b.NumRows {
-		panic(fmt.Sprintf("partition: product over different relations (%d vs %d rows)", a.NumRows, b.NumRows))
+		// This package cannot know which lattice node asked for the product,
+		// so the message carries all the local state it has; the engine's
+		// per-node recovery frames attach the node's attribute set on the way
+		// out (lattice.PanicContext) and surface the whole thing as a typed
+		// internal error instead of a crash.
+		panic(fmt.Sprintf("partition: product over different relations (%d vs %d rows, %d vs %d classes)",
+			a.NumRows, b.NumRows, a.NumClasses(), b.NumClasses()))
 	}
 	if s == nil {
 		s = NewScratch()

@@ -5,11 +5,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/faultinject"
 )
 
 // ReadCSV parses a CSV stream with a header row into a relation, sniffing
 // column types from the data. name is used only for diagnostics.
 func ReadCSV(name string, src io.Reader) (*Relation, error) {
+	if err := faultinject.Fire(faultinject.CSVDecode); err != nil {
+		return nil, fmt.Errorf("relation: reading csv %s: %w", name, err)
+	}
 	reader := csv.NewReader(src)
 	reader.FieldsPerRecord = -1 // validated by FromRows with a clearer error
 	records, err := reader.ReadAll()

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	fastod "repro"
+	"repro/internal/faultinject"
+	"repro/internal/leakcheck"
+)
+
+// The service-level chaos tests: the engine's containment guarantees are only
+// useful if the HTTP layer above them keeps its own invariants when they fire
+// — the run-semaphore slot comes back, the client gets a structured error
+// with a correlatable request ID, the stack lands in the server log and never
+// on the wire, and the process keeps serving.
+
+func addFlight(t *testing.T, s *Server) {
+	t.Helper()
+	if err := s.AddDataset("flight", fastod.SyntheticFlight(100, 5, 2017)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPanicReleasesSemaphoreSlot: with MaxConcurrent=1, a run killed by an
+// injected worker panic must return its semaphore slot — the follow-up
+// request on the same server must run (not starve waiting for the slot) and
+// succeed once the fault is disarmed.
+func TestPanicReleasesSemaphoreSlot(t *testing.T) {
+	leakcheck.Check(t)
+	var logBuf bytes.Buffer
+	s, ts := newTestServer(t, Config{
+		MaxConcurrent: 1,
+		ErrorLog:      log.New(&logBuf, "", 0),
+	})
+	addFlight(t, s)
+
+	disarm := faultinject.Enable(faultinject.NewPlan(faultinject.Rule{
+		Point:  faultinject.PartitionProduct,
+		Action: faultinject.ActionPanic,
+		Times:  1,
+	}))
+	status, _, errBody := discover(t, ts, "flight", `{}`)
+	disarm()
+
+	if status != http.StatusInternalServerError {
+		t.Fatalf("poisoned run returned %d, want 500 (body %+v)", status, errBody)
+	}
+	if errBody.RequestID == "" {
+		t.Error("500 body has no request_id")
+	}
+	if strings.Contains(errBody.Error, "goroutine") {
+		t.Errorf("stack leaked to the client: %q", errBody.Error)
+	}
+	logged := logBuf.String()
+	if !strings.Contains(logged, errBody.RequestID) {
+		t.Errorf("server log does not mention request %s:\n%s", errBody.RequestID, logged)
+	}
+	if !strings.Contains(logged, "goroutine") {
+		t.Errorf("server log carries no stack trace:\n%s", logged)
+	}
+
+	// Budget the retry so a leaked slot fails fast as 503 instead of hanging
+	// the test: beginRun gives up when the request deadline passes while
+	// still waiting for a slot.
+	status, resp, errBody := discover(t, ts, "flight", `{"timeout_ms": 2000}`)
+	if status != http.StatusOK {
+		t.Fatalf("run after contained panic returned %d (%+v): the semaphore slot did not come back", status, errBody)
+	}
+	if resp.Count == 0 || resp.Interrupted {
+		t.Fatalf("recovery run is not a clean full run: %+v", resp)
+	}
+
+	// The failure is visible on /healthz as a counter, not as degraded state
+	// (one contained panic does not impair the server).
+	health := getHealth(t, ts)
+	if health.Runtime.InternalErrors < 1 {
+		t.Errorf("healthz internal_errors = %d, want >= 1", health.Runtime.InternalErrors)
+	}
+	if health.Status != "ok" {
+		t.Errorf("healthz status = %q after recovery, want ok", health.Status)
+	}
+}
+
+// TestSoftMemoryShedding: with an absurdly small heap limit the server must
+// shed new runs with 503 + Retry-After before starting them, report itself
+// degraded on /healthz, and count the shed requests.
+func TestSoftMemoryShedding(t *testing.T) {
+	leakcheck.Check(t)
+	s, ts := newTestServer(t, Config{MaxHeapBytes: 1})
+	addFlight(t, s)
+
+	resp, err := http.Post(ts.URL+"/v1/datasets/flight/discover", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("discover over the heap limit returned %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 carries no Retry-After header")
+	}
+
+	health := getHealth(t, ts)
+	if health.Status != "degraded" {
+		t.Errorf("healthz status = %q over the heap limit, want degraded", health.Status)
+	}
+	if health.Runtime.ShedRequests < 1 {
+		t.Errorf("healthz shed_requests = %d, want >= 1", health.Runtime.ShedRequests)
+	}
+	if health.Runtime.HeapBytes == 0 || health.Runtime.Goroutines == 0 {
+		t.Errorf("healthz runtime gauges are empty: %+v", health.Runtime)
+	}
+	// Reads (healthz, listings) are never shed — only run admission is.
+	if lr, err := http.Get(ts.URL + "/v1/datasets"); err != nil || lr.StatusCode != http.StatusOK {
+		t.Errorf("dataset listing sheds under memory pressure: %v / %v", err, lr.Status)
+	} else {
+		lr.Body.Close()
+	}
+}
+
+// TestStreamChaos: an injected worker panic mid-stream surfaces as a
+// structured SSE "error" event carrying a request ID, and an injected SSE
+// write failure drops exactly that frame without killing the stream or the
+// run — in both cases the connection ends cleanly and the server keeps going.
+func TestStreamChaos(t *testing.T) {
+	leakcheck.Check(t)
+	var logBuf bytes.Buffer
+	s, ts := newTestServer(t, Config{ErrorLog: log.New(&logBuf, "", 0)})
+	addFlight(t, s)
+
+	stream := func(body string) (events map[string][]string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/datasets/flight/discover/stream", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream returned %d", resp.StatusCode)
+		}
+		events = make(map[string][]string)
+		var event string
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if v, ok := strings.CutPrefix(line, "event: "); ok {
+				event = v
+			} else if v, ok := strings.CutPrefix(line, "data: "); ok {
+				events[event] = append(events[event], v)
+			}
+		}
+		if err := sc.Err(); err != nil && err != io.EOF {
+			t.Fatalf("reading stream: %v", err)
+		}
+		return events
+	}
+
+	// Worker panic mid-run: the stream ends with an error event, not a
+	// severed connection, and the request ID in it matches the log line.
+	disarm := faultinject.Enable(faultinject.NewPlan(faultinject.Rule{
+		Point:  faultinject.PartitionProduct,
+		Action: faultinject.ActionPanic,
+		Times:  1,
+	}))
+	events := stream(`{}`)
+	disarm()
+	if len(events["error"]) != 1 {
+		t.Fatalf("poisoned stream emitted %d error events, want 1 (%v)", len(events["error"]), events)
+	}
+	var eb errorBody
+	if err := json.Unmarshal([]byte(events["error"][0]), &eb); err != nil {
+		t.Fatalf("decoding error event %q: %v", events["error"][0], err)
+	}
+	if eb.RequestID == "" || !strings.Contains(logBuf.String(), eb.RequestID) {
+		t.Errorf("stream error %+v is not correlated with the log:\n%s", eb, logBuf.String())
+	}
+	if len(events["report"]) != 0 {
+		t.Error("poisoned stream also emitted a report")
+	}
+
+	// Dropped frames: the first three progress writes fail, the report frame
+	// must still arrive (each write failure is contained to its frame).
+	disarm = faultinject.Enable(faultinject.NewPlan(faultinject.Rule{
+		Point:  faultinject.SSEWrite,
+		Action: faultinject.ActionError,
+		Times:  3,
+	}))
+	events = stream(`{}`)
+	disarm()
+	if len(events["report"]) != 1 {
+		t.Fatalf("stream with dropped frames emitted %d reports, want 1 (%v)", len(events["report"]), events)
+	}
+	var rep DiscoverResponse
+	if err := json.Unmarshal([]byte(events["report"][0]), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count == 0 || rep.Interrupted {
+		t.Errorf("run behind a lossy stream is not clean: %+v", rep)
+	}
+}
+
+func getHealth(t *testing.T, ts *httptest.Server) HealthResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatalf("decoding healthz: %v", err)
+	}
+	return health
+}

@@ -2,20 +2,84 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 
 	fastod "repro"
+	"repro/internal/faultinject"
 )
 
 // handleHealthz is the readiness probe: the process is up and the mux routes.
-// The body doubles as the operator's cache dashboard: report-cache accounting
-// rides along so hit rates are observable without a metrics stack.
+// The body doubles as the operator's dashboard: report-cache accounting,
+// goroutine/heap gauges and the contained-failure counters ride along, and
+// Status flips to "degraded" while the soft-memory admission check is
+// shedding load — all observable without a metrics stack.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthResponse(s.reports.Stats()))
+	writeJSON(w, http.StatusOK, s.healthResponse())
+}
+
+// healthResponse assembles the /healthz body from the server's gauges.
+func (s *Server) healthResponse() HealthResponse {
+	resp := healthResponse(s.reports.Stats())
+	resp.Runtime = RuntimeInfo{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapBytes:      s.mem.heapBytes(),
+		HeapLimitBytes: s.maxHeapBytes,
+		InternalErrors: s.internalErrors.Load(),
+		ShedRequests:   s.shedRequests.Load(),
+	}
+	if s.overSoftMemory() {
+		resp.Status = "degraded"
+	}
+	return resp
+}
+
+// newRequestID mints the opaque ID that ties a 500 response to the log line
+// carrying its stack. Collisions are harmless (the ID only scopes a log
+// search), so 8 random bytes suffice.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// serveRunError writes the error response of a failed discovery run. Client
+// errors (ErrInvalidRequest) pass through as 400s. Server-side failures —
+// above all contained worker panics (fastod.ErrInternal) — become structured
+// 500 JSON carrying the request ID, while the captured stack goes to the
+// server log only (operators need it; clients must not see it).
+func (s *Server) serveRunError(w http.ResponseWriter, name, reqID string, err error) {
+	status := statusOf(err)
+	if status != http.StatusInternalServerError {
+		writeError(w, status, err)
+		return
+	}
+	s.logRunFailure(name, reqID, err)
+	writeJSON(w, status, errorBody{Error: err.Error(), RequestID: reqID})
+}
+
+// logRunFailure records a contained run failure with its stack (when the
+// typed error carries one) under the request ID echoed to the client.
+func (s *Server) logRunFailure(name, reqID string, err error) {
+	s.internalErrors.Add(1)
+	var ie *fastod.InternalError
+	if errors.As(err, &ie) && len(ie.Stack) > 0 {
+		node := ie.Node
+		if node == "" {
+			node = "(none)"
+		}
+		s.logger.Printf("discover %s: request %s: contained worker panic, node %s: %v\n%s", name, reqID, node, err, ie.Stack)
+		return
+	}
+	s.logger.Printf("discover %s: request %s: run failed: %v", name, reqID, err)
 }
 
 // handleUpload creates a named dataset from a CSV request body:
@@ -105,11 +169,14 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// The deferred release (not a release on the success path) is
+	// load-bearing for fault containment: even if the run or the response
+	// encoding panics out of this handler, the semaphore slot comes back.
 	defer end()
 
 	rep, err := ds.Run(ctx, req)
 	if err != nil {
-		writeError(w, statusOf(err), err)
+		s.serveRunError(w, name, newRequestID(), err)
 		return
 	}
 	// Cache only reports that are still current: if the dataset version moved
@@ -161,6 +228,8 @@ func (s *Server) handleDiscoverStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Deferred for the same fault-containment reason as handleDiscover: a
+	// panic mid-stream must never leak the semaphore slot.
 	defer end()
 	startStream()
 
@@ -173,7 +242,11 @@ func (s *Server) handleDiscoverStream(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := ds.RunWithProgress(ctx, req, onProgress)
 	if err != nil {
-		writeSSE(w, "error", errorBody{Error: err.Error()})
+		reqID := newRequestID()
+		if statusOf(err) == http.StatusInternalServerError {
+			s.logRunFailure(name, reqID, err)
+		}
+		writeSSE(w, "error", errorBody{Error: err.Error(), RequestID: reqID})
 		flusher.Flush()
 		return
 	}
@@ -257,6 +330,18 @@ func (s *Server) runContext(parent context.Context, req fastod.Request) (context
 // hostage for another run's 30s budget. On failure the 503 is already
 // written; on success the caller must defer end().
 func (s *Server) beginRun(w http.ResponseWriter, r *http.Request, req fastod.Request) (ctx context.Context, end func(), ok bool) {
+	// Soft-memory admission: when the live heap is already over the limit,
+	// starting another run only moves the process closer to an OOM kill that
+	// would take every in-flight request with it. Shedding with Retry-After
+	// converts that cliff into per-request backpressure; runs already holding
+	// a slot finish normally.
+	if s.overSoftMemory() {
+		s.shedRequests.Add(1)
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("server heap is over its soft memory limit (%d bytes); retry later", s.maxHeapBytes))
+		return nil, nil, false
+	}
 	ctx, cancel := s.runContext(r.Context(), req)
 	release := s.acquire(ctx.Done())
 	if release == nil {
@@ -301,6 +386,11 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // writeSSE writes one Server-Sent Event with a JSON data payload. json.Marshal
 // never emits raw newlines, so the payload always fits one data: line.
 func writeSSE(w io.Writer, event string, body any) {
+	if err := faultinject.Fire(faultinject.SSEWrite); err != nil {
+		// An injected write failure drops the frame: SSE delivery is
+		// best-effort, and the client's retry/reconnect logic owns recovery.
+		return
+	}
 	data, err := json.Marshal(body)
 	if err != nil {
 		data, _ = json.Marshal(errorBody{Error: err.Error()})

@@ -223,10 +223,24 @@ type CacheStatsInfo struct {
 	MaxCostBytes int `json:"max_cost_bytes"`
 }
 
-// HealthResponse is the response of GET /healthz.
+// RuntimeInfo is the process-health slice of /healthz: live goroutine and
+// heap gauges next to the counters that record how often the server has had
+// to contain a failure (internal_errors) or shed load (shed_requests).
+type RuntimeInfo struct {
+	Goroutines     int    `json:"goroutines"`
+	HeapBytes      uint64 `json:"heap_bytes"`
+	HeapLimitBytes uint64 `json:"heap_limit_bytes,omitempty"`
+	InternalErrors int64  `json:"internal_errors"`
+	ShedRequests   int64  `json:"shed_requests"`
+}
+
+// HealthResponse is the response of GET /healthz. Status is "ok" normally and
+// "degraded" while the heap sits over the soft memory limit (new discover
+// requests are then shed with 503).
 type HealthResponse struct {
 	Status      string         `json:"status"`
 	ReportCache CacheStatsInfo `json:"report_cache"`
+	Runtime     RuntimeInfo    `json:"runtime"`
 }
 
 func healthResponse(st reportcache.Stats) HealthResponse {
@@ -245,9 +259,12 @@ func healthResponse(st reportcache.Stats) HealthResponse {
 	}
 }
 
-// errorBody is the uniform JSON error envelope.
+// errorBody is the uniform JSON error envelope. RequestID is set on
+// internal-error responses so a client report can be correlated with the
+// server-side log line that carries the recovered stack.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

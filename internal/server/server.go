@@ -39,9 +39,13 @@ package server
 import (
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/metrics"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	fastod "repro"
 	"repro/internal/reportcache"
@@ -85,6 +89,18 @@ type Config struct {
 	// repeated question costs a map lookup instead of a run (<= 0 selects
 	// reportcache.DefaultMaxBytes). Interrupted reports are never cached.
 	ReportCacheBytes int
+	// MaxHeapBytes is the soft-memory admission limit: when the live heap
+	// exceeds it, new discover requests are shed with 503 + Retry-After
+	// before they can allocate the process toward an OOM kill, and /healthz
+	// reports "degraded". Requests already running finish normally (their
+	// memory is already committed; killing them would waste it). Zero
+	// disables the check — the limit depends on the deployment's memory
+	// envelope, so there is no meaningful universal default.
+	MaxHeapBytes uint64
+	// ErrorLog receives contained run failures (one line plus the captured
+	// stack, tagged with the per-request ID echoed to the client). Nil
+	// selects log.Default().
+	ErrorLog *log.Logger
 }
 
 // Defaults for Config's zero values.
@@ -108,7 +124,46 @@ type Server struct {
 	maxUploadBytes  int64
 	maxDatasets     int
 	maxRequestBytes int64
+	maxHeapBytes    uint64
 	reports         *reportcache.Cache
+	logger          *log.Logger
+
+	// internalErrors counts contained run failures (recovered panics mapped
+	// to 500s); shedRequests counts discover requests refused by the
+	// soft-memory admission check. Both surface on /healthz.
+	internalErrors atomic.Int64
+	shedRequests   atomic.Int64
+	mem            memGauge
+}
+
+// memGauge reads the live heap size through runtime/metrics, caching the
+// sample briefly so the admission check on every discover request costs an
+// atomic-scale read instead of a metrics sweep.
+type memGauge struct {
+	mu      sync.Mutex
+	readAt  time.Time
+	heap    uint64
+	samples []metrics.Sample
+}
+
+// memGaugeTTL bounds how stale an admission decision's heap reading can be.
+const memGaugeTTL = 250 * time.Millisecond
+
+func (g *memGauge) heapBytes() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.readAt.IsZero() && time.Since(g.readAt) < memGaugeTTL {
+		return g.heap
+	}
+	if g.samples == nil {
+		g.samples = []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	}
+	metrics.Read(g.samples)
+	if g.samples[0].Value.Kind() == metrics.KindUint64 {
+		g.heap = g.samples[0].Value.Uint64()
+	}
+	g.readAt = time.Now()
+	return g.heap
 }
 
 // Normalized returns the config with zero values replaced by the defaults:
@@ -143,6 +198,10 @@ func (c Config) Normalized() Config {
 // New builds a Server from the config (zero values select the defaults).
 func New(cfg Config) *Server {
 	cfg = cfg.Normalized()
+	logger := cfg.ErrorLog
+	if logger == nil {
+		logger = log.Default()
+	}
 	return &Server{
 		datasets:        make(map[string]*fastod.Dataset),
 		sem:             make(chan struct{}, cfg.MaxConcurrent),
@@ -150,8 +209,16 @@ func New(cfg Config) *Server {
 		maxUploadBytes:  cfg.MaxUploadBytes,
 		maxDatasets:     cfg.MaxDatasets,
 		maxRequestBytes: cfg.MaxRequestBytes,
+		maxHeapBytes:    cfg.MaxHeapBytes,
 		reports:         reportcache.New(cfg.ReportCacheBytes),
+		logger:          logger,
 	}
+}
+
+// overSoftMemory reports whether the soft-memory admission limit is exceeded
+// (always false when the limit is disabled).
+func (s *Server) overSoftMemory() bool {
+	return s.maxHeapBytes > 0 && s.mem.heapBytes() > s.maxHeapBytes
 }
 
 // Handler returns the service's HTTP handler (an http.ServeMux using

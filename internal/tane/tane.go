@@ -142,6 +142,11 @@ func DiscoverContext(ctx context.Context, enc *relation.Encoded, opts Options) (
 		}
 		return cc, l >= 2 && cc.IsEmpty()
 	})
+	if err := eng.Err(); err != nil {
+		// A recovered worker panic: the FDs merged so far may be incoherent,
+		// so fail the discovery instead of reporting a partial.
+		return nil, err
+	}
 	res.Stats = eng.Stats()
 	res.NodesVisited = res.Stats.NodesVisited
 	res.Interrupted = res.Stats.Interrupted

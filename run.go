@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -188,6 +189,53 @@ type Request struct {
 // errors.Is(err, ErrInvalidRequest) and map it to a client error (HTTP 400)
 // while everything else stays a server error.
 var ErrInvalidRequest = errors.New("fastod: invalid request")
+
+// ErrInternal marks contained engine failures: a worker goroutine panicked
+// during discovery (an invariant violation, or an injected fault under
+// test), the panic was recovered, sibling workers were drained, and the run
+// failed with a typed error instead of killing the process. Every
+// *InternalError matches errors.Is(err, ErrInternal); transport layers map
+// it to a server error (HTTP 500) and log the captured stack, while
+// ErrInvalidRequest stays a client error.
+var ErrInternal = errors.New("fastod: internal error")
+
+// InternalError is the typed error Run returns when a panic was recovered
+// inside the discovery engine. The process survives and the dataset remains
+// usable — the error describes a contained failure of one run, not of the
+// service. It matches errors.Is(err, ErrInternal).
+type InternalError struct {
+	// Message describes the panic: the panic value plus, when known, the
+	// lattice node whose processing raised it.
+	Message string
+	// Node is the lattice node (attribute set) being processed when the
+	// panic was raised, rendered like "{A,B,D}"; empty when the panic
+	// happened outside node processing.
+	Node string
+	// Stack is the panicking goroutine's stack captured at recovery. It is
+	// for operator logs; transport layers must not echo it to clients.
+	Stack []byte
+}
+
+func (e *InternalError) Error() string { return "fastod: internal error: " + e.Message }
+
+// Is reports target == ErrInternal, wiring every InternalError into the
+// errors.Is taxonomy alongside ErrInvalidRequest.
+func (e *InternalError) Is(target error) bool { return target == ErrInternal }
+
+// internalize maps a contained worker panic surfaced by the engine
+// (*lattice.PanicError) onto the public typed InternalError; every other
+// error passes through unchanged.
+func internalize(err error) error {
+	var pe *lattice.PanicError
+	if errors.As(err, &pe) {
+		ie := &InternalError{Message: pe.Error(), Stack: pe.Stack}
+		if pe.HasNode {
+			ie.Node = pe.Node.String()
+		}
+		return ie
+	}
+	return err
+}
 
 // Validate checks the request envelope without touching the dataset: shared
 // options must be non-negative, the algorithm must be known, and the
@@ -475,13 +523,36 @@ func (d *Dataset) Run(ctx context.Context, req Request) (*Report, error) {
 // slice processed afterwards reports one event with Level ==
 // SliceProgressLevel (slice passes are whole-lattice runs of their own, so a
 // long conditional discovery stays observable end to end).
-func (d *Dataset) RunWithProgress(ctx context.Context, req Request, onProgress func(ProgressEvent)) (*Report, error) {
+func (d *Dataset) RunWithProgress(ctx context.Context, req Request, onProgress func(ProgressEvent)) (rep *Report, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := d.ValidateRequest(req); err != nil {
 		return nil, err
 	}
+	// Last line of the fault-containment contract: the engine recovers panics
+	// on its own goroutines and surfaces them as errors (internalize below),
+	// but a panic on the caller's goroutine — report assembly, the sequential
+	// ORDER search, a progress callback — would still escape Run without this
+	// catch-all. Recover it here so (*Dataset).Run never panics.
+	defer func() {
+		if rec := recover(); rec != nil {
+			rep = nil
+			err = &InternalError{
+				Message: fmt.Sprintf("%v", rec),
+				Stack:   debug.Stack(),
+			}
+		}
+	}()
+	rep, err = d.runRequest(ctx, req, onProgress)
+	if err != nil {
+		return nil, internalize(err)
+	}
+	return rep, nil
+}
+
+// runRequest dispatches a validated request to its algorithm.
+func (d *Dataset) runRequest(ctx context.Context, req Request, onProgress func(ProgressEvent)) (*Report, error) {
 	store := d.partitions(req.Partitions)
 	rep := &Report{Algorithm: req.Algorithm}
 	if rep.Algorithm == "" {
