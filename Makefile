@@ -1,0 +1,17 @@
+# Developer entry points. CI runs the same targets, so a green `make check`
+# locally means the required jobs pass.
+
+.PHONY: build test lint check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# gofmt (with diff), go vet, staticcheck (if installed) and the project's
+# analyzer suite (cmd/odlint). See lint.sh.
+lint:
+	./lint.sh
+
+check: lint build test

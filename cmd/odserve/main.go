@@ -143,11 +143,19 @@ func serve(ctx context.Context, cfg config, ready func(addr string)) error {
 		ready(ln.Addr().String())
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				errc <- fmt.Errorf("http server panicked: %v", r)
+			}
+		}()
+		errc <- srv.Serve(ln)
+	}()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		//lint:allow ctxfirst the shutdown deadline must outlive the already-cancelled run ctx
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

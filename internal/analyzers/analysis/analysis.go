@@ -1,0 +1,81 @@
+// Package analysis defines the core types of the project's static-analysis
+// suite: Analyzer, Pass and Diagnostic, mirroring the shape of
+// golang.org/x/tools/go/analysis so the odlint analyzers read like standard
+// vet checks. The x/tools module is deliberately not a dependency — the repo
+// builds offline with a bare go.mod — so this package carries the minimal
+// subset the suite needs, plus one extension the standard framework lacks:
+// a whole-program Finish hook for cross-package invariants (used by the
+// faultpoint analyzer's declared-but-never-wired check).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant check. Analyzers are stateless from the
+// driver's point of view; an analyzer that needs cross-package state (for a
+// Finish check) closes over it in its constructor, and callers must build a
+// fresh instance per run.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//lint:allow <name> <reason>" suppressions.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// guards, shown by "odlint -list".
+	Doc string
+	// Run inspects one package and reports violations through pass.Report.
+	Run func(pass *Pass) error
+	// Finish, if non-nil, runs once after Run has seen every package in the
+	// job, for whole-program checks that no single package can decide.
+	// Diagnostics are reported through the same Report used by the passes.
+	Finish func(report func(Diagnostic)) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's parsed files, comments included. Test files
+	// are present only when the driver was configured with Tests: true.
+	Files []*ast.File
+	// Pkg and Info are the type-checked package and its usage maps
+	// (Types, Defs, Uses, Selections, Implicits).
+	Pkg  *types.Package
+	Info *types.Info
+	// report delivers a diagnostic to the driver (set by the driver).
+	report func(Diagnostic)
+}
+
+// NewPass assembles a pass; it is exported for the driver and tests.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info, report: report}
+}
+
+// IsTestFile reports whether f was parsed from a _test.go file. Analyzers
+// that enforce production-only invariants (nakedgo, the ctxfirst context
+// plumbing rules) use it to skip test code by design rather than by driver
+// configuration.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	name := p.Fset.Position(f.Package).Filename
+	return isTestFilename(name)
+}
+
+func isTestFilename(name string) bool {
+	const suffix = "_test.go"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}
+
+// Reportf reports a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}

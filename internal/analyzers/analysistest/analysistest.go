@@ -1,0 +1,113 @@
+// Package analysistest runs one analyzer over fixture packages and checks
+// its diagnostics against "// want" expectations, in the style of
+// golang.org/x/tools/go/analysis/analysistest (which the repo's offline
+// build cannot depend on).
+//
+// Fixtures live under the analyzer's testdata/src/<pkg>/ directory. A line
+// expecting a diagnostic carries a trailing comment:
+//
+//	leak = cls // want `retains a partition class view`
+//
+// The quoted text is a regular expression matched against the diagnostic
+// message; one want per line. Lines without a want comment must produce no
+// diagnostic, so every fixture is simultaneously a firing and a non-firing
+// test. lint:allow suppressions are honored exactly as in real runs, which
+// lets fixtures prove the escape hatch works.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzers/analysis"
+	"repro/internal/analyzers/driver"
+)
+
+// Run analyzes the named fixture packages (directories under
+// testdata/src, e.g. "a" or "a/sub") with a and compares diagnostics
+// against want comments across all loaded fixture files.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.Run(driver.Options{
+		Dir:      root,
+		Patterns: pkgs,
+		Tests:    true,
+	}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysis failed: %v", err)
+	}
+
+	wants := collectWants(t, root, pkgs)
+	for _, d := range diags {
+		key := lineKey{d.Position.Filename, d.Position.Line}
+		w := wants[key]
+		switch {
+		case w == nil:
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", d.Position, d.Analyzer, d.Message)
+		case w.matched:
+			t.Errorf("%s: more than one diagnostic on a line with a single want: [%s] %s", d.Position, d.Analyzer, d.Message)
+		case !w.re.MatchString(d.Message):
+			t.Errorf("%s: diagnostic %q does not match want %q", d.Position, d.Message, w.re)
+		default:
+			w.matched = true
+		}
+	}
+	for key, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, w.re)
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRx = regexp.MustCompile("//\\s*want\\s+[`\"](.+)[`\"]\\s*$")
+
+func collectWants(t *testing.T, root string, pkgs []string) map[lineKey]*want {
+	t.Helper()
+	wants := make(map[lineKey]*want)
+	for _, pkg := range pkgs {
+		dir := filepath.Join(root, filepath.FromSlash(strings.TrimSuffix(strings.TrimPrefix(pkg, "./"), "/...")))
+		matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		subdirs, err := filepath.Glob(filepath.Join(dir, "*", "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, file := range append(matches, subdirs...) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				m := wantRx.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", file, i+1, m[1], err)
+				}
+				wants[lineKey{file, i + 1}] = &want{re: re}
+			}
+		}
+	}
+	return wants
+}

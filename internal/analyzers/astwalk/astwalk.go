@@ -1,0 +1,109 @@
+// Package astwalk holds the small AST utilities the odlint analyzers share:
+// a stack-carrying traversal (the standard ast.Inspect loses ancestry, which
+// most retention/context checks need) and predicates for recognizing the
+// engine's panic-recovery and package-identity idioms.
+package astwalk
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WithStack walks root in depth-first order calling fn with each node and
+// the stack of its ancestors (outermost first, not including n). If fn
+// returns false the node's children are skipped.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// Children are skipped, so no pop will arrive for n.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// CallsRecover reports whether the function literal body calls recover()
+// directly (not inside a nested function literal).
+func CallsRecover(body *ast.BlockStmt, info *types.Info) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "recover" {
+				if obj, ok := info.Uses[id].(*types.Builtin); ok && obj.Name() == "recover" {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// HasTopLevelRecover reports whether a function body's top-level statements
+// include "defer func() { ... recover() ... }()" — the engine's trapped-
+// worker idiom.
+func HasTopLevelRecover(body *ast.BlockStmt, info *types.Info) bool {
+	if body == nil {
+		return false
+	}
+	for _, stmt := range body.List {
+		d, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok && CallsRecover(lit.Body, info) {
+			return true
+		}
+	}
+	return false
+}
+
+// Callee resolves the object a call expression invokes: a function, method
+// or variable of function type, reached through a plain identifier or a
+// selector. Returns nil for func literals and anything unresolvable.
+func Callee(call *ast.CallExpr, info *types.Info) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// NamedFromPackage reports whether t (or the type it points to) is a named
+// type with the given name whose package is named pkgName. Matching by
+// package name rather than import path keeps analyzers testable against
+// fixture stand-ins of internal packages.
+func NamedFromPackage(t types.Type, name, pkgName string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// ObjectInPackage reports whether obj is declared in a package named pkgName.
+func ObjectInPackage(obj types.Object, pkgName string) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}

@@ -1,0 +1,280 @@
+// Package classalias enforces the flat-arena contract from the partition
+// package: Class(i) and the slice handed to a ForEachClass callback are views
+// into the partition's shared rows arena. They are read-only, and the
+// callback's view is valid only for the duration of the call.
+//
+// Flagged patterns:
+//
+//   - writing through a view: p.Class(i)[j] = v, or cls[j] = v where cls was
+//     bound from Class or is a ForEachClass callback parameter — this
+//     corrupts every other holder of the partition, including the lattice
+//     partition cache;
+//   - appending to a view (append(cls, ...) with the view as the first
+//     argument): the view's capacity extends to the end of the arena, so the
+//     append can silently overwrite the next class's rows;
+//   - retaining a ForEachClass callback view past the callback: assigning it
+//     to a variable declared outside the callback, storing it in a field,
+//     map or slice element, appending it to an outer collection, or sending
+//     it on a channel. Copy first (append([]int32(nil), cls...)) if the rows
+//     must outlive the call.
+//
+// Alias tracking is single-level and per function: a view laundered through
+// a second variable or returned from a helper is not seen. The analyzer
+// recognizes the partition package by name, so fixtures can use a hermetic
+// stand-in; "//lint:allow classalias <reason>" suppresses deliberate
+// violations such as tests scribbling on a private clone.
+package classalias
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analyzers/analysis"
+	"repro/internal/analyzers/astwalk"
+)
+
+// New returns the classalias analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "classalias",
+		Doc:  "forbids writing through or retaining partition Class/ForEachClass arena views",
+		Run:  run,
+	}
+}
+
+type aliasKind int
+
+const (
+	aliasClass    aliasKind = iota // bound from a Class(i) call
+	aliasCallback                  // ForEachClass callback parameter
+)
+
+type alias struct {
+	kind aliasKind
+	// body is the region the view may legally live in: the callback body
+	// for aliasCallback, nil (no retention check) for aliasClass.
+	body *ast.BlockStmt
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		aliases := collectAliases(pass, f)
+		checkFile(pass, f, aliases)
+	}
+	return nil
+}
+
+// isPartitionMethodCall reports whether call invokes the named method on a
+// value whose type comes from a package named "partition".
+func isPartitionMethodCall(info *types.Info, call *ast.CallExpr, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	return astwalk.ObjectInPackage(obj, "partition")
+}
+
+func collectAliases(pass *analysis.Pass, f *ast.File) map[types.Object]alias {
+	aliases := make(map[types.Object]alias)
+	bind := func(lhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj != nil {
+			aliases[obj] = alias{kind: aliasClass}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isPartitionMethodCall(pass.Info, call, "Class") {
+					bind(n.Lhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range n.Values {
+				if i >= len(n.Names) {
+					break
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isPartitionMethodCall(pass.Info, call, "Class") {
+					bind(n.Names[i])
+				}
+			}
+		case *ast.CallExpr:
+			if !isPartitionMethodCall(pass.Info, n, "ForEachClass") || len(n.Args) == 0 {
+				return true
+			}
+			lit, ok := ast.Unparen(n.Args[0]).(*ast.FuncLit)
+			if !ok || lit.Type.Params == nil {
+				return true
+			}
+			for _, field := range lit.Type.Params.List {
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+							aliases[obj] = alias{kind: aliasCallback, body: lit.Body}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return aliases
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File, aliases map[types.Object]alias) {
+	resolve := func(e ast.Expr) (types.Object, alias, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil, alias{}, false
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return nil, alias{}, false
+		}
+		a, ok := aliases[obj]
+		return obj, a, ok
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWriteThrough(pass, lhs, resolve)
+			}
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				checkRetention(pass, n.Lhs[i], rhs, resolve)
+			}
+		case *ast.IncDecStmt:
+			checkWriteThrough(pass, n.X, resolve)
+		case *ast.CallExpr:
+			checkAppendToView(pass, n, resolve)
+		case *ast.SendStmt:
+			if obj, a, ok := resolve(n.Value); ok && a.kind == aliasCallback {
+				pass.Reportf(n.Value.Pos(), "ForEachClass view %s sent on a channel: the receiver observes an arena view that is only valid during the callback; send a copy, or //lint:allow classalias <reason>", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkWriteThrough flags assignments whose target indexes into an arena
+// view, either directly (p.Class(i)[j] = v) or through an alias (cls[j] = v).
+func checkWriteThrough(pass *analysis.Pass, lhs ast.Expr, resolve func(ast.Expr) (types.Object, alias, bool)) {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	if call, ok := ast.Unparen(ix.X).(*ast.CallExpr); ok && isPartitionMethodCall(pass.Info, call, "Class") {
+		pass.Reportf(lhs.Pos(), "write through a partition Class view mutates the shared arena behind every holder of this partition; build a new partition instead, or //lint:allow classalias <reason>")
+		return
+	}
+	if obj, _, ok := resolve(ix.X); ok {
+		pass.Reportf(lhs.Pos(), "write through arena view %s mutates the shared arena behind every holder of this partition; build a new partition instead, or //lint:allow classalias <reason>", obj.Name())
+	}
+}
+
+// checkAppendToView flags append(view, ...): capacity reaches into the next
+// class, so the append may overwrite arena rows in place.
+func checkAppendToView(pass *analysis.Pass, call *ast.CallExpr, resolve func(ast.Expr) (types.Object, alias, bool)) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fun.Name != "append" || len(call.Args) == 0 {
+		return
+	}
+	if b, ok := pass.Info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return
+	}
+	if obj, _, ok := resolve(call.Args[0]); ok {
+		pass.Reportf(call.Args[0].Pos(), "append to arena view %s: its capacity extends into the next class, so the append may overwrite arena rows; copy the view first, or //lint:allow classalias <reason>", obj.Name())
+	}
+}
+
+// checkRetention flags a ForEachClass callback view escaping the callback:
+// assigned to an outer variable, a field, a map or slice element, or appended
+// (as an element or via ...) into an outer collection.
+func checkRetention(pass *analysis.Pass, lhs, rhs ast.Expr, resolve func(ast.Expr) (types.Object, alias, bool)) {
+	viewArg := func(e ast.Expr) (types.Object, bool) {
+		if obj, a, ok := resolve(e); ok && a.kind == aliasCallback {
+			return obj, true
+		}
+		return nil, false
+	}
+
+	var obj types.Object
+	var a alias
+	var escaped bool
+	if o, al, ok := resolve(rhs); ok && al.kind == aliasCallback {
+		obj, a, escaped = o, al, true
+	} else if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+		// rows = append(rows, cls) / append(rows, cls...)
+		if fun, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fun.Name == "append" {
+			if b, ok := pass.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "append" {
+				for _, arg := range call.Args[1:] {
+					if o, ok := viewArg(arg); ok {
+						// append(dst, cls...) copies the rows out; only
+						// retaining the slice itself aliases the arena.
+						if call.Ellipsis == 0 {
+							obj, escaped = o, true
+							if al, ok2 := resolveAlias(pass, arg, resolve); ok2 {
+								a = al
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if !escaped {
+		return
+	}
+	if storesOutside(pass, lhs, a.body) {
+		pass.Reportf(rhs.Pos(), "ForEachClass view %s retained past the callback: the arena view is only valid during the call; copy it (append([]int32(nil), %s...)), or //lint:allow classalias <reason>", obj.Name(), obj.Name())
+	}
+}
+
+func resolveAlias(pass *analysis.Pass, e ast.Expr, resolve func(ast.Expr) (types.Object, alias, bool)) (alias, bool) {
+	if _, a, ok := resolve(e); ok {
+		return a, true
+	}
+	return alias{}, false
+}
+
+// storesOutside reports whether assigning to lhs stores the value somewhere
+// that outlives body: a field, map or slice element, a dereference, or a
+// variable declared outside body.
+func storesOutside(pass *analysis.Pass, lhs ast.Expr, body *ast.BlockStmt) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[lhs]
+		if obj == nil {
+			obj = pass.Info.Defs[lhs]
+		}
+		if obj == nil || body == nil {
+			return false
+		}
+		return obj.Pos() < body.Pos() || obj.Pos() > body.End()
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package classalias_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analysistest"
+	"repro/internal/analyzers/classalias"
+)
+
+func TestClassAlias(t *testing.T) {
+	analysistest.Run(t, classalias.New(), "a")
+}

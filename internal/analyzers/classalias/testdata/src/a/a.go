@@ -1,0 +1,62 @@
+// Fixture for the classalias analyzer: arena views from Class/ForEachClass
+// are read-only and must not outlive a ForEachClass callback.
+package a
+
+import "partition"
+
+type holder struct {
+	view []int32
+}
+
+func writes(p *partition.Partition) {
+	p.Class(0)[0] = 99 // want `write through a partition Class view`
+
+	cls := p.Class(1)
+	cls[0] = 7 // want `write through arena view cls`
+	cls[0]++   // want `write through arena view cls`
+
+	cls = append(cls, 3) // want `append to arena view cls`
+}
+
+func reads(p *partition.Partition) int32 {
+	cls := p.Class(0)
+	var sum int32
+	for _, row := range cls { // ok: reading a view is the point of the API
+		sum += row
+	}
+	if len(cls) > 0 {
+		sum += cls[len(cls)-1]
+	}
+	return sum
+}
+
+func retains(p *partition.Partition, h *holder, ch chan []int32) [][]int32 {
+	var rows [][]int32
+	var saved []int32
+	p.ForEachClass(func(cls []int32) {
+		saved = cls              // want `ForEachClass view cls retained past the callback`
+		h.view = cls             // want `ForEachClass view cls retained past the callback`
+		rows = append(rows, cls) // want `ForEachClass view cls retained past the callback`
+		ch <- cls                // want `ForEachClass view cls sent on a channel`
+	})
+	_ = saved
+	return rows
+}
+
+func copiesAreFine(p *partition.Partition) [][]int32 {
+	var rows [][]int32
+	p.ForEachClass(func(cls []int32) {
+		rows = append(rows, append([]int32(nil), cls...)) // ok: a copy escapes, not the view
+		local := cls                                      // ok: dies with the callback
+		_ = local
+		var flat []int32
+		flat = append(flat, cls...) // ok: ... copies the rows out into a callback-local
+		_ = flat
+	})
+	return rows
+}
+
+func allowlisted(p *partition.Partition) {
+	//lint:allow classalias scribbling on a private clone is the test's job
+	p.Class(0)[0] = 1
+}

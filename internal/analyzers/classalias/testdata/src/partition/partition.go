@@ -1,0 +1,26 @@
+// Package partition is a hermetic stand-in for the repo's stripped-partition
+// arena: the classalias analyzer matches methods by name on types from a
+// package named partition, so fixtures exercise the contract without loading
+// the real engine.
+package partition
+
+// Partition is a stripped partition backed by a flat rows arena.
+type Partition struct {
+	rows    []int32
+	offsets []int32
+}
+
+// NumClasses returns the number of stripped classes.
+func (p *Partition) NumClasses() int { return len(p.offsets) - 1 }
+
+// Class returns the i-th class as a read-only view into the arena.
+func (p *Partition) Class(i int) []int32 {
+	return p.rows[p.offsets[i]:p.offsets[i+1]]
+}
+
+// ForEachClass calls fn once per class; the view is valid only for the call.
+func (p *Partition) ForEachClass(fn func(cls []int32)) {
+	for i, n := 0, p.NumClasses(); i < n; i++ {
+		fn(p.Class(i))
+	}
+}

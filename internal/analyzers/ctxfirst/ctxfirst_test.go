@@ -1,0 +1,12 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analysistest"
+	"repro/internal/analyzers/ctxfirst"
+)
+
+func TestCtxFirst(t *testing.T) {
+	analysistest.Run(t, ctxfirst.New(), "a")
+}

@@ -1,0 +1,24 @@
+// Package context is a hermetic stand-in for the standard context package:
+// the ctxfirst analyzer matches by package name/path, so fixtures stay fast
+// by not pulling the real dependency tree through the source importer.
+package context
+
+// Context mirrors the standard interface shape.
+type Context interface {
+	Done() <-chan struct{}
+}
+
+type emptyCtx struct{}
+
+func (emptyCtx) Done() <-chan struct{} { return nil }
+
+// Background returns a fresh root context.
+func Background() Context { return emptyCtx{} }
+
+// TODO returns a placeholder root context.
+func TODO() Context { return emptyCtx{} }
+
+// WithTimeout derives a context (stand-in signature).
+func WithTimeout(parent Context, millis int64) (Context, func()) {
+	return parent, func() {}
+}

@@ -1,0 +1,12 @@
+// Package testing is a hermetic stand-in for the standard testing package,
+// used to prove the ctxfirst analyzer tolerates the "t before ctx" helper
+// convention.
+package testing
+
+// T mirrors testing.T.
+type T struct{}
+
+// TB mirrors testing.TB.
+type TB interface {
+	Helper()
+}

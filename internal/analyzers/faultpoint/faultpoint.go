@@ -1,0 +1,198 @@
+// Package faultpoint enforces the fault-injection registry contract from
+// PR 8: every injection site names a declared faultinject.Point constant —
+// never an ad-hoc string — and every declared point is actually wired into
+// a hot path somewhere in the program.
+//
+// Two checks:
+//
+//  1. Per package: any constant expression of type faultinject.Point outside
+//     the faultinject package itself must be a reference to a constant
+//     declared there. String literals ('Fire("store.get")') and local
+//     conversions ('faultinject.Point("x")') are flagged: a typo'd point
+//     name silently never fires, which is exactly the failure mode the
+//     typed registry exists to prevent. Non-constant values (variables,
+//     struct fields, range elements) flow freely.
+//
+//  2. Whole program (Finish): every Point constant declared in faultinject
+//     must be referenced by at least one other package — a Fire/Hit call, a
+//     Rule literal, a chaos-suite sweep — or carry a "// faultpoint:test-only"
+//     marker on its declaration. A declared-but-unwired point is dead
+//     configuration that the chaos suite believes it covers but never hits.
+//
+// The faultinject package is recognized by name and its exported Point type,
+// so analysis fixtures can substitute a hermetic stand-in.
+package faultpoint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analyzers/analysis"
+	"repro/internal/analyzers/astwalk"
+)
+
+// TestOnlyMarker exempts a declared point from the must-be-wired check.
+const TestOnlyMarker = "faultpoint:test-only"
+
+type declaredPoint struct {
+	name     string
+	pos      token.Pos
+	testOnly bool
+}
+
+type checker struct {
+	declared []declaredPoint
+	used     map[string]bool // const name -> referenced outside faultinject
+}
+
+// New returns a fresh faultpoint analyzer; the instance carries the
+// cross-package wiring state consumed by its Finish hook, so build a new one
+// per run.
+func New() *analysis.Analyzer {
+	c := &checker{used: make(map[string]bool)}
+	return &analysis.Analyzer{
+		Name:   "faultpoint",
+		Doc:    "requires faultinject points to be declared Point constants and every declared point to be wired to a hit site",
+		Run:    c.run,
+		Finish: c.finish,
+	}
+}
+
+func (c *checker) run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "faultinject" {
+		c.collectDeclared(pass)
+		return nil
+	}
+	for _, f := range pass.Files {
+		c.checkFile(pass, f)
+	}
+	return nil
+}
+
+// collectDeclared records every Point constant (and its test-only marker)
+// declared in the faultinject package.
+func (c *checker) collectDeclared(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			declDoc := commentHasMarker(gd.Doc)
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				testOnly := declDoc || commentHasMarker(vs.Doc) || commentHasMarker(vs.Comment)
+				for _, name := range vs.Names {
+					obj := pass.Info.Defs[name]
+					if obj == nil || !isPointType(obj.Type()) {
+						continue
+					}
+					c.declared = append(c.declared, declaredPoint{
+						name:     name.Name,
+						pos:      name.Pos(),
+						testOnly: testOnly,
+					})
+				}
+			}
+		}
+	}
+}
+
+// checkFile flags stringly-typed Point constants and records references to
+// declared ones.
+func (c *checker) checkFile(pass *analysis.Pass, f *ast.File) {
+	var violations []ast.Expr
+	ast.Inspect(f, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.Value == nil || !isPointType(tv.Type) {
+			return true
+		}
+		if obj := referencedConst(pass.Info, e); obj != nil {
+			if astwalk.ObjectInPackage(obj, "faultinject") {
+				c.used[obj.Name()] = true
+				return true
+			}
+			// A constant of type Point declared outside faultinject is a
+			// shadow registry; fall through to flag it at the use.
+		}
+		violations = append(violations, e)
+		return false // don't descend: the literal inside a conversion is covered
+	})
+	for _, e := range violations {
+		pass.Reportf(e.Pos(), "stringly-typed faultinject point %s: use a Point constant declared in the faultinject package, so the chaos sweep and the hit site cannot drift apart", exprText(e))
+	}
+}
+
+func (c *checker) finish(report func(analysis.Diagnostic)) error {
+	for _, d := range c.declared {
+		if d.testOnly || c.used[d.name] {
+			continue
+		}
+		report(analysis.Diagnostic{
+			Pos:      d.pos,
+			Analyzer: "faultpoint",
+			Message:  "faultinject point " + d.name + " is declared but never wired to a hit site outside the faultinject package; thread it into the hot path, delete it, or mark it // faultpoint:test-only",
+		})
+	}
+	return nil
+}
+
+func isPointType(t types.Type) bool {
+	return astwalk.NamedFromPackage(t, "Point", "faultinject")
+}
+
+// referencedConst returns the constant object e names, if e is a plain
+// identifier or selector reference.
+func referencedConst(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[e].(*types.Const); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[e.Sel].(*types.Const); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.CallExpr:
+		if len(e.Args) == 1 {
+			return exprText(e.Args[0])
+		}
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return "value"
+}
+
+func commentHasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, TestOnlyMarker) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package faultpoint_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analysistest"
+	"repro/internal/analyzers/faultpoint"
+)
+
+func TestFaultPoint(t *testing.T) {
+	analysistest.Run(t, faultpoint.New(), "a", "faultinject")
+}

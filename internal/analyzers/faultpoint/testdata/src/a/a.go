@@ -1,0 +1,34 @@
+// Fixture for the faultpoint analyzer's per-package check: injection points
+// must be named by constants declared in the faultinject package.
+package a
+
+import "faultinject"
+
+func wire() {
+	faultinject.Hit(faultinject.WiredPoint)      // ok: declared constant
+	_ = faultinject.Fire(faultinject.WiredPoint) // ok: declared constant
+
+	faultinject.Hit("ad.hoc")                          // want `stringly-typed faultinject point "ad.hoc"`
+	_ = faultinject.Fire(faultinject.Point("convert")) // want `stringly-typed faultinject point "convert"`
+
+	good := faultinject.Rule{Point: faultinject.WiredPoint, After: 1}
+	_ = good
+	bad := faultinject.Rule{Point: "rule.literal"} // want `stringly-typed faultinject point "rule.literal"`
+	_ = bad
+
+	for _, p := range faultinject.EnginePoints {
+		faultinject.Hit(p) // ok: non-constant values flow freely
+	}
+}
+
+// A Point constant declared outside faultinject is a shadow registry.
+const local faultinject.Point = "shadow" // want `stringly-typed faultinject point "shadow"`
+
+func useLocal() {
+	faultinject.Hit(local) // want `stringly-typed faultinject point local`
+}
+
+func escapeHatch() {
+	//lint:allow faultpoint fixture demonstrates the escape hatch
+	faultinject.Hit("escape.hatch")
+}

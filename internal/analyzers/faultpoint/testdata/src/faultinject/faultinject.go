@@ -1,0 +1,33 @@
+// Package faultinject is a hermetic stand-in for the repo's fault-injection
+// registry: the faultpoint analyzer matches the package by name and its
+// exported Point type, so fixtures exercise both checks without loading the
+// real engine packages.
+package faultinject
+
+// Point names a registered injection site.
+type Point string
+
+const (
+	// WiredPoint is referenced by the consumer fixture package.
+	WiredPoint Point = "wired.point"
+	// UnwiredPoint is declared but never referenced outside this package.
+	UnwiredPoint Point = "unwired.point" // want `declared but never wired`
+	// TestOnlyPoint is exempted by its marker. faultpoint:test-only
+	TestOnlyPoint Point = "test.only"
+)
+
+// EnginePoints mirrors the real package's sweep list; references from inside
+// the declaring package do not count as wiring.
+var EnginePoints = []Point{WiredPoint, UnwiredPoint, TestOnlyPoint}
+
+// Rule mirrors the real armed-rule struct.
+type Rule struct {
+	Point Point
+	After int64
+}
+
+// Fire consults the armed plan at point.
+func Fire(p Point) error { _ = p; return nil }
+
+// Hit is Fire for call sites with no error path.
+func Hit(p Point) { _ = p }

@@ -1,0 +1,81 @@
+// Fixture for the maporder analyzer: map iteration order must not leak into
+// ordered output.
+package a
+
+import "sort"
+
+func collectThenSort(groups map[string][]int) []string {
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k) // ok: sorted after the loop
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortSliceIdiom(groups map[int]string) []string {
+	var values []string
+	for _, v := range groups {
+		values = append(values, v) // ok: sort.Slice below references values
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	return values
+}
+
+func neverSorted(groups map[string]int) []string {
+	var out []string
+	for k := range groups {
+		out = append(out, k) // want `append to out while ranging over a map, with no later sort`
+	}
+	return out
+}
+
+func sendsDirectly(groups map[string]int, ch chan string) {
+	for k := range groups {
+		ch <- k // want `channel send inside map iteration`
+	}
+}
+
+func loopLocal(groups map[string][]int) int {
+	total := 0
+	for _, vs := range groups {
+		var squares []int
+		for _, v := range vs {
+			squares = append(squares, v*v) // ok: accumulator scoped to the iteration
+		}
+		total += len(squares)
+	}
+	return total
+}
+
+func notAMap(vs []int) []int {
+	var out []int
+	for _, v := range vs {
+		out = append(out, v) // ok: slice iteration is ordered
+	}
+	return out
+}
+
+func allowlisted(set map[string]struct{}) map[string]struct{} {
+	var keys []string
+	for k := range set {
+		//lint:allow maporder keys feed another map so order is irrelevant
+		keys = append(keys, k)
+	}
+	dup := make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		dup[k] = struct{}{}
+	}
+	return dup
+}
+
+func sortedInClosure(groups map[string]int) func() []string {
+	return func() []string {
+		var keys []string
+		for k := range groups {
+			keys = append(keys, k) // ok: sorted before the closure returns
+		}
+		sort.Strings(keys)
+		return keys
+	}
+}

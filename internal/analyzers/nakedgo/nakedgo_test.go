@@ -1,0 +1,12 @@
+package nakedgo_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analysistest"
+	"repro/internal/analyzers/nakedgo"
+)
+
+func TestNakedGo(t *testing.T) {
+	analysistest.Run(t, nakedgo.New(), "a")
+}

@@ -1,0 +1,8 @@
+package a
+
+// Test files are exempt from nakedgo by design: a panicking test goroutine
+// crashing the test binary is the desired outcome in tests.
+func spawnInTest() {
+	go cleanup()
+	go func() {}()
+}

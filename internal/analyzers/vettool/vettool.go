@@ -1,0 +1,211 @@
+// Package vettool implements the build-system side of the `go vet -vettool`
+// protocol, so cmd/odlint can be driven by the go toolchain:
+//
+//	go vet -vettool=$(which odlint) ./...
+//
+// The protocol (reverse-engineered from cmd/go/internal/vet and the
+// unitchecker vendored into GOROOT) has three invocation shapes:
+//
+//	odlint -V=full    print an executable fingerprint for the build cache
+//	odlint -flags     describe supported flags in JSON (we declare none)
+//	odlint unit.cfg   analyze the single package unit described by the JSON
+//	                  config: parse cfg.GoFiles, type-check against the
+//	                  compiler export data in cfg.PackageFile, run the suite,
+//	                  print diagnostics to stderr, exit 1 if any
+//
+// Differences from the standalone odlint mode, both inherent to go vet's
+// one-process-per-package model:
+//
+//   - analyzer Finish hooks (cross-package checks, e.g. faultpoint's
+//     every-point-is-wired pass) do not run;
+//   - unused lint:allow comments are not reported, because the diagnostic an
+//     allow suppresses may be one only the standalone mode can produce.
+//
+// The standalone mode is therefore authoritative; vettool mode exists so the
+// suite also slots into go vet workflows and toolchain caching.
+package vettool
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analyzers/analysis"
+	"repro/internal/analyzers/driver"
+)
+
+// Config mirrors the JSON config the go command writes for each vet unit
+// (unitchecker.Config in x/tools; stable, as cmd/go itself depends on it).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Intercept handles the vettool protocol invocations. It returns false if
+// args is not a vettool invocation (the caller should run standalone mode);
+// otherwise it performs the request and exits the process.
+func Intercept(args []string, analyzers []*analysis.Analyzer) bool {
+	if len(args) != 1 {
+		return false
+	}
+	switch {
+	case args[0] == "-V=full":
+		printVersion()
+		os.Exit(0)
+	case args[0] == "-flags":
+		fmt.Println("[]") // no tool-specific flags
+		os.Exit(0)
+	case strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(runUnit(args[0], analyzers))
+	}
+	return false
+}
+
+// printVersion emulates objabi.AddVersionFlag's -V=full output: cmd/go hashes
+// this line into the build cache key, so analysis re-runs when the tool binary
+// changes.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "odlint:", err)
+	os.Exit(1)
+}
+
+// runUnit analyzes one package unit and returns the process exit code.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fatal(fmt.Errorf("cannot decode vet config %s: %w", cfgFile, err))
+	}
+
+	// The go command expects a facts file for downstream units regardless of
+	// findings. The suite keeps no cross-unit facts, so it is always empty.
+	writeFacts := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeFacts()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeFacts()
+				return 0 // the compiler reports the parse error
+			}
+			fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath] // resolve vendoring etc.
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImp.Import(path)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeFacts()
+			return 0 // the compiler reports the type error
+		}
+		fatal(err)
+	}
+
+	var raw []analysis.Diagnostic
+	report := func(d analysis.Diagnostic) { raw = append(raw, d) }
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, fset, files, pkg, info, report)
+		if err := a.Run(pass); err != nil {
+			fatal(fmt.Errorf("%s: %s: %w", a.Name, cfg.ImportPath, err))
+		}
+		// Finish hooks are skipped: they need the whole program, and this
+		// process sees one package unit. Standalone odlint runs them.
+	}
+	findings := driver.Resolve(fset, files, raw, false)
+
+	writeFacts()
+	for _, d := range findings {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -85,6 +85,7 @@ func (r *Result) Counts() canonical.Count {
 // pruning for simplicity since thresholds are typically used on modest
 // schemas during data profiling.
 func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
+	//lint:allow ctxfirst convenience wrapper kept for callers that cannot cancel; DiscoverContext is the cancellable entry point
 	return DiscoverContext(context.Background(), enc, opts)
 }
 

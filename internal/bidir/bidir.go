@@ -328,6 +328,7 @@ type Result struct {
 // context may satisfy the same OD (with the same polarity) and neither paired
 // attribute may be constant in the context.
 func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
+	//lint:allow ctxfirst convenience wrapper kept for callers that cannot cancel; DiscoverContext is the cancellable entry point
 	return DiscoverContext(context.Background(), enc, opts)
 }
 

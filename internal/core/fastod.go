@@ -15,6 +15,7 @@ import (
 
 // Discover runs FASTOD with a background context; see DiscoverContext.
 func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
+	//lint:allow ctxfirst convenience wrapper kept for callers that cannot cancel; DiscoverContext is the cancellable entry point
 	return DiscoverContext(context.Background(), enc, opts)
 }
 

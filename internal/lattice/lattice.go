@@ -156,6 +156,7 @@ func New(enc *relation.Encoded, cfg Config) (*Engine, error) {
 	}
 	ctx := cfg.Ctx
 	if ctx == nil {
+		//lint:allow ctxfirst ctx reaches New through Config.Ctx; nil means background by documented default
 		ctx = context.Background()
 	}
 	e := &Engine{

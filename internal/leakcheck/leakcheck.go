@@ -17,33 +17,62 @@
 package leakcheck
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
 )
+
+// settleTimeout is how long the cleanup waits for workers to drain before
+// declaring a leak. Workers exit asynchronously after the coordinator returns
+// (the engine's contract is "will exit", not "have exited"), so the wait has
+// to be generous enough for a loaded CI runner.
+const settleTimeout = 2 * time.Second
 
 // Check snapshots the current goroutine count and registers a cleanup that
 // fails t if the count has not returned to the snapshot within ~2s. Call it
 // at the top of a test (not a parallel one — the count is process-global).
 func Check(t *testing.T) {
 	t.Helper()
-	before := runtime.NumGoroutine()
+	snap := Snap()
 	t.Cleanup(func() {
-		// Workers exit asynchronously after the coordinator returns (the
-		// engine's contract is "will exit", not "have exited"), so poll.
-		deadline := time.Now().Add(2 * time.Second)
-		var now int
-		for {
-			now = runtime.NumGoroutine()
-			if now <= before || time.Now().After(deadline) {
-				break
-			}
-			time.Sleep(5 * time.Millisecond)
-		}
-		if now > before {
-			buf := make([]byte, 1<<20)
-			n := runtime.Stack(buf, true)
-			t.Errorf("goroutine leak: %d before, %d after\n%s", before, now, buf[:n])
+		if msg, ok := snap.Settle(settleTimeout); !ok {
+			t.Error(msg)
 		}
 	})
+}
+
+// A Snapshot is a point-in-time goroutine count to settle back to. It exists
+// so the settle logic is testable without a failing *testing.T: Check is
+// Snap + Settle wired into t.Cleanup.
+type Snapshot struct {
+	before int
+}
+
+// Snap records the current goroutine count.
+func Snap() Snapshot {
+	return Snapshot{before: runtime.NumGoroutine()}
+}
+
+// Settle polls until the goroutine count returns to (or below) the snapshot,
+// or timeout passes. It reports ok=true when the count settled; otherwise the
+// returned message describes the leak, including all goroutine stacks.
+// A count below the snapshot is fine: goroutines that predate the snapshot
+// (runtime helpers, another test's stragglers) may exit during the wait.
+func (s Snapshot) Settle(timeout time.Duration) (msg string, ok bool) {
+	deadline := time.Now().Add(timeout)
+	var now int
+	for {
+		now = runtime.NumGoroutine()
+		if now <= s.before || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now > s.before {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		return fmt.Sprintf("goroutine leak: %d before, %d after\n%s", s.before, now, buf[:n]), false
+	}
+	return "", true
 }

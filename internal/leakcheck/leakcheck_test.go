@@ -1,0 +1,97 @@
+package leakcheck
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSettleCatchesLeak proves the detector actually detects: a goroutine
+// deliberately parked on a channel past the settle deadline must be reported,
+// with the parked stack in the message so the leak is attributable.
+func TestSettleCatchesLeak(t *testing.T) {
+	snap := Snap()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(started)
+		<-release // parked until the test releases it
+	}()
+	<-started
+
+	msg, ok := snap.Settle(100 * time.Millisecond)
+	if ok {
+		t.Fatal("Settle reported ok with a goroutine deliberately parked past the deadline")
+	}
+	if !strings.Contains(msg, "goroutine leak") {
+		t.Errorf("leak message %q does not identify itself as a leak", msg)
+	}
+	if !strings.Contains(msg, "TestSettleCatchesLeak") {
+		t.Errorf("leak message does not include the parked goroutine's stack:\n%s", msg)
+	}
+
+	// Release the goroutine and confirm the same snapshot settles clean, so
+	// this test cannot itself leak into the next one.
+	close(release)
+	wg.Wait()
+	if msg, ok := snap.Settle(2 * time.Second); !ok {
+		t.Errorf("count did not settle after the leak was released: %s", msg)
+	}
+}
+
+// TestSettleWaitsForAsyncExit mirrors the engine contract the checker was
+// built for: workers that are still draining when the test body returns must
+// not be reported, because "will exit" is the contract, not "have exited".
+func TestSettleWaitsForAsyncExit(t *testing.T) {
+	snap := Snap()
+
+	for i := 0; i < 8; i++ {
+		go func() {
+			time.Sleep(50 * time.Millisecond) // exits during the settle window
+		}()
+	}
+
+	if msg, ok := snap.Settle(2 * time.Second); !ok {
+		t.Errorf("Settle flagged workers that exit within the deadline: %s", msg)
+	}
+}
+
+// TestSettleToleratesCountDropping covers the system-goroutine case: helpers
+// that predate the snapshot (runtime timers, another suite's stragglers) may
+// exit during the wait, leaving the count below the snapshot. That is not a
+// failure.
+func TestSettleToleratesCountDropping(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		<-done
+	}()
+	snap := Snap() // counts the goroutine above
+	close(done)    // ...which exits during the settle window
+
+	if msg, ok := snap.Settle(2 * time.Second); !ok {
+		t.Errorf("Settle failed when the count dropped below the snapshot: %s", msg)
+	}
+}
+
+// TestCheckPassesOnCleanTest exercises the real entry point end to end on a
+// test that cleans up after itself.
+func TestCheckPassesOnCleanTest(t *testing.T) {
+	Check(t)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(10 * time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	// Check's cleanup runs after the test body and must observe a settled
+	// count; if it does not, this test fails via t.Error.
+}

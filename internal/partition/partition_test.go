@@ -329,7 +329,8 @@ func TestRefines(t *testing.T) {
 func TestCloneIndependent(t *testing.T) {
 	p := FromColumn([]int32{0, 0, 1, 1}, 2)
 	c := p.Clone()
-	c.Class(0)[0] = 99 // tests may scribble on a private clone's arena
+	//lint:allow classalias the scribble on a private clone is the point: it proves Clone's arena is independent
+	c.Class(0)[0] = 99
 	if p.Class(0)[0] == 99 {
 		t.Error("Clone shares arena storage with the original")
 	}

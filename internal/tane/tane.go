@@ -78,6 +78,7 @@ type Result struct {
 
 // Discover runs TANE with a background context; see DiscoverContext.
 func Discover(enc *relation.Encoded, opts Options) (*Result, error) {
+	//lint:allow ctxfirst convenience wrapper kept for callers that cannot cancel; DiscoverContext is the cancellable entry point
 	return DiscoverContext(context.Background(), enc, opts)
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -208,10 +209,18 @@ func TestConcurrentRunMixedAlgorithmsSharedStore(t *testing.T) {
 
 	// Hammer the cached dataset with every algorithm at once, several times
 	// over, as a server handling mixed traffic would. Run with -race in CI.
+	// Spawn in sorted-name order so the schedule (and any failure output) is
+	// reproducible rather than following map iteration order.
+	names := make([]string, 0, len(requests))
+	for name := range requests {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	const rounds = 3
 	var wg sync.WaitGroup
 	errs := make(chan error, len(requests)*rounds)
-	for name, req := range requests {
+	for _, name := range names {
+		req := requests[name]
 		for r := 0; r < rounds; r++ {
 			wg.Add(1)
 			go func(name string, req fastod.Request) {
