@@ -7,7 +7,7 @@
 //	       [-max-level N] [-workers N] [-scheduler dag|barrier]
 //	       [-timeout D] [-max-nodes N]
 //	       [-threshold F] [-no-pruning] [-count-only] [-levels] [-progress]
-//	       [-limit N]
+//	       [-limit N] [-order-spec "col DESC NULLS LAST, other COLLATE ci"]
 //
 // By default it runs the FASTOD algorithm and prints the complete, minimal
 // set of canonical ODs with attribute names. -timeout and -max-nodes budget
@@ -15,6 +15,13 @@
 // Ctrl-C — still prints the partial report (marked "interrupted") and exits
 // with status 0. The ORDER baseline's factorial search space gets a default
 // budget when none is given.
+//
+// -order-spec overrides per-column ordering semantics before discovery runs:
+// a comma-separated list of column names, each optionally followed by
+// ASC|DESC, NULLS FIRST|LAST and COLLATE lexicographic|numeric|date|ci
+// (case-insensitive keywords). Dependencies are then discovered over the
+// requested orders instead of the columns' default ascending, NULLS FIRST,
+// type-driven order.
 package main
 
 import (
@@ -43,11 +50,17 @@ func main() {
 		levels    = flag.Bool("levels", false, "print per-lattice-level statistics (FASTOD only)")
 		progress  = flag.Bool("progress", false, "stream per-level progress to stderr while the run executes")
 		limit     = flag.Int("limit", 0, "print at most this many dependencies (0 = all)")
+		orderSpec = flag.String("order-spec", "", `per-column ordering overrides, e.g. "sal desc nulls last, name collate ci"`)
 	)
 	flag.Parse()
 	if *input == "" {
 		fmt.Fprintln(os.Stderr, "fastod: -input is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	orders, err := fastod.ParseOrderSpecs(*orderSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fastod: -order-spec: %v\n", err)
 		os.Exit(2)
 	}
 	cfg := config{
@@ -64,6 +77,7 @@ func main() {
 		levels:    *levels,
 		progress:  *progress,
 		limit:     *limit,
+		orders:    orders,
 	}
 	// Ctrl-C cancels the context; the run stops cooperatively within one
 	// parallel chunk and the partial report is still printed. A second
@@ -92,6 +106,7 @@ type config struct {
 	levels    bool
 	progress  bool
 	limit     int
+	orders    []fastod.AttrOrder
 }
 
 // request assembles the unified discovery request described by the flags;
@@ -107,10 +122,11 @@ func (cfg config) request() fastod.Request {
 	return fastod.Request{
 		Algorithm: alg,
 		RunOptions: fastod.RunOptions{
-			Workers:   cfg.workers,
-			Scheduler: fastod.Scheduler(cfg.scheduler),
-			MaxLevel:  cfg.maxLevel,
-			Budget:    budget,
+			Workers:    cfg.workers,
+			Scheduler:  fastod.Scheduler(cfg.scheduler),
+			MaxLevel:   cfg.maxLevel,
+			Budget:     budget,
+			OrderSpecs: cfg.orders,
 		},
 		FASTOD: fastod.FASTODRunOptions{
 			DisablePruning:    cfg.noPrune,

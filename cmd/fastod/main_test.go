@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	fastod "repro"
 )
 
 func writeFixture(t *testing.T) string {
@@ -57,5 +59,27 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(ctx, config{input: path + ".missing", algorithm: "fastod"}); err == nil {
 		t.Error("expected error for missing input")
+	}
+}
+
+func TestRunWithOrderSpec(t *testing.T) {
+	path := writeFixture(t)
+	ctx := context.Background()
+	orders, err := fastod.ParseOrderSpecs("sal desc nulls last, tax desc")
+	if err != nil {
+		t.Fatalf("ParseOrderSpecs: %v", err)
+	}
+	for _, alg := range []string{"fastod", "tane", "approx", "bidir", "conditional", "order"} {
+		if err := run(ctx, config{input: path, algorithm: alg, limit: 2, timeout: time.Second, orders: orders}); err != nil {
+			t.Errorf("run(%s, order spec): %v", alg, err)
+		}
+	}
+	// An order spec naming an unknown column is a clean validation error.
+	bad, err := fastod.ParseOrderSpecs("ghost desc")
+	if err != nil {
+		t.Fatalf("ParseOrderSpecs: %v", err)
+	}
+	if err := run(ctx, config{input: path, algorithm: "fastod", orders: bad}); err == nil {
+		t.Error("expected error for an order spec naming an unknown column")
 	}
 }

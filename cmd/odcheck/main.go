@@ -19,6 +19,17 @@
 //
 // Lines starting with '#' are comments. With -threshold, rules whose error is
 // at most the threshold are reported as "almost holds" rather than failed.
+//
+// Attributes may carry per-attribute order modifiers — ASC|DESC, NULLS
+// FIRST|LAST and COLLATE lexicographic|numeric|date|ci — so a rule can pin
+// the ordering semantics it is checked under:
+//
+//	[salary DESC NULLS LAST] -> [tax DESC NULLS LAST]
+//	{year}: bin ~ salary COLLATE numeric
+//
+// Such rules are evaluated against a re-encoding of the dataset under the
+// requested orders; modifiers for the same attribute must agree across its
+// occurrences within one rule.
 package main
 
 import (

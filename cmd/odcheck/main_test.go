@@ -63,3 +63,47 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown column should error")
 	}
 }
+
+func TestRunHonorsOrderModifiers(t *testing.T) {
+	// sal increases while tax increases, so [sal] -> [tax] holds ascending and
+	// [sal DESC] -> [tax DESC] holds too — but the mixed-direction rule
+	// [sal DESC] -> [tax] is a swap on any two distinct rows.
+	csv := writeTemp(t, "emp.csv",
+		"sal,tax\n5000,1000\n8000,2000\n10000,3000\n")
+	rules := writeTemp(t, "rules.txt", `
+[sal] -> [tax]
+[sal desc] -> [tax desc]
+[sal desc] -> [tax]
+`)
+	failures, err := run(os.Stdout, csv, rules, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if failures != 1 {
+		t.Errorf("failures = %d, want 1 (only the mixed-direction rule is a swap)", failures)
+	}
+}
+
+func TestRunHonorsNullPlacement(t *testing.T) {
+	// With NULLS FIRST (default) the empty sal sorts before 10 while its tax
+	// (99) sorts after the others' — a swap. Pinning NULLS LAST on both sides
+	// moves the null row to the end on the left and its large tax is last on
+	// the right, so the rule holds.
+	csv := writeTemp(t, "emp.csv", "sal,tax\n10,1\n20,2\n,99\n")
+	holds := writeTemp(t, "holds.txt", "[sal NULLS LAST] -> [tax]\n")
+	failures, err := run(os.Stdout, csv, holds, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if failures != 0 {
+		t.Errorf("failures = %d, want 0 under NULLS LAST", failures)
+	}
+	fails := writeTemp(t, "fails.txt", "[sal] -> [tax]\n")
+	failures, err = run(os.Stdout, csv, fails, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if failures != 1 {
+		t.Errorf("failures = %d, want 1 under the default NULLS FIRST", failures)
+	}
+}

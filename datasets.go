@@ -50,6 +50,16 @@ func SyntheticDBTesma(rows, cols int, seed int64) *Dataset {
 	return mustDataset(datagen.DBTesmaLike(rows, cols, seed))
 }
 
+// SyntheticMessy returns a NULL-dense, mixed-type dataset cycling through
+// datagen's messy column flavors (integers, inconsistently spelled floats,
+// case-varied strings, dates, mixed-layout dates, all-NULL columns), with
+// each cell independently NULL at the given density. It exists to stress the
+// ordering-semantics layer: NULL placement, collation overrides and the type
+// sniffer's fallbacks, rather than the lattice.
+func SyntheticMessy(rows, cols int, nullDensity float64, seed int64) *Dataset {
+	return mustDataset(datagen.MessyRelation(rows, cols, nullDensity, seed))
+}
+
 // WithSwapViolations returns a copy of the dataset in which n pairs of values
 // of the named column have been swapped between rows, along with the affected
 // row indexes. It is used by the data-quality example to simulate errors that

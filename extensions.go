@@ -7,7 +7,9 @@ import (
 	"repro/internal/advisor"
 	"repro/internal/approx"
 	"repro/internal/bidir"
+	"repro/internal/canonical"
 	"repro/internal/conditional"
+	"repro/internal/listod"
 	"repro/internal/odparse"
 )
 
@@ -260,32 +262,62 @@ type StatementCheck struct {
 // dataset: list statements are checked via the list-based semantics,
 // canonical statements via the canonical semantics plus a violation witness
 // and an approximation error when they fail.
+//
+// Per-attribute order modifiers in the expression ("salary DESC NULLS LAST")
+// are honored: the statement is evaluated against a re-encoding of the
+// dataset under the requested orders (cached per spec, shared with Run).
 func (d *Dataset) CheckStatement(st Statement) (StatementCheck, error) {
-	resolved, err := odparse.Resolve(st, d.enc.ColumnIndex)
+	enc := d.enc
+	if len(st.Orders) > 0 {
+		orders := make([]AttrOrder, len(st.Orders))
+		for i, o := range st.Orders {
+			orders[i] = AttrOrder{
+				Column:    o.Name,
+				Direction: o.Order.Direction,
+				Nulls:     o.Order.Nulls,
+				Collation: o.Order.Collation,
+				Ranks:     o.Order.Ranks,
+			}
+		}
+		var err error
+		if enc, err = d.SpecEncoded(orders); err != nil {
+			return StatementCheck{}, err
+		}
+	}
+	resolved, err := odparse.Resolve(st, enc.ColumnIndex)
 	if err != nil {
 		return StatementCheck{}, err
 	}
 	out := StatementCheck{Statement: st}
 	switch st.Kind {
-	case odparse.ListOD:
-		out.Holds, err = d.CheckListOD(st.Left, st.Right)
-		return out, err
-	case odparse.ListOrderCompat:
-		out.Holds, err = d.CheckOrderCompatible(st.Left, st.Right)
-		return out, err
+	case odparse.ListOD, odparse.ListOrderCompat:
+		l, err := encSpec(enc, st.Left)
+		if err != nil {
+			return StatementCheck{}, err
+		}
+		r, err := encSpec(enc, st.Right)
+		if err != nil {
+			return StatementCheck{}, err
+		}
+		if st.Kind == odparse.ListOD {
+			out.Holds = listod.Holds(enc, l, r)
+		} else {
+			out.Holds = listod.OrderCompatible(enc, l, r)
+		}
+		return out, nil
 	case odparse.CanonicalConstancy, odparse.CanonicalOrderCompat:
-		holds, err := d.CheckCanonicalOD(resolved.Canonical)
+		holds, err := canonical.Holds(enc, resolved.Canonical)
 		if err != nil {
 			return StatementCheck{}, err
 		}
 		out.Holds = holds
-		e, err := d.ODErrorOf(resolved.Canonical)
+		e, err := approx.ErrorOf(enc, resolved.Canonical)
 		if err != nil {
 			return StatementCheck{}, err
 		}
 		out.Error = &e
 		if !holds {
-			if v, found, err := d.FindViolation(resolved.Canonical); err == nil && found {
+			if v, found, err := canonical.FindViolation(enc, resolved.Canonical); err == nil && found {
 				out.Violation = &v
 			}
 		}

@@ -127,6 +127,9 @@ type Dataset struct {
 	parts *lattice.PartitionStore
 	// version is this dataset's content-version stamp; see Version.
 	version atomic.Uint64
+	// specs caches per-OrderSpec re-encodings of this dataset (and their
+	// partition stores), keyed by canonical spec fingerprint; see ordering.go.
+	specs specEncodings
 }
 
 // datasetVersions issues version stamps. One process-global counter (rather
@@ -365,11 +368,17 @@ func (d *Dataset) MapListOD(left, right []string) ([]OD, error) {
 
 // spec resolves column names to an order specification.
 func (d *Dataset) spec(names []string) (listod.Spec, error) {
+	return encSpec(d.enc, names)
+}
+
+// encSpec resolves column names against an arbitrary encoding — the dataset's
+// default one or a per-OrderSpec re-encoding.
+func encSpec(enc *relation.Encoded, names []string) (listod.Spec, error) {
 	out := make(listod.Spec, 0, len(names))
 	for _, n := range names {
-		idx := d.enc.ColumnIndex(n)
+		idx := enc.ColumnIndex(n)
 		if idx < 0 {
-			return nil, fmt.Errorf("fastod: unknown column %q (have %v)", n, d.enc.ColumnNames)
+			return nil, fmt.Errorf("fastod: unknown column %q (have %v)", n, enc.ColumnNames)
 		}
 		out = append(out, idx)
 	}

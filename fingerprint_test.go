@@ -1,6 +1,8 @@
 package fastod_test
 
 import (
+	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -153,5 +155,133 @@ func TestDatasetVersionStamps(t *testing.T) {
 			t.Errorf("%s shares version stamp %d with %s", name, v, prev)
 		}
 		stamps[v] = name
+	}
+}
+
+// --- OrderSpecs in the fingerprint: every distinct canonical spec is a ---
+// --- distinct cache key, and only canonical content reaches the key.   ---
+
+func TestFingerprintSeparatesOrderSpecs(t *testing.T) {
+	mk := func(orders ...fastod.AttrOrder) fastod.Request {
+		return fastod.Request{RunOptions: fastod.RunOptions{OrderSpecs: orders}}
+	}
+	distinct := []fastod.Request{
+		mk(),
+		mk(fastod.AttrOrder{Column: "a", Direction: fastod.OrderDesc}),
+		mk(fastod.AttrOrder{Column: "a", Direction: fastod.OrderDesc, Nulls: fastod.NullsLast}),
+		mk(fastod.AttrOrder{Column: "a", Nulls: fastod.NullsLast}),
+		mk(fastod.AttrOrder{Column: "b", Direction: fastod.OrderDesc}),
+		mk(fastod.AttrOrder{Column: "a", Collation: fastod.CollateNumeric}),
+		mk(fastod.AttrOrder{Column: "a", Collation: fastod.CollateCaseInsen}),
+		mk(fastod.AttrOrder{Column: "a", Collation: fastod.CollateRank, Ranks: []string{"x", "y"}}),
+		mk(fastod.AttrOrder{Column: "a", Collation: fastod.CollateRank, Ranks: []string{"y", "x"}}),
+		mk(fastod.AttrOrder{Column: "a", Direction: fastod.OrderDesc},
+			fastod.AttrOrder{Column: "b", Direction: fastod.OrderDesc}),
+	}
+	seen := make(map[string]int)
+	for i, r := range distinct {
+		fp := r.Fingerprint()
+		if j, dup := seen[fp]; dup {
+			t.Errorf("specs %d and %d collide on fingerprint %q", j, i, fp)
+		}
+		seen[fp] = i
+	}
+}
+
+func TestFingerprintCanonicalizesOrderSpecs(t *testing.T) {
+	desc := fastod.AttrOrder{Column: "a", Direction: fastod.OrderDesc}
+	descB := fastod.AttrOrder{Column: "b", Direction: fastod.OrderDesc}
+	noop := fastod.AttrOrder{Column: "z"} // fully default: canonically erased
+	mk := func(orders ...fastod.AttrOrder) fastod.Request {
+		return fastod.Request{RunOptions: fastod.RunOptions{OrderSpecs: orders}}
+	}
+	// Listing order is presentation; default entries are no-ops; an all-default
+	// list is the default question.
+	if mk(desc, descB).Fingerprint() != mk(descB, desc).Fingerprint() {
+		t.Error("spec listing order changed the fingerprint")
+	}
+	if mk(desc, noop).Fingerprint() != mk(desc).Fingerprint() {
+		t.Error("a fully-default spec entry changed the fingerprint")
+	}
+	if mk(noop).Fingerprint() != mk().Fingerprint() {
+		t.Error("an all-default spec list differs from no spec list")
+	}
+	// Pre-OrderSpec fingerprints are unchanged: the suffix appears only when a
+	// canonical spec survives.
+	if got := mk().Fingerprint(); strings.Contains(got, "ord=") {
+		t.Errorf("default fingerprint %q mentions order specs", got)
+	}
+	if got := mk(desc).Fingerprint(); !strings.Contains(got, "ord=") {
+		t.Errorf("spec fingerprint %q does not mention order specs", got)
+	}
+}
+
+func TestValidateRejectsBadOrderSpecs(t *testing.T) {
+	for name, req := range map[string]fastod.Request{
+		"empty column": {RunOptions: fastod.RunOptions{OrderSpecs: []fastod.AttrOrder{{}}}},
+		"duplicate column": {RunOptions: fastod.RunOptions{OrderSpecs: []fastod.AttrOrder{
+			{Column: "a", Direction: fastod.OrderDesc}, {Column: "a", Nulls: fastod.NullsLast}}}},
+		"ranks without rank collation": {RunOptions: fastod.RunOptions{OrderSpecs: []fastod.AttrOrder{
+			{Column: "a", Ranks: []string{"x"}}}}},
+		"rank collation without ranks": {RunOptions: fastod.RunOptions{OrderSpecs: []fastod.AttrOrder{
+			{Column: "a", Collation: fastod.CollateRank}}}},
+		"partitions with specs": {RunOptions: fastod.RunOptions{
+			Partitions: fastod.NewPartitionStore(0),
+			OrderSpecs: []fastod.AttrOrder{{Column: "a", Direction: fastod.OrderDesc}}}},
+	} {
+		if err := req.Validate(); !errors.Is(err, fastod.ErrInvalidRequest) {
+			t.Errorf("%s: Validate() = %v, want ErrInvalidRequest", name, err)
+		}
+	}
+	// A partition override WITH a spec list that canonicalizes away is fine.
+	ok := fastod.Request{RunOptions: fastod.RunOptions{
+		Partitions: fastod.NewPartitionStore(0),
+		OrderSpecs: []fastod.AttrOrder{{Column: "a"}},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("all-default specs with partitions rejected: %v", err)
+	}
+}
+
+func TestSpecEncodingCache(t *testing.T) {
+	ds := fastod.SyntheticFlight(120, 5, 7)
+	if n, b := ds.SpecEncodingCacheStats(); n != 0 || b != 0 {
+		t.Fatalf("fresh dataset spec cache = %d entries, %d bytes", n, b)
+	}
+	desc := []fastod.AttrOrder{{Column: "flight_sk", Direction: fastod.OrderDesc}}
+	enc1, err := ds.SpecEncoded(desc)
+	if err != nil {
+		t.Fatalf("SpecEncoded: %v", err)
+	}
+	enc2, err := ds.SpecEncoded(desc)
+	if err != nil {
+		t.Fatalf("SpecEncoded (repeat): %v", err)
+	}
+	if enc1 != enc2 {
+		t.Error("repeat SpecEncoded did not return the cached instance")
+	}
+	if n, b := ds.SpecEncodingCacheStats(); n != 1 || b <= 0 {
+		t.Errorf("spec cache after one spec = %d entries, %d bytes, want 1 entry with positive cost", n, b)
+	}
+	// A second spec is a second entry; the default spec never occupies one.
+	if _, err := ds.SpecEncoded([]fastod.AttrOrder{{Column: "year", Nulls: fastod.NullsLast}}); err != nil {
+		t.Fatalf("SpecEncoded (second spec): %v", err)
+	}
+	def1, err := ds.SpecEncoded(nil)
+	if err != nil {
+		t.Fatalf("SpecEncoded(nil): %v", err)
+	}
+	def2, err := ds.SpecEncoded([]fastod.AttrOrder{{Column: "year"}}) // all-default list
+	if err != nil {
+		t.Fatalf("SpecEncoded(all-default): %v", err)
+	}
+	if def1 != def2 {
+		t.Error("default-spec variants did not share the dataset's own encoding")
+	}
+	if n, _ := ds.SpecEncodingCacheStats(); n != 2 {
+		t.Errorf("spec cache = %d entries, want 2", n)
+	}
+	if _, err := ds.SpecEncoded([]fastod.AttrOrder{{Column: "ghost", Direction: fastod.OrderDesc}}); !errors.Is(err, fastod.ErrInvalidRequest) {
+		t.Errorf("unknown column error = %v, want ErrInvalidRequest", err)
 	}
 }

@@ -69,6 +69,47 @@ func allowlisted(set map[string]struct{}) map[string]struct{} {
 	return dup
 }
 
+// The spec-canonicalization idiom: per-column order overrides live in a map
+// keyed by column name, and the canonical form materializes them as a slice
+// sorted by that name. The analyzer must accept the sorted materialization
+// and still flag the variant that forgets the sort.
+type columnOrder struct {
+	column    string
+	direction int
+}
+
+func canonicalizeSpecs(byColumn map[string]columnOrder) []columnOrder {
+	out := make([]columnOrder, 0, len(byColumn))
+	for _, o := range byColumn {
+		out = append(out, o) // ok: sorted by column name below
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].column < out[j].column })
+	return out
+}
+
+func canonicalizeSpecsUnsorted(byColumn map[string]columnOrder) []columnOrder {
+	out := make([]columnOrder, 0, len(byColumn))
+	for _, o := range byColumn {
+		out = append(out, o) // want `append to out while ranging over a map, with no later sort`
+	}
+	return out
+}
+
+// The rank-encoding idiom: a map of distinct raw values drained into a slice
+// that is key-sorted immediately afterwards.
+func distinctRanks(distinct map[string]bool) map[string]int {
+	values := make([]string, 0, len(distinct))
+	for v := range distinct {
+		values = append(values, v) // ok: key-sorted below before ranks are assigned
+	}
+	sort.Strings(values)
+	ranks := make(map[string]int, len(values))
+	for i, v := range values {
+		ranks[v] = i
+	}
+	return ranks
+}
+
 func sortedInClosure(groups map[string]int) func() []string {
 	return func() []string {
 		var keys []string

@@ -1,0 +1,115 @@
+package canonical
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func randomRelation(t *testing.T, seed int64, rows, cols int) *relation.Relation {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	header := make([]string, cols)
+	for c := range header {
+		header[c] = string(rune('A' + c))
+	}
+	data := make([][]string, rows)
+	vals := []string{"", "1", "2", "3", "10", "x"}
+	for r := range data {
+		row := make([]string, cols)
+		for c := range row {
+			row[c] = vals[rng.Intn(len(vals))]
+		}
+		data[r] = row
+	}
+	rel, err := relation.FromRows("rand", header, data)
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	return rel
+}
+
+// Under the default (nil) spec the raw oracle must agree with the encoded
+// oracle, both per-OD and as a complete minimal discovery.
+func TestRawOracleMatchesEncodedOracleDefaultSpec(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rel := randomRelation(t, seed, 30, 4)
+		enc, err := relation.Encode(rel)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		encODs, err := ReferenceDiscover(enc)
+		if err != nil {
+			t.Fatalf("ReferenceDiscover: %v", err)
+		}
+		rawODs, err := ReferenceDiscoverRaw(rel, nil)
+		if err != nil {
+			t.Fatalf("ReferenceDiscoverRaw: %v", err)
+		}
+		if !reflect.DeepEqual(encODs, rawODs) {
+			t.Fatalf("seed %d: encoded oracle and raw oracle disagree:\nenc: %v\nraw: %v", seed, encODs, rawODs)
+		}
+		for _, od := range encODs {
+			ok, err := HoldsRaw(rel, nil, od)
+			if err != nil || !ok {
+				t.Fatalf("seed %d: HoldsRaw(%v) = %v, %v", seed, od, ok, err)
+			}
+		}
+	}
+}
+
+// Under a non-default spec, encoded-oracle discovery on EncodeSpec output
+// must equal raw discovery on the raw relation under the same spec.
+func TestRawOracleMatchesEncodedOracleUnderSpec(t *testing.T) {
+	specs := []relation.OrderSpec{
+		{{Direction: relation.Desc}, {}, {Nulls: relation.NullsLast}, {}},
+		{{Nulls: relation.NullsLast}, {Collation: relation.CollateCaseInsensitive}, {Direction: relation.Desc, Nulls: relation.NullsLast}, {Collation: relation.CollateLexicographic}},
+	}
+	for seed := int64(5); seed <= 7; seed++ {
+		rel := randomRelation(t, seed, 24, 4)
+		for si, spec := range specs {
+			// The random relation mixes ints and strings; force explicit
+			// collations to stay total where the default could reject.
+			total := make(relation.OrderSpec, len(spec))
+			copy(total, spec)
+			for i := range total {
+				if total[i].Collation == relation.CollateDefault {
+					total[i].Collation = relation.CollateNumeric
+				}
+			}
+			enc, err := relation.EncodeSpec(rel, total)
+			if err != nil {
+				t.Fatalf("seed %d spec %d: EncodeSpec: %v", seed, si, err)
+			}
+			encODs, err := ReferenceDiscover(enc)
+			if err != nil {
+				t.Fatalf("ReferenceDiscover: %v", err)
+			}
+			rawODs, err := ReferenceDiscoverRaw(rel, total)
+			if err != nil {
+				t.Fatalf("ReferenceDiscoverRaw: %v", err)
+			}
+			if !reflect.DeepEqual(encODs, rawODs) {
+				t.Fatalf("seed %d spec %d: disagree:\nenc: %v\nraw: %v", seed, si, encODs, rawODs)
+			}
+		}
+	}
+}
+
+func TestHoldsRawValidation(t *testing.T) {
+	rel, err := relation.FromRows("t", []string{"A", "B"}, [][]string{{"1", "2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := HoldsRaw(rel, relation.OrderSpec{{}}, NewConstancy(0, 1)); err == nil {
+		t.Fatal("want error for short spec")
+	}
+	if _, err := HoldsRaw(rel, nil, NewConstancy(0, 7)); err == nil {
+		t.Fatal("want error for out-of-range attribute")
+	}
+	if _, err := ReferenceDiscoverRaw(rel, relation.OrderSpec{{Direction: 9}, {}}); err == nil {
+		t.Fatal("want error for invalid column order")
+	}
+}

@@ -270,3 +270,68 @@ func intCol(t *testing.T, r *relation.Relation, idx int) []int {
 	}
 	return out
 }
+
+func TestMessyRelationShapes(t *testing.T) {
+	wide := MessyWideShallow(1)
+	if wide.NumCols() != 8 || wide.NumRows() != 25 {
+		t.Fatalf("wide shape = %dx%d, want 8x25", wide.NumCols(), wide.NumRows())
+	}
+	deep := MessyDeepNarrow(1)
+	if deep.NumCols() != 4 || deep.NumRows() != 300 {
+		t.Fatalf("deep shape = %dx%d, want 4x300", deep.NumCols(), deep.NumRows())
+	}
+	// Determinism per seed, variation across seeds.
+	again := MessyWideShallow(1)
+	other := MessyWideShallow(2)
+	sameAsAgain, differsFromOther := true, false
+	for c := range wide.Columns {
+		for r, v := range wide.Columns[c].Raw {
+			if again.Columns[c].Raw[r] != v {
+				sameAsAgain = false
+			}
+			if other.Columns[c].Raw[r] != v {
+				differsFromOther = true
+			}
+		}
+	}
+	if !sameAsAgain {
+		t.Error("same seed produced different relations")
+	}
+	if !differsFromOther {
+		t.Error("different seeds produced identical relations")
+	}
+}
+
+func TestMessyRelationStressesOrderingSemantics(t *testing.T) {
+	rel := MessyWideShallow(3)
+	nulls := 0
+	for _, col := range rel.Columns {
+		for _, v := range col.Raw {
+			if v == "" {
+				nulls++
+			}
+		}
+	}
+	if nulls == 0 {
+		t.Error("messy relation has no NULLs")
+	}
+	// The flavor cycle pins the sniffed types: the mixed-date column must
+	// degrade to a string (no single layout parses every value), the all-NULL
+	// column must still encode, and the plain date column stays a date.
+	byName := make(map[string]relation.Type, rel.NumCols())
+	for _, col := range rel.Columns {
+		byName[col.Name] = col.Type
+	}
+	if got := byName["m0_int"]; got != relation.TypeInt {
+		t.Errorf("m0_int sniffed as %v, want int", got)
+	}
+	if got := byName["m3_date"]; got != relation.TypeDate {
+		t.Errorf("m3_date sniffed as %v, want date", got)
+	}
+	if got := byName["m4_mixdate"]; got != relation.TypeString {
+		t.Errorf("m4_mixdate sniffed as %v, want string (mixed layouts)", got)
+	}
+	if _, err := relation.Encode(rel); err != nil {
+		t.Fatalf("messy relation does not encode: %v", err)
+	}
+}

@@ -1,0 +1,128 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/relation"
+)
+
+// Messy generators: relations whose raw values stress the ordering semantics
+// layer instead of the lattice — NULL-dense columns, numeric values spelled
+// inconsistently ("7" next to "7.0"), dates, case-varied strings, and columns
+// whose mixed spellings defeat the type sniffer entirely. They back the
+// property suites that compare spec-encoded discovery against the raw-value
+// oracle: a generator that only emits clean decimal integers would never
+// exercise NULL placement or collation overrides.
+
+// MessyKind selects the value flavor of one messy column.
+type MessyKind int
+
+// Messy column flavors.
+const (
+	// MessyInt emits decimal integers (sniffed TypeInt).
+	MessyInt MessyKind = iota
+	// MessyFloat emits floats with varied spellings of equal values ("2.5"
+	// vs "2.50"), so numeric collation merges what lexicographic splits.
+	MessyFloat
+	// MessyDate emits ISO dates from a small window (sniffed TypeDate).
+	MessyDate
+	// MessyMixedDate emits the same dates in alternating layouts, which the
+	// sniffer must refuse (mixed layouts fall back to TypeString).
+	MessyMixedDate
+	// MessyString emits short strings with case variants ("ab" vs "AB"), so
+	// the case-insensitive collation merges what the default splits.
+	MessyString
+	// MessyAllNull emits only NULLs (the all-NULL edge case).
+	MessyAllNull
+)
+
+// messyValue draws one non-null raw value of the given flavor.
+func messyValue(rng *rand.Rand, kind MessyKind) string {
+	switch kind {
+	case MessyFloat:
+		v := rng.Intn(6)
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf("%d.5", v)
+		}
+		return fmt.Sprintf("%d.50", v)
+	case MessyDate:
+		return fmt.Sprintf("2017-0%d-1%d", 1+rng.Intn(4), rng.Intn(5))
+	case MessyMixedDate:
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf("2017-0%d-1%d", 1+rng.Intn(4), rng.Intn(5))
+		}
+		return fmt.Sprintf("2017/0%d/1%d", 1+rng.Intn(4), rng.Intn(5))
+	case MessyString:
+		words := []string{"ab", "AB", "Ab", "cd", "CD", "ef", "x", ""}
+		return words[rng.Intn(len(words)-1)] + words[rng.Intn(len(words))]
+	default: // MessyInt
+		return strconv.Itoa(rng.Intn(10) - 3)
+	}
+}
+
+// MessyRelation builds a rows×cols relation cycling through the messy column
+// flavors, with each cell independently replaced by NULL at the given
+// density. Deterministic per seed; types are re-sniffed from the raw values,
+// so a NULL-dense integer column is still TypeInt while a mixed-date column
+// degrades to TypeString exactly as CSV ingest would.
+func MessyRelation(rows, cols int, nullDensity float64, seed int64) *relation.Relation {
+	cols = clampCols(cols)
+	if rows < 1 {
+		rows = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []MessyKind{MessyInt, MessyFloat, MessyString, MessyDate, MessyMixedDate, MessyAllNull}
+	header := make([]string, cols)
+	data := make([][]string, rows)
+	for i := range data {
+		data[i] = make([]string, cols)
+	}
+	for c := 0; c < cols; c++ {
+		kind := kinds[c%len(kinds)]
+		header[c] = fmt.Sprintf("m%d_%s", c, messyKindName(kind))
+		for r := 0; r < rows; r++ {
+			if kind == MessyAllNull || rng.Float64() < nullDensity {
+				continue // cells start empty, i.e. NULL
+			}
+			data[r][c] = messyValue(rng, kind)
+		}
+	}
+	rel, err := relation.FromRows(fmt.Sprintf("messy-%dx%d-%d", cols, rows, seed), header, data)
+	if err != nil {
+		panic(fmt.Sprintf("datagen: messy relation: %v", err))
+	}
+	return rel
+}
+
+// MessyWideShallow is the wide-and-shallow property-suite shape: 8 columns of
+// 25 rows, every flavor present, a third of the cells NULL. Small enough for
+// the brute-force raw oracle, wide enough for non-trivial contexts.
+func MessyWideShallow(seed int64) *relation.Relation {
+	return MessyRelation(25, 8, 0.33, seed)
+}
+
+// MessyDeepNarrow is the deep-and-narrow shape: 4 columns of 300 rows, NULLs
+// sparse enough that value order dominates but dense enough that placement
+// matters on every column.
+func MessyDeepNarrow(seed int64) *relation.Relation {
+	return MessyRelation(300, 4, 0.12, seed)
+}
+
+func messyKindName(k MessyKind) string {
+	switch k {
+	case MessyFloat:
+		return "float"
+	case MessyDate:
+		return "date"
+	case MessyMixedDate:
+		return "mixdate"
+	case MessyString:
+		return "str"
+	case MessyAllNull:
+		return "null"
+	default:
+		return "int"
+	}
+}

@@ -41,7 +41,7 @@ func FuzzParse(f *testing.F) {
 			}
 			if again.Kind != st.Kind || again.A != st.A || again.B != st.B ||
 				len(again.Left) != len(st.Left) || len(again.Right) != len(st.Right) ||
-				len(again.Context) != len(st.Context) {
+				len(again.Context) != len(st.Context) || len(again.Orders) != len(st.Orders) {
 				t.Fatalf("re-parse of %q diverged: %+v vs %+v", st.Source, again, st)
 			}
 		}
@@ -86,8 +86,30 @@ func checkStatement(t *testing.T, st Statement, input string) {
 		if strings.ContainsAny(name, "{}[],~>:") {
 			t.Fatalf("accepted name %q containing a reserved character: %+v\ninput: %q", name, st, input)
 		}
-		if strings.TrimSpace(name) != name {
-			t.Fatalf("accepted name %q with surrounding whitespace: %+v\ninput: %q", name, st, input)
+		if len(strings.Fields(name)) != 1 {
+			t.Fatalf("accepted name %q containing whitespace: %+v\ninput: %q", name, st, input)
+		}
+	}
+	// Orders entries must name attributes of the statement, be unique, carry
+	// valid textual-form orders (never a rank list), and not all be defaults.
+	known := make(map[string]bool, len(names))
+	for _, n := range names {
+		known[n] = true
+	}
+	seen := make(map[string]bool, len(st.Orders))
+	for _, o := range st.Orders {
+		if !known[o.Name] {
+			t.Fatalf("Orders entry %q names no attribute of the statement: %+v\ninput: %q", o.Name, st, input)
+		}
+		if seen[o.Name] {
+			t.Fatalf("Orders lists attribute %q twice: %+v\ninput: %q", o.Name, st, input)
+		}
+		seen[o.Name] = true
+		if err := o.Order.Validate(); err != nil {
+			t.Fatalf("Orders entry %q invalid: %v\ninput: %q", o.Name, err, input)
+		}
+		if len(o.Order.Ranks) != 0 {
+			t.Fatalf("Orders entry %q carries a rank list, which has no textual form\ninput: %q", o.Name, input)
 		}
 	}
 }

@@ -12,9 +12,21 @@
 //	    {A}: B ~ C            order-compatibility OD within context {A}
 //	    {}: [] -> C           empty context
 //
-// Whitespace is insignificant. Attribute names may contain any characters
-// except the delimiters ,]}~> and whitespace; names are matched against the
-// relation's columns during resolution.
+// Every attribute occurrence may carry ordering modifiers, in SQL ORDER BY
+// style (keywords case-insensitive, each modifier optional, any order):
+//
+//	[A DESC, B] -> [C NULLS LAST]
+//	{A}: B desc nulls last ~ C collate ci
+//
+// The modifiers are ASC|DESC, NULLS FIRST|LAST and COLLATE
+// <lexicographic|lex|numeric|date|case-insensitive|ci>; they accumulate into
+// Statement.Orders (one entry per attribute that carries an explicit
+// modifier — an attribute's order applies to every occurrence in the
+// statement, so conflicting modifiers on one attribute are an error). The
+// rank-list collation has no textual form. Whitespace is insignificant
+// around delimiters; attribute names may contain any characters except the
+// delimiters ,]}~>: and whitespace, and are matched against the relation's
+// columns during resolution.
 package odparse
 
 import (
@@ -24,6 +36,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/canonical"
 	"repro/internal/listod"
+	"repro/internal/relation"
 )
 
 // StatementKind identifies the parsed form.
@@ -57,6 +70,13 @@ func (k StatementKind) String() string {
 	}
 }
 
+// NamedOrder pairs an attribute name with the explicit column order its
+// modifiers selected.
+type NamedOrder struct {
+	Name  string
+	Order relation.ColumnOrder
+}
+
 // Statement is a parsed dependency expression over attribute names.
 type Statement struct {
 	Kind StatementKind
@@ -67,6 +87,11 @@ type Statement struct {
 	// A and B are the right-hand attributes of canonical statements (B is
 	// empty for constancy ODs).
 	A, B string
+	// Orders holds one entry per attribute that carried explicit ordering
+	// modifiers anywhere in the statement (ASC/DESC, NULLS FIRST/LAST,
+	// COLLATE ...). Attributes without modifiers are absent: they keep
+	// whatever order the evaluation context supplies.
+	Orders []NamedOrder
 	// Source is the original text, for error reporting by callers.
 	Source string
 }
@@ -109,7 +134,7 @@ func parseCanonical(s string) (Statement, error) {
 	if end < 0 {
 		return Statement{}, fmt.Errorf("odparse: %q: missing '}'", s)
 	}
-	ctx, err := splitNames(s[1:end], true)
+	ctx, orders, err := splitNames(s[1:end], true, nil)
 	if err != nil {
 		return Statement{}, fmt.Errorf("odparse: %q: %w", s, err)
 	}
@@ -129,11 +154,15 @@ func parseCanonical(s string) (Statement, error) {
 		if !strings.HasPrefix(rest, "->") {
 			return Statement{}, fmt.Errorf("odparse: %q: expected '->' in constancy OD", s)
 		}
-		attr := strings.TrimSpace(rest[2:])
-		if err := validName(attr); err != nil {
+		attr, ord, explicit, err := parseAttr(rest[2:])
+		if err != nil {
 			return Statement{}, fmt.Errorf("odparse: %q: %w", s, err)
 		}
-		return Statement{Kind: CanonicalConstancy, Context: ctx, A: attr, Source: s}, nil
+		orders, err = addOrder(orders, attr, ord, explicit)
+		if err != nil {
+			return Statement{}, fmt.Errorf("odparse: %q: %w", s, err)
+		}
+		return Statement{Kind: CanonicalConstancy, Context: ctx, A: attr, Orders: orders, Source: s}, nil
 	}
 
 	// "{X}: A ~ B"
@@ -141,18 +170,25 @@ func parseCanonical(s string) (Statement, error) {
 	if len(parts) != 2 {
 		return Statement{}, fmt.Errorf("odparse: %q: expected 'A ~ B' or '[] -> A' after the context", s)
 	}
-	a, b := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
-	if err := validName(a); err != nil {
+	a, aOrd, aExp, err := parseAttr(parts[0])
+	if err != nil {
 		return Statement{}, fmt.Errorf("odparse: %q: %w", s, err)
 	}
-	if err := validName(b); err != nil {
+	b, bOrd, bExp, err := parseAttr(parts[1])
+	if err != nil {
 		return Statement{}, fmt.Errorf("odparse: %q: %w", s, err)
 	}
-	return Statement{Kind: CanonicalOrderCompat, Context: ctx, A: a, B: b, Source: s}, nil
+	if orders, err = addOrder(orders, a, aOrd, aExp); err != nil {
+		return Statement{}, fmt.Errorf("odparse: %q: %w", s, err)
+	}
+	if orders, err = addOrder(orders, b, bOrd, bExp); err != nil {
+		return Statement{}, fmt.Errorf("odparse: %q: %w", s, err)
+	}
+	return Statement{Kind: CanonicalOrderCompat, Context: ctx, A: a, B: b, Orders: orders, Source: s}, nil
 }
 
 func parseList(s string) (Statement, error) {
-	left, rest, err := parseBracketList(s)
+	left, orders, rest, err := parseBracketList(s, nil)
 	if err != nil {
 		return Statement{}, fmt.Errorf("odparse: %q: %w", s, err)
 	}
@@ -169,7 +205,7 @@ func parseList(s string) (Statement, error) {
 		return Statement{}, fmt.Errorf("odparse: %q: expected '->' or '~' between the sides", s)
 	}
 	rest = strings.TrimSpace(rest)
-	right, tail, err := parseBracketList(rest)
+	right, orders, tail, err := parseBracketList(rest, orders)
 	if err != nil {
 		return Statement{}, fmt.Errorf("odparse: %q: %w", s, err)
 	}
@@ -179,42 +215,149 @@ func parseList(s string) (Statement, error) {
 	if len(left) == 0 && len(right) == 0 {
 		return Statement{}, fmt.Errorf("odparse: %q: both sides are empty", s)
 	}
-	return Statement{Kind: kind, Left: left, Right: right, Source: s}, nil
+	return Statement{Kind: kind, Left: left, Right: right, Orders: orders, Source: s}, nil
 }
 
-// parseBracketList parses a leading "[a,b,c]" and returns the names plus the
-// remaining text.
-func parseBracketList(s string) ([]string, string, error) {
+// parseBracketList parses a leading "[a desc, b, ...]" and returns the names,
+// the accumulated explicit orders, and the remaining text.
+func parseBracketList(s string, orders []NamedOrder) ([]string, []NamedOrder, string, error) {
 	if !strings.HasPrefix(s, "[") {
-		return nil, "", fmt.Errorf("expected '['")
+		return nil, nil, "", fmt.Errorf("expected '['")
 	}
 	end := strings.Index(s, "]")
 	if end < 0 {
-		return nil, "", fmt.Errorf("missing ']'")
+		return nil, nil, "", fmt.Errorf("missing ']'")
 	}
-	names, err := splitNames(s[1:end], true)
+	names, orders, err := splitNames(s[1:end], true, orders)
 	if err != nil {
-		return nil, "", err
+		return nil, nil, "", err
 	}
-	return names, s[end+1:], nil
+	return names, orders, s[end+1:], nil
 }
 
-func splitNames(s string, allowEmpty bool) ([]string, error) {
+// splitNames parses a comma-separated attribute list, each entry optionally
+// carrying ordering modifiers, accumulating explicit orders into orders.
+func splitNames(s string, allowEmpty bool, orders []NamedOrder) ([]string, []NamedOrder, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
 		if allowEmpty {
-			return nil, nil
+			return nil, orders, nil
 		}
-		return nil, fmt.Errorf("empty attribute list")
+		return nil, nil, fmt.Errorf("empty attribute list")
 	}
 	parts := strings.Split(s, ",")
 	out := make([]string, 0, len(parts))
 	for _, p := range parts {
-		name := strings.TrimSpace(p)
-		if err := validName(name); err != nil {
-			return nil, err
+		name, ord, explicit, err := parseAttr(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		if orders, err = addOrder(orders, name, ord, explicit); err != nil {
+			return nil, nil, err
 		}
 		out = append(out, name)
+	}
+	return out, orders, nil
+}
+
+// parseAttr parses one attribute occurrence: a name followed by optional
+// ordering modifiers (ASC|DESC, NULLS FIRST|LAST, COLLATE <name>), keywords
+// case-insensitive, each category at most once. explicit reports whether any
+// modifier was present.
+func parseAttr(s string) (name string, ord relation.ColumnOrder, explicit bool, err error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return "", ord, false, fmt.Errorf("empty attribute name")
+	}
+	name = fields[0]
+	if err := validName(name); err != nil {
+		return "", ord, false, err
+	}
+	var haveDir, haveNulls, haveColl bool
+	for i := 1; i < len(fields); {
+		f := fields[i]
+		switch {
+		case strings.EqualFold(f, "asc") || strings.EqualFold(f, "desc"):
+			if haveDir {
+				return "", ord, false, fmt.Errorf("attribute %q has more than one direction modifier", name)
+			}
+			haveDir = true
+			ord.Direction, _ = relation.ParseDirection(f)
+			i++
+		case strings.EqualFold(f, "nulls"):
+			if haveNulls {
+				return "", ord, false, fmt.Errorf("attribute %q has more than one NULLS modifier", name)
+			}
+			if i+1 >= len(fields) {
+				return "", ord, false, fmt.Errorf("attribute %q: NULLS requires FIRST or LAST", name)
+			}
+			n, perr := relation.ParseNullOrder(fields[i+1])
+			if perr != nil {
+				return "", ord, false, fmt.Errorf("attribute %q: %v", name, perr)
+			}
+			haveNulls = true
+			ord.Nulls = n
+			i += 2
+		case strings.EqualFold(f, "collate"):
+			if haveColl {
+				return "", ord, false, fmt.Errorf("attribute %q has more than one COLLATE modifier", name)
+			}
+			if i+1 >= len(fields) {
+				return "", ord, false, fmt.Errorf("attribute %q: COLLATE requires a collation name", name)
+			}
+			c, perr := relation.ParseCollation(fields[i+1])
+			if perr != nil {
+				return "", ord, false, fmt.Errorf("attribute %q: %v", name, perr)
+			}
+			if c == relation.CollateRank {
+				return "", ord, false, fmt.Errorf("attribute %q: the rank collation has no textual form (supply the rank list programmatically)", name)
+			}
+			haveColl = true
+			ord.Collation = c
+			i += 2
+		default:
+			return "", ord, false, fmt.Errorf("unknown order modifier %q after attribute %q", f, name)
+		}
+	}
+	return name, ord, haveDir || haveNulls || haveColl, nil
+}
+
+// addOrder records an attribute's explicit order, erroring when the same
+// attribute already carries a DIFFERENT explicit order in this statement (an
+// attribute's order applies to all its occurrences). Non-explicit
+// occurrences record nothing and conflict with nothing.
+func addOrder(orders []NamedOrder, name string, ord relation.ColumnOrder, explicit bool) ([]NamedOrder, error) {
+	if !explicit {
+		return orders, nil
+	}
+	for _, o := range orders {
+		if o.Name != name {
+			continue
+		}
+		if o.Order.Direction != ord.Direction || o.Order.Nulls != ord.Nulls || o.Order.Collation != ord.Collation {
+			return nil, fmt.Errorf("attribute %q has conflicting order modifiers", name)
+		}
+		return orders, nil
+	}
+	return append(orders, NamedOrder{Name: name, Order: ord}), nil
+}
+
+// ParseOrderSpec parses a standalone comma-separated order spec — the value
+// of a CLI -order-spec flag, e.g. "salary desc nulls last, name collate ci".
+// Unlike OD expressions it returns EVERY listed attribute, modifiers or not
+// (a bare name selects the default order).
+func ParseOrderSpec(input string) ([]NamedOrder, error) {
+	s := strings.TrimSpace(input)
+	if s == "" {
+		return nil, nil
+	}
+	var out []NamedOrder
+	for _, p := range strings.Split(s, ",") {
+		name, ord, _, err := parseAttr(p)
+		if err != nil {
+			return nil, fmt.Errorf("odparse: order spec %q: %w", input, err)
+		}
+		out = append(out, NamedOrder{Name: name, Order: ord})
 	}
 	return out, nil
 }

@@ -1,0 +1,118 @@
+package odparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestParseAttrModifiers(t *testing.T) {
+	st, err := Parse("[salary DESC NULLS LAST, name collate ci] -> [grade desc]")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(st.Left) != 2 || st.Left[0] != "salary" || st.Left[1] != "name" {
+		t.Fatalf("Left = %v", st.Left)
+	}
+	if len(st.Right) != 1 || st.Right[0] != "grade" {
+		t.Fatalf("Right = %v", st.Right)
+	}
+	if len(st.Orders) != 3 {
+		t.Fatalf("Orders = %+v, want 3 entries", st.Orders)
+	}
+	want := map[string]relation.ColumnOrder{
+		"salary": {Direction: relation.Desc, Nulls: relation.NullsLast},
+		"name":   {Collation: relation.CollateCaseInsensitive},
+		"grade":  {Direction: relation.Desc},
+	}
+	for _, o := range st.Orders {
+		w, ok := want[o.Name]
+		if !ok || o.Order.Direction != w.Direction || o.Order.Nulls != w.Nulls || o.Order.Collation != w.Collation {
+			t.Fatalf("order for %q = %+v, want %+v", o.Name, o.Order, w)
+		}
+	}
+}
+
+func TestParseCanonicalModifiers(t *testing.T) {
+	st, err := Parse("{year desc}: dep_time nulls last ~ arr_time COLLATE numeric")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if st.Kind != CanonicalOrderCompat || st.A != "dep_time" || st.B != "arr_time" {
+		t.Fatalf("statement = %+v", st)
+	}
+	if len(st.Context) != 1 || st.Context[0] != "year" {
+		t.Fatalf("Context = %v", st.Context)
+	}
+	if len(st.Orders) != 3 {
+		t.Fatalf("Orders = %+v", st.Orders)
+	}
+	st2, err := Parse("{}: [] -> price desc nulls last")
+	if err != nil {
+		t.Fatalf("Parse constancy: %v", err)
+	}
+	if st2.A != "price" || len(st2.Orders) != 1 || st2.Orders[0].Order.Direction != relation.Desc {
+		t.Fatalf("constancy statement = %+v", st2)
+	}
+}
+
+func TestParseModifierErrors(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"[a desc asc] -> [b]", "more than one direction"},
+		{"[a nulls] -> [b]", "NULLS requires FIRST or LAST"},
+		{"[a nulls sideways] -> [b]", "unknown null placement"},
+		{"[a collate] -> [b]", "COLLATE requires a collation name"},
+		{"[a collate emoji] -> [b]", "unknown collation"},
+		{"[a collate rank] -> [b]", "no textual form"},
+		{"[a frobnicate] -> [b]", "unknown order modifier"},
+		{"[a desc, a asc] -> [b]", "conflicting order modifiers"},
+		{"[a b] -> [c]", "unknown order modifier"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.in); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("Parse(%q) error = %v, want substring %q", tc.in, err, tc.want)
+		}
+	}
+}
+
+func TestParseModifierAgreementAcrossOccurrences(t *testing.T) {
+	// The same attribute may repeat modifiers as long as they agree, and may
+	// appear bare alongside an explicit occurrence (bare records nothing).
+	st, err := Parse("[a desc] -> [a desc, b]")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(st.Orders) != 1 || st.Orders[0].Name != "a" {
+		t.Fatalf("Orders = %+v", st.Orders)
+	}
+	st, err = Parse("[a desc] -> [a, b]")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(st.Orders) != 1 {
+		t.Fatalf("Orders = %+v", st.Orders)
+	}
+}
+
+func TestParseOrderSpec(t *testing.T) {
+	specs, err := ParseOrderSpec(" salary desc nulls last , name collate ci, plain ")
+	if err != nil {
+		t.Fatalf("ParseOrderSpec: %v", err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("specs = %+v", specs)
+	}
+	if specs[0].Name != "salary" || specs[0].Order.Direction != relation.Desc || specs[0].Order.Nulls != relation.NullsLast {
+		t.Fatalf("specs[0] = %+v", specs[0])
+	}
+	if specs[2].Name != "plain" || !specs[2].Order.IsDefault() {
+		t.Fatalf("bare name must yield the default order: %+v", specs[2])
+	}
+	if got, err := ParseOrderSpec("  "); err != nil || got != nil {
+		t.Fatalf("empty spec = %v, %v", got, err)
+	}
+	if _, err := ParseOrderSpec("a desc desc"); err == nil {
+		t.Fatal("want error for duplicate modifier")
+	}
+}

@@ -1,0 +1,617 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file makes ordering semantics a first-class, per-attribute input of
+// the rank encoding instead of an encode-time constant. An OrderSpec chooses,
+// per column, the sort direction, the NULL placement and the collation under
+// which raw values are compared; EncodeSpec compiles all of it away into
+// plain dense ranks, so the discovery algorithms never see the spec — they
+// keep operating on integers whose order IS the requested order.
+//
+// The contract, spec-aware form of the Section 4.6 encoding invariant:
+//
+//	rank(a) == rank(b)  ⇔  a and b are equal under the column's collation
+//	rank(a) <  rank(b)  ⇔  a sorts strictly before b under the column order
+//
+// Compare is the independent reference implementation of that order over raw
+// values; FuzzEncodeSpec differences the two against each other.
+
+// Direction is the per-attribute sort direction of an OrderSpec. The zero
+// value is ascending.
+type Direction uint8
+
+// Sort directions.
+const (
+	// Asc sorts non-null values ascending (the default).
+	Asc Direction = iota
+	// Desc sorts non-null values descending. NULL placement is NOT affected:
+	// it is controlled independently by NullOrder, as in SQL.
+	Desc
+)
+
+// String renders the direction in the spec grammar ("asc"/"desc").
+func (d Direction) String() string {
+	switch d {
+	case Asc:
+		return "asc"
+	case Desc:
+		return "desc"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// ParseDirection parses a direction keyword, case-insensitively. The empty
+// string selects the default (ascending).
+func ParseDirection(s string) (Direction, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "asc", "ascending":
+		return Asc, nil
+	case "desc", "descending":
+		return Desc, nil
+	default:
+		return 0, fmt.Errorf("relation: unknown direction %q (want \"asc\" or \"desc\")", s)
+	}
+}
+
+// NullOrder places NULLs (empty-string values) relative to every non-null
+// value, independent of Direction. The zero value is NULLS FIRST, matching
+// the historical behavior of Encode.
+type NullOrder uint8
+
+// NULL placements.
+const (
+	// NullsFirst sorts NULLs before every non-null value (the default).
+	NullsFirst NullOrder = iota
+	// NullsLast sorts NULLs after every non-null value.
+	NullsLast
+)
+
+// String renders the placement in the spec grammar ("first"/"last").
+func (n NullOrder) String() string {
+	switch n {
+	case NullsFirst:
+		return "first"
+	case NullsLast:
+		return "last"
+	default:
+		return fmt.Sprintf("NullOrder(%d)", int(n))
+	}
+}
+
+// ParseNullOrder parses a NULL placement keyword, case-insensitively. The
+// empty string selects the default (NULLS FIRST).
+func ParseNullOrder(s string) (NullOrder, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "first":
+		return NullsFirst, nil
+	case "last":
+		return NullsLast, nil
+	default:
+		return 0, fmt.Errorf("relation: unknown null placement %q (want \"first\" or \"last\")", s)
+	}
+}
+
+// Collation chooses the comparator (and therefore the equivalence classes)
+// non-null values of one column are ranked under. The zero value defers to
+// the column's sniffed or declared Type, which is the historical behavior.
+type Collation uint8
+
+// Collations.
+const (
+	// CollateDefault compares by the column's Type (int/float/date/string),
+	// breaking numeric and date ties by the raw string so distinct raw values
+	// always get distinct ranks. Unparseable values are an encoding error,
+	// exactly as before OrderSpec existed.
+	CollateDefault Collation = iota
+	// CollateLexicographic compares raw strings bytewise, whatever the
+	// column's type.
+	CollateLexicographic
+	// CollateNumeric parses values as floats. Equal numbers are EQUAL (so
+	// "1" and "1.0" merge into one equivalence class); values that do not
+	// parse (or parse to NaN) sort after every number, ordered bytewise
+	// among themselves. Total on any input — never an encoding error.
+	CollateNumeric
+	// CollateDate parses values as dates (the same layouts the sniffer
+	// accepts). Equal instants are EQUAL; unparseable values sort after
+	// every date, ordered bytewise among themselves.
+	CollateDate
+	// CollateCaseInsensitive compares strings.ToLower of the raw values;
+	// case variants of one word merge into one equivalence class.
+	CollateCaseInsensitive
+	// CollateRank orders values by their position in the user-supplied
+	// ColumnOrder.Ranks list (a user-defined order, e.g. Low < Medium <
+	// High). Values absent from the list sort after every listed value,
+	// ordered bytewise among themselves.
+	CollateRank
+)
+
+// String renders the collation in the spec grammar.
+func (c Collation) String() string {
+	switch c {
+	case CollateDefault:
+		return "default"
+	case CollateLexicographic:
+		return "lexicographic"
+	case CollateNumeric:
+		return "numeric"
+	case CollateDate:
+		return "date"
+	case CollateCaseInsensitive:
+		return "case-insensitive"
+	case CollateRank:
+		return "rank"
+	default:
+		return fmt.Sprintf("Collation(%d)", int(c))
+	}
+}
+
+// ParseCollation parses a collation name, case-insensitively, accepting the
+// short aliases "lex" and "ci". The empty string selects the default.
+func ParseCollation(s string) (Collation, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "default":
+		return CollateDefault, nil
+	case "lex", "lexicographic":
+		return CollateLexicographic, nil
+	case "numeric":
+		return CollateNumeric, nil
+	case "date":
+		return CollateDate, nil
+	case "ci", "case-insensitive":
+		return CollateCaseInsensitive, nil
+	case "rank":
+		return CollateRank, nil
+	default:
+		return 0, fmt.Errorf("relation: unknown collation %q (want default, lexicographic, numeric, date, case-insensitive or rank)", s)
+	}
+}
+
+// ColumnOrder is the ordering specification of one column: direction, NULL
+// placement and collation. The zero value is the historical default order
+// (ascending, NULLS FIRST, type-driven comparison).
+type ColumnOrder struct {
+	Direction Direction
+	Nulls     NullOrder
+	Collation Collation
+	// Ranks is the user-defined value order of CollateRank (first entry
+	// sorts lowest); it must be empty for every other collation.
+	Ranks []string
+}
+
+// IsDefault reports whether the order is the zero default, i.e. encoding
+// under it is identical to plain Encode.
+func (co ColumnOrder) IsDefault() bool {
+	return co.Direction == Asc && co.Nulls == NullsFirst &&
+		co.Collation == CollateDefault && len(co.Ranks) == 0
+}
+
+// Validate checks the order is internally consistent: enums in range, and a
+// rank list present exactly when CollateRank asks for one (non-empty, no
+// duplicate values — a duplicated value would make its rank ambiguous).
+func (co ColumnOrder) Validate() error {
+	if co.Direction != Asc && co.Direction != Desc {
+		return fmt.Errorf("relation: invalid direction %d", co.Direction)
+	}
+	if co.Nulls != NullsFirst && co.Nulls != NullsLast {
+		return fmt.Errorf("relation: invalid null placement %d", co.Nulls)
+	}
+	switch co.Collation {
+	case CollateDefault, CollateLexicographic, CollateNumeric, CollateDate, CollateCaseInsensitive:
+		if len(co.Ranks) > 0 {
+			return fmt.Errorf("relation: Ranks set with collation %q (only \"rank\" reads them)", co.Collation)
+		}
+	case CollateRank:
+		if len(co.Ranks) == 0 {
+			return fmt.Errorf("relation: rank collation requires a non-empty rank list")
+		}
+		seen := make(map[string]bool, len(co.Ranks))
+		for _, v := range co.Ranks {
+			if v == "" {
+				return fmt.Errorf("relation: rank list contains an empty value (NULL placement is controlled by NullOrder)")
+			}
+			if seen[v] {
+				return fmt.Errorf("relation: rank list repeats value %q", v)
+			}
+			seen[v] = true
+		}
+	default:
+		return fmt.Errorf("relation: invalid collation %d", co.Collation)
+	}
+	return nil
+}
+
+// String renders the order in the spec grammar, e.g. "desc nulls last
+// collate numeric". The default collation is omitted; rank lists are quoted.
+func (co ColumnOrder) String() string {
+	var b strings.Builder
+	b.WriteString(co.Direction.String())
+	b.WriteString(" nulls ")
+	b.WriteString(co.Nulls.String())
+	if co.Collation != CollateDefault {
+		b.WriteString(" collate ")
+		b.WriteString(co.Collation.String())
+	}
+	for i, v := range co.Ranks {
+		if i == 0 {
+			b.WriteString(" (")
+		} else {
+			b.WriteString(" < ")
+		}
+		b.WriteString(strconv.Quote(v))
+	}
+	if len(co.Ranks) > 0 {
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// OrderSpec is a per-column ordering specification for a whole relation,
+// positional with its columns. nil means "every column default"; otherwise
+// the length must equal the relation's column count.
+type OrderSpec []ColumnOrder
+
+// EncodeSpec converts a raw relation into its rank-encoded form under the
+// given ordering spec: per column, distinct values are ordered by
+// Compare(spec[col], col.Type, ·, ·) and replaced by their dense 0-based
+// rank, with values equal under the collation sharing one rank. A nil spec
+// is the all-default spec, making EncodeSpec(r, nil) identical to Encode(r).
+func EncodeSpec(r *Relation, spec OrderSpec) (*Encoded, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if spec != nil && len(spec) != r.NumCols() {
+		return nil, fmt.Errorf("relation: order spec has %d entries, relation has %d columns", len(spec), r.NumCols())
+	}
+	rows := r.NumRows()
+	enc := &Encoded{
+		Name:        r.Name,
+		ColumnNames: r.ColumnNames(),
+		Values:      make([][]int32, r.NumCols()),
+		Cardinality: make([]int, r.NumCols()),
+		rows:        rows,
+	}
+	for ci, col := range r.Columns {
+		var co ColumnOrder
+		if spec != nil {
+			co = spec[ci]
+		}
+		if err := co.Validate(); err != nil {
+			return nil, fmt.Errorf("relation: column %q: %w", col.Name, err)
+		}
+		ranks, card, err := encodeColumn(col, co)
+		if err != nil {
+			return nil, fmt.Errorf("relation: column %q: %w", col.Name, err)
+		}
+		enc.Values[ci] = ranks
+		enc.Cardinality[ci] = card
+	}
+	return enc, nil
+}
+
+// encodeColumn rank-encodes one column under a column order. Distinct raw
+// values are keyed, sorted under the order, and grouped: values whose keys
+// compare equal (possible only under the merging collations — numeric, date,
+// case-insensitive, rank) share one dense rank.
+func encodeColumn(col Column, co ColumnOrder) ([]int32, int, error) {
+	distinct := make(map[string]struct{}, len(col.Raw))
+	for _, v := range col.Raw {
+		distinct[v] = struct{}{}
+	}
+	values := make([]string, 0, len(distinct))
+	for v := range distinct {
+		values = append(values, v)
+	}
+	maker := newKeyMaker(co, col.Type)
+	keys := make(map[string]sortKey, len(values))
+	for _, v := range values {
+		k, err := maker.key(v)
+		if err != nil {
+			return nil, 0, err
+		}
+		keys[v] = k
+	}
+	sort.Slice(values, func(i, j int) bool {
+		return co.compareKeys(keys[values[i]], keys[values[j]]) < 0
+	})
+	rank := make(map[string]int32, len(values))
+	next := int32(0)
+	for i, v := range values {
+		if i > 0 && co.compareKeys(keys[values[i-1]], keys[v]) != 0 {
+			next++
+		}
+		rank[v] = next
+	}
+	out := make([]int32, len(col.Raw))
+	for i, v := range col.Raw {
+		out[i] = rank[v]
+	}
+	card := 0
+	if len(values) > 0 {
+		card = int(next) + 1
+	}
+	return out, card, nil
+}
+
+// sortKey is the comparison key of one raw value under a column order. Keys
+// of one column are totally ordered by ColumnOrder.compareKeys; two keys
+// compare equal exactly when the raw values are equal under the collation.
+type sortKey struct {
+	null bool
+	// bucket separates a collation's primary values (parsed numbers/dates,
+	// listed ranks — bucket 0) from its fallback values (bucket 1), which
+	// sort after every primary value.
+	bucket uint8
+	// num orders bucket-0 values of the numeric-like collations (the parsed
+	// number, the date's unix time, or the rank-list index).
+	num float64
+	// str orders string-compared values (raw, lowered, or fallback-bucket).
+	str string
+	// tie is the raw-value tiebreak of non-merging collations; hasTie
+	// distinguishes "no tiebreak: equal keys merge" from an empty tie.
+	tie    string
+	hasTie bool
+}
+
+// compareKeys totally orders two non-null-aware keys under the column order:
+// nulls are placed by Nulls independent of Direction, and Direction inverts
+// the whole non-null comparison.
+func (co ColumnOrder) compareKeys(a, b sortKey) int {
+	if a.null || b.null {
+		switch {
+		case a.null && b.null:
+			return 0
+		case a.null:
+			if co.Nulls == NullsLast {
+				return 1
+			}
+			return -1
+		default:
+			if co.Nulls == NullsLast {
+				return -1
+			}
+			return 1
+		}
+	}
+	c := rawKeyCompare(a, b)
+	if co.Direction == Desc {
+		c = -c
+	}
+	return c
+}
+
+// rawKeyCompare orders two non-null keys ascending: bucket, then numeric
+// magnitude, then string comparand, then the raw tiebreak (when present).
+func rawKeyCompare(a, b sortKey) int {
+	if a.bucket != b.bucket {
+		return int(a.bucket) - int(b.bucket)
+	}
+	if a.num != b.num {
+		if a.num < b.num {
+			return -1
+		}
+		return 1
+	}
+	if c := strings.Compare(a.str, b.str); c != 0 {
+		return c
+	}
+	if a.hasTie || b.hasTie {
+		return strings.Compare(a.tie, b.tie)
+	}
+	return 0
+}
+
+// keyMaker builds sort keys for one column's values under one column order;
+// it pre-indexes the rank list of CollateRank so key building stays O(1).
+type keyMaker struct {
+	co    ColumnOrder
+	typ   Type
+	ranks map[string]int
+}
+
+func newKeyMaker(co ColumnOrder, t Type) keyMaker {
+	m := keyMaker{co: co, typ: t}
+	if co.Collation == CollateRank {
+		m.ranks = make(map[string]int, len(co.Ranks))
+		for i, v := range co.Ranks {
+			m.ranks[v] = i
+		}
+	}
+	return m
+}
+
+func (m keyMaker) key(raw string) (sortKey, error) {
+	if raw == "" {
+		return sortKey{null: true}, nil
+	}
+	switch m.co.Collation {
+	case CollateLexicographic:
+		return sortKey{str: raw}, nil
+	case CollateCaseInsensitive:
+		return sortKey{str: strings.ToLower(raw)}, nil
+	case CollateNumeric:
+		if f, err := strconv.ParseFloat(strings.TrimSpace(raw), 64); err == nil && !math.IsNaN(f) {
+			return sortKey{num: f}, nil
+		}
+		return sortKey{bucket: 1, str: raw}, nil
+	case CollateDate:
+		if ts, ok := parseDate(raw); ok {
+			return sortKey{num: float64(ts)}, nil
+		}
+		return sortKey{bucket: 1, str: raw}, nil
+	case CollateRank:
+		if i, ok := m.ranks[raw]; ok {
+			return sortKey{num: float64(i)}, nil
+		}
+		return sortKey{bucket: 1, str: raw}, nil
+	default:
+		return makeDefaultKey(m.typ, raw)
+	}
+}
+
+// makeDefaultKey is the type-driven key of CollateDefault: the historical
+// Encode behavior, including its errors on values that contradict the
+// declared type. Ties between distinct raw values that parse equal (e.g.
+// "1" and "1.0" as floats) are broken by the raw string, so distinct raw
+// values keep distinct ranks under the default collation.
+func makeDefaultKey(t Type, raw string) (sortKey, error) {
+	switch t {
+	case TypeInt:
+		n, err := strconv.ParseInt(strings.TrimSpace(raw), 10, 64)
+		if err != nil {
+			return sortKey{}, fmt.Errorf("value %q is not an integer: %w", raw, err)
+		}
+		return sortKey{num: float64(n), tie: raw, hasTie: true}, nil
+	case TypeFloat:
+		f, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil {
+			return sortKey{}, fmt.Errorf("value %q is not a float: %w", raw, err)
+		}
+		if math.IsNaN(f) {
+			// NaN breaks the strict weak order of float comparison (it is
+			// neither less than nor equal to anything); park it in the
+			// fallback bucket, ordered by raw string, to keep the key order
+			// total and deterministic.
+			return sortKey{bucket: 1, str: raw, tie: raw, hasTie: true}, nil
+		}
+		return sortKey{num: f, tie: raw, hasTie: true}, nil
+	case TypeDate:
+		if ts, ok := parseDate(raw); ok {
+			return sortKey{num: float64(ts), tie: raw, hasTie: true}, nil
+		}
+		return sortKey{}, fmt.Errorf("value %q is not a recognized date", raw)
+	default:
+		return sortKey{str: raw}, nil
+	}
+}
+
+// parseDate parses a raw value under the first matching accepted layout and
+// returns its unix time.
+func parseDate(raw string) (int64, bool) {
+	v := strings.TrimSpace(raw)
+	for _, layout := range dateLayouts {
+		if ts, err := time.Parse(layout, v); err == nil {
+			return ts.Unix(), true
+		}
+	}
+	return 0, false
+}
+
+// Compare is the reference comparator of the spec-to-rank contract: it
+// orders two raw values of a column with type t directly under the column
+// order, independently of the key-based encoding path. It is total on any
+// input (even values Encode would reject under CollateDefault — those fall
+// back to bytewise order so the comparator never errors), and EncodeSpec
+// guarantees sign(rank(a)-rank(b)) == sign(Compare(co, t, a, b)) for every
+// pair of values of an encoded column; FuzzEncodeSpec enforces exactly that.
+func Compare(co ColumnOrder, t Type, a, b string) int {
+	if a == "" || b == "" {
+		switch {
+		case a == "" && b == "":
+			return 0
+		case a == "":
+			if co.Nulls == NullsLast {
+				return 1
+			}
+			return -1
+		default:
+			if co.Nulls == NullsLast {
+				return -1
+			}
+			return 1
+		}
+	}
+	c := compareNonNull(co, t, a, b)
+	if co.Direction == Desc {
+		c = -c
+	}
+	return c
+}
+
+// compareNonNull orders two non-null values ascending under the collation.
+func compareNonNull(co ColumnOrder, t Type, a, b string) int {
+	switch co.Collation {
+	case CollateLexicographic:
+		return strings.Compare(a, b)
+	case CollateCaseInsensitive:
+		return strings.Compare(strings.ToLower(a), strings.ToLower(b))
+	case CollateNumeric:
+		fa, oka := parseNumeric(a)
+		fb, okb := parseNumeric(b)
+		return comparePrimary(fa, oka, fb, okb, a, b, false)
+	case CollateDate:
+		da, oka := parseDate(a)
+		db, okb := parseDate(b)
+		return comparePrimary(float64(da), oka, float64(db), okb, a, b, false)
+	case CollateRank:
+		ia, oka := rankIndex(co.Ranks, a)
+		ib, okb := rankIndex(co.Ranks, b)
+		return comparePrimary(float64(ia), oka, float64(ib), okb, a, b, false)
+	default:
+		switch t {
+		case TypeInt, TypeFloat:
+			fa, oka := parseNumeric(a)
+			fb, okb := parseNumeric(b)
+			return comparePrimary(fa, oka, fb, okb, a, b, true)
+		case TypeDate:
+			da, oka := parseDate(a)
+			db, okb := parseDate(b)
+			return comparePrimary(float64(da), oka, float64(db), okb, a, b, true)
+		default:
+			return strings.Compare(a, b)
+		}
+	}
+}
+
+// comparePrimary orders two values that each either carry a primary numeric
+// magnitude (ok) or fall back to bytewise order: primaries first, then
+// magnitude, then — for non-merging (default) collations — the raw string.
+func comparePrimary(fa float64, oka bool, fb float64, okb bool, a, b string, tieOnRaw bool) int {
+	switch {
+	case oka && okb:
+		if fa != fb {
+			if fa < fb {
+				return -1
+			}
+			return 1
+		}
+		if tieOnRaw {
+			return strings.Compare(a, b)
+		}
+		return 0
+	case oka:
+		return -1
+	case okb:
+		return 1
+	default:
+		return strings.Compare(a, b)
+	}
+}
+
+// parseNumeric parses a float, rejecting NaN (which would break totality).
+func parseNumeric(raw string) (float64, bool) {
+	f, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+	if err != nil || math.IsNaN(f) {
+		return 0, false
+	}
+	return f, true
+}
+
+// rankIndex is the naive rank-list lookup of the reference comparator (the
+// encode path pre-indexes; this one deliberately stays independent).
+func rankIndex(ranks []string, v string) (int, bool) {
+	for i, r := range ranks {
+		if r == v {
+			return i, true
+		}
+	}
+	return 0, false
+}

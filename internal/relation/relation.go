@@ -4,12 +4,18 @@
 // Section 4.6 of the paper ("The values of the columns are replaced with
 // integers ... in a way that the equivalence classes do not change and the
 // ordering is preserved").
+//
+// Ordering semantics are first-class: an OrderSpec chooses, per column, the
+// sort direction (Asc/Desc), the NULL placement (NullsFirst/NullsLast) and
+// the collation (type-driven default, lexicographic, numeric, date,
+// case-insensitive, or a user-defined rank list), and EncodeSpec compiles
+// the whole spec into plain dense ranks. Downstream algorithms never see
+// the spec — integer order IS the requested order.
 package relation
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -260,122 +266,33 @@ func (e *Encoded) HeadRows(n int) *Encoded {
 	}
 }
 
-// Encode converts a raw relation into its rank-encoded form. Each column is
-// encoded independently: its distinct values are sorted according to the
-// column type and replaced by their dense rank (0-based). Missing values
-// (empty strings) sort before every other value, mirroring SQL NULLS FIRST
-// under ascending order.
+// Encode converts a raw relation into its rank-encoded form under the
+// default ordering: each column is encoded independently, its distinct
+// values sorted according to the column type (ascending, missing values —
+// empty strings — first, mirroring SQL NULLS FIRST) and replaced by their
+// dense rank (0-based). Encode(r) is exactly EncodeSpec(r, nil); pass an
+// OrderSpec to EncodeSpec to choose per-column direction, NULL placement
+// and collation instead. Either way the encoding honors the spec-to-rank
+// contract: equal ranks ⇔ equal values under the collation, and rank order
+// ⇔ value order under the column order.
 func Encode(r *Relation) (*Encoded, error) {
-	if err := r.Validate(); err != nil {
-		return nil, err
-	}
-	rows := r.NumRows()
-	enc := &Encoded{
-		Name:        r.Name,
-		ColumnNames: r.ColumnNames(),
-		Values:      make([][]int32, r.NumCols()),
-		Cardinality: make([]int, r.NumCols()),
-		rows:        rows,
-	}
-	for ci, col := range r.Columns {
-		ranks, card, err := encodeColumn(col)
-		if err != nil {
-			return nil, fmt.Errorf("relation: column %q: %w", col.Name, err)
-		}
-		enc.Values[ci] = ranks
-		enc.Cardinality[ci] = card
-	}
-	return enc, nil
-}
-
-// encodeColumn rank-encodes one column.
-func encodeColumn(col Column) ([]int32, int, error) {
-	distinct := make(map[string]struct{}, len(col.Raw))
-	for _, v := range col.Raw {
-		distinct[v] = struct{}{}
-	}
-	values := make([]string, 0, len(distinct))
-	for v := range distinct {
-		values = append(values, v)
-	}
-	keys := make(map[string]sortKey, len(values))
-	for _, v := range values {
-		k, err := makeSortKey(col.Type, v)
-		if err != nil {
-			return nil, 0, err
-		}
-		keys[v] = k
-	}
-	sort.Slice(values, func(i, j int) bool {
-		return keys[values[i]].less(keys[values[j]])
-	})
-	rank := make(map[string]int32, len(values))
-	for i, v := range values {
-		rank[v] = int32(i)
-	}
-	out := make([]int32, len(col.Raw))
-	for i, v := range col.Raw {
-		out[i] = rank[v]
-	}
-	return out, len(values), nil
-}
-
-// sortKey is a type-aware comparison key for a raw value.
-type sortKey struct {
-	null bool
-	num  float64
-	str  string
-	kind Type
-}
-
-func (k sortKey) less(other sortKey) bool {
-	if k.null != other.null {
-		return k.null // nulls first
-	}
-	switch k.kind {
-	case TypeInt, TypeFloat, TypeDate:
-		if k.num != other.num {
-			return k.num < other.num
-		}
-		return k.str < other.str
-	default:
-		return k.str < other.str
-	}
-}
-
-func makeSortKey(t Type, raw string) (sortKey, error) {
-	if raw == "" {
-		return sortKey{null: true, kind: t}, nil
-	}
-	switch t {
-	case TypeInt:
-		n, err := strconv.ParseInt(strings.TrimSpace(raw), 10, 64)
-		if err != nil {
-			return sortKey{}, fmt.Errorf("value %q is not an integer: %w", raw, err)
-		}
-		return sortKey{num: float64(n), str: raw, kind: t}, nil
-	case TypeFloat:
-		f, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
-		if err != nil {
-			return sortKey{}, fmt.Errorf("value %q is not a float: %w", raw, err)
-		}
-		return sortKey{num: f, str: raw, kind: t}, nil
-	case TypeDate:
-		for _, layout := range dateLayouts {
-			if ts, err := time.Parse(layout, strings.TrimSpace(raw)); err == nil {
-				return sortKey{num: float64(ts.Unix()), str: raw, kind: t}, nil
-			}
-		}
-		return sortKey{}, fmt.Errorf("value %q is not a recognized date", raw)
-	default:
-		return sortKey{str: raw, kind: t}, nil
-	}
+	return EncodeSpec(r, nil)
 }
 
 // SniffType inspects sample values and returns the most specific type that
 // parses every non-empty value: int, then float, then date, then string.
+// Dates only sniff when ONE accepted layout parses every non-empty value;
+// columns mixing layouts (e.g. "2006-01-02" and "01/02/2006") fall back to
+// string, because no single chronological interpretation covers them. The
+// sniffed type is only a default — an OrderSpec collation overrides it at
+// encode time.
 func SniffType(values []string) Type {
-	isInt, isFloat, isDate := true, true, true
+	isInt, isFloat := true, true
+	layoutOK := make([]bool, len(dateLayouts))
+	for i := range layoutOK {
+		layoutOK[i] = true
+	}
+	isDate := true
 	nonEmpty := 0
 	for _, v := range values {
 		v = strings.TrimSpace(v)
@@ -389,15 +306,19 @@ func SniffType(values []string) Type {
 		if _, err := strconv.ParseFloat(v, 64); err != nil {
 			isFloat = false
 		}
-		parsed := false
-		for _, layout := range dateLayouts {
-			if _, err := time.Parse(layout, v); err == nil {
-				parsed = true
-				break
+		if isDate {
+			any := false
+			for li, layout := range dateLayouts {
+				if !layoutOK[li] {
+					continue
+				}
+				if _, err := time.Parse(layout, v); err != nil {
+					layoutOK[li] = false
+				} else {
+					any = true
+				}
 			}
-		}
-		if !parsed {
-			isDate = false
+			isDate = any
 		}
 		if !isInt && !isFloat && !isDate {
 			return TypeString

@@ -90,6 +90,54 @@ func TestDiscoverCacheIsWorkerInvariant(t *testing.T) {
 	}
 }
 
+func TestDiscoverCacheDistinguishesOrderSpecs(t *testing.T) {
+	// Requests differing only in order_specs ask different questions (the
+	// lattice runs over different rank encodings), so they must never share a
+	// cache entry — while each spec replays from its own entry.
+	s, ts := newTestServer(t, Config{})
+	upload(t, ts, "emp", csvOf(t, datagen.Employees())).Body.Close()
+
+	bodies := []string{
+		`{"order_specs":[{"column":"sal","direction":"desc"}]}`,
+		`{"order_specs":[{"column":"sal","direction":"desc","nulls":"last"}]}`,
+	}
+	for _, body := range bodies {
+		var out DiscoverResponse
+		_, raw := discoverRaw(t, ts.URL, "emp", body)
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Cached {
+			t.Errorf("first request under spec %q reported cached", body)
+		}
+	}
+	for _, body := range bodies {
+		var out DiscoverResponse
+		_, raw := discoverRaw(t, ts.URL, "emp", body)
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !out.Cached {
+			t.Errorf("repeat request under spec %q missed the cache", body)
+		}
+	}
+	if st := s.ReportCacheStats(); st.Entries != 2 || st.Misses != 2 || st.Hits != 2 {
+		t.Errorf("cache stats = %+v, want 2 entries, 2 misses, 2 hits", st)
+	}
+
+	// Spelling variants of the same canonical spec are the same question: the
+	// default placement written out explicitly must hit the desc entry.
+	var out DiscoverResponse
+	_, raw := discoverRaw(t, ts.URL, "emp",
+		`{"order_specs":[{"column":"sal","direction":"DESC","nulls":"first"}]}`)
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Cached {
+		t.Error("canonically-equal spec spelling missed the cache")
+	}
+}
+
 func TestDiscoverCacheInvalidatedOnVersionBump(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
 	upload(t, ts, "emp", csvOf(t, datagen.Employees())).Body.Close()

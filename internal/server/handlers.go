@@ -302,7 +302,13 @@ func (s *Server) prepareDiscover(w http.ResponseWriter, r *http.Request) (*fasto
 			return nil, fastod.Request{}, false
 		}
 	}
-	req := q.toRequest()
+	req, err := q.toRequest()
+	if err != nil {
+		// Unparseable order-spec enums are the client's doing, like any other
+		// malformed field.
+		writeError(w, http.StatusBadRequest, err)
+		return nil, fastod.Request{}, false
+	}
 	req.Budget = capBudget(req.Budget, s.maxBudget)
 	// The dataset-aware variant, so even failures Validate alone cannot see
 	// (condition attrs beyond the dataset's width) become clean 400s here —

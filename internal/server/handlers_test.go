@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -408,4 +409,86 @@ func parseSSE(t *testing.T, r io.Reader) []sseEvent {
 		t.Fatalf("no SSE events in stream %q", raw)
 	}
 	return events
+}
+
+func TestUploadReportsSchema(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := upload(t, ts, "emp", csvOf(t, datagen.Employees()))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status = %d, want 201", resp.StatusCode)
+	}
+	var info DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("decoding upload response: %v", err)
+	}
+	if len(info.Schema) != len(info.Columns) {
+		t.Fatalf("schema has %d entries for %d columns", len(info.Schema), len(info.Columns))
+	}
+	byName := make(map[string]ColumnInfo, len(info.Schema))
+	for i, c := range info.Schema {
+		if c.Name != info.Columns[i] {
+			t.Errorf("schema[%d].Name = %q, want %q (schema order must match column order)", i, c.Name, info.Columns[i])
+		}
+		if c.DefaultOrder != "asc nulls first" {
+			t.Errorf("schema[%d].DefaultOrder = %q, want the documented default", i, c.DefaultOrder)
+		}
+		byName[c.Name] = c
+	}
+	// The sniffer's verdict is what the client needs to pick a collation
+	// override: sal is numeric, posit is a string.
+	if byName["sal"].Type != "int" {
+		t.Errorf("sal sniffed as %q, want int", byName["sal"].Type)
+	}
+	if byName["posit"].Type != "string" {
+		t.Errorf("posit sniffed as %q, want string", byName["posit"].Type)
+	}
+
+	// GET returns the same schema.
+	got, err := http.Get(ts.URL + "/v1/datasets/emp")
+	if err != nil {
+		t.Fatalf("GET dataset: %v", err)
+	}
+	defer got.Body.Close()
+	var info2 DatasetInfo
+	if err := json.NewDecoder(got.Body).Decode(&info2); err != nil {
+		t.Fatalf("decoding GET response: %v", err)
+	}
+	if !reflect.DeepEqual(info, info2) {
+		t.Errorf("GET schema diverges from upload schema:\n %+v\n %+v", info, info2)
+	}
+}
+
+func TestDiscoverOrderSpecErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	upload(t, ts, "emp", csvOf(t, datagen.Employees())).Body.Close()
+
+	cases := []struct{ body, want string }{
+		{`{"order_specs":[{"column":"sal","direction":"sideways"}]}`, "unknown direction"},
+		{`{"order_specs":[{"column":"sal","nulls":"middle"}]}`, "unknown null placement"},
+		{`{"order_specs":[{"column":"sal","collation":"emoji"}]}`, "unknown collation"},
+		{`{"order_specs":[{"column":"ghost","direction":"desc"}]}`, "unknown column"},
+		{`{"order_specs":[{"column":"sal","collation":"rank"}]}`, "rank"},
+		{`{"order_specs":[{"column":"sal","direction":"desc"},{"column":"sal","direction":"desc"}]}`, "twice"},
+	}
+	for _, tc := range cases {
+		status, _, errBody := discover(t, ts, "emp", tc.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("body %s status = %d, want 400", tc.body, status)
+			continue
+		}
+		if !strings.Contains(errBody.Error, tc.want) {
+			t.Errorf("body %s error = %q, want substring %q", tc.body, errBody.Error, tc.want)
+		}
+	}
+
+	// A valid spec with a rank collation and list works end to end.
+	status, out, errBody := discover(t, ts, "emp",
+		`{"order_specs":[{"column":"subg","collation":"rank","ranks":["I","II","III"]}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("rank-collation discover status = %d (%+v)", status, errBody)
+	}
+	if out.Count == 0 {
+		t.Error("rank-collation discover found nothing on the employees fixture")
+	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"time"
 
 	fastod "repro"
@@ -26,9 +27,50 @@ type DiscoverRequest struct {
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 	MaxNodes  int    `json:"max_nodes,omitempty"`
 
+	// OrderSpecs override per-column ordering semantics for the run. The
+	// entries become Request.OrderSpecs and therefore part of the report-cache
+	// key: two requests differing only here never share a cached report.
+	OrderSpecs []OrderSpecJSON `json:"order_specs,omitempty"`
+
 	FASTOD      *FASTODOptions      `json:"fastod,omitempty"`
 	Approx      *ApproxOptions      `json:"approx,omitempty"`
 	Conditional *ConditionalOptions `json:"conditional,omitempty"`
+}
+
+// OrderSpecJSON is the wire form of one fastod.AttrOrder. The enums travel as
+// their textual spellings ("asc"/"desc", "first"/"last", "lexicographic",
+// "numeric", "date", "case-insensitive", "rank"; case-insensitive, empty =
+// default); Ranks carries the value list of the rank collation, lowest first.
+type OrderSpecJSON struct {
+	Column    string   `json:"column"`
+	Direction string   `json:"direction,omitempty"`
+	Nulls     string   `json:"nulls,omitempty"`
+	Collation string   `json:"collation,omitempty"`
+	Ranks     []string `json:"ranks,omitempty"`
+}
+
+// toAttrOrder parses the textual enum spellings. Failures are client errors:
+// the caller maps them onto HTTP 400.
+func (o OrderSpecJSON) toAttrOrder() (fastod.AttrOrder, error) {
+	dir, err := fastod.ParseOrderDirection(o.Direction)
+	if err != nil {
+		return fastod.AttrOrder{}, fmt.Errorf("order_specs entry %q: %w", o.Column, err)
+	}
+	nulls, err := fastod.ParseNullOrder(o.Nulls)
+	if err != nil {
+		return fastod.AttrOrder{}, fmt.Errorf("order_specs entry %q: %w", o.Column, err)
+	}
+	coll, err := fastod.ParseCollation(o.Collation)
+	if err != nil {
+		return fastod.AttrOrder{}, fmt.Errorf("order_specs entry %q: %w", o.Column, err)
+	}
+	return fastod.AttrOrder{
+		Column:    o.Column,
+		Direction: dir,
+		Nulls:     nulls,
+		Collation: coll,
+		Ranks:     o.Ranks,
+	}, nil
 }
 
 // FASTODOptions mirrors fastod.FASTODRunOptions.
@@ -53,10 +95,12 @@ type ConditionalOptions struct {
 	ConditionAttrs          []int `json:"condition_attrs,omitempty"`
 }
 
-// toRequest maps the wire request onto the library envelope. No validation
-// happens here: Request.Validate owns that, so invalid values (negative
-// workers, out-of-range thresholds) surface as typed 400s, not decode quirks.
-func (q DiscoverRequest) toRequest() fastod.Request {
+// toRequest maps the wire request onto the library envelope. The only
+// validation here is parsing the textual order-spec enums (the mapping cannot
+// exist without it); everything else is Request.Validate's, so invalid values
+// (negative workers, out-of-range thresholds) surface as typed 400s, not
+// decode quirks.
+func (q DiscoverRequest) toRequest() (fastod.Request, error) {
 	req := fastod.Request{
 		Algorithm: fastod.Algorithm(q.Algorithm),
 		RunOptions: fastod.RunOptions{
@@ -68,6 +112,13 @@ func (q DiscoverRequest) toRequest() fastod.Request {
 				MaxNodes: q.MaxNodes,
 			},
 		},
+	}
+	for _, o := range q.OrderSpecs {
+		ao, err := o.toAttrOrder()
+		if err != nil {
+			return fastod.Request{}, err
+		}
+		req.OrderSpecs = append(req.OrderSpecs, ao)
 	}
 	if q.FASTOD != nil {
 		req.FASTOD = fastod.FASTODRunOptions{
@@ -89,18 +140,35 @@ func (q DiscoverRequest) toRequest() fastod.Request {
 			ConditionAttrs:          q.Conditional.ConditionAttrs,
 		}
 	}
-	return req
+	return req, nil
 }
 
-// DatasetInfo describes one resident dataset.
+// ColumnInfo is the per-column schema entry of DatasetInfo: the sniffed (or
+// declared) type that drives the default collation, and the default order the
+// column is encoded under — what an order_specs entry would override.
+type ColumnInfo struct {
+	Name         string `json:"name"`
+	Type         string `json:"type"`
+	DefaultOrder string `json:"default_order"`
+}
+
+// DatasetInfo describes one resident dataset. Schema is returned both by the
+// upload response and GET /v1/datasets/{name}, so clients can inspect the
+// sniffed types before choosing order_specs overrides.
 type DatasetInfo struct {
-	Name    string   `json:"name"`
-	Rows    int      `json:"rows"`
-	Columns []string `json:"columns"`
+	Name    string       `json:"name"`
+	Rows    int          `json:"rows"`
+	Columns []string     `json:"columns"`
+	Schema  []ColumnInfo `json:"schema"`
 }
 
 func datasetInfo(name string, ds *fastod.Dataset) DatasetInfo {
-	return DatasetInfo{Name: name, Rows: ds.NumRows(), Columns: ds.ColumnNames()}
+	names, types := ds.ColumnNames(), ds.ColumnTypes()
+	schema := make([]ColumnInfo, len(names))
+	for i, n := range names {
+		schema[i] = ColumnInfo{Name: n, Type: types[i], DefaultOrder: "asc nulls first"}
+	}
+	return DatasetInfo{Name: name, Rows: ds.NumRows(), Columns: names, Schema: schema}
 }
 
 // DatasetList is the response of GET /v1/datasets.

@@ -1,0 +1,358 @@
+package fastod
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/lattice"
+	"repro/internal/odparse"
+	"repro/internal/relation"
+)
+
+// This file is the public face of first-class ordering semantics: the
+// AttrOrder entries of Request.OrderSpecs, their canonicalization and
+// validation, the textual spec parser shared with the CLIs, and the
+// dataset's bounded cache of per-spec re-encodings. The flow is one-way:
+// named AttrOrders are canonicalized, fingerprinted, compiled onto the
+// dataset's columns as a relation.OrderSpec, and encoded away — every
+// discovery algorithm runs on the resulting plain ranks.
+
+// OrderDirection is the per-attribute sort direction of an order spec. (The
+// name avoids the package's existing Direction alias, which is the
+// bidirectional-OD arrow of DiscoverBidirectional.)
+type OrderDirection = relation.Direction
+
+// NullOrder places NULLs relative to every non-null value, independent of
+// the direction.
+type NullOrder = relation.NullOrder
+
+// Collation chooses the comparator non-null values are ranked under.
+type Collation = relation.Collation
+
+// The order-spec enums, re-exported from internal/relation. Zero values are
+// the defaults: ascending, NULLS FIRST, type-driven comparison.
+const (
+	OrderAsc         = relation.Asc
+	OrderDesc        = relation.Desc
+	NullsFirst       = relation.NullsFirst
+	NullsLast        = relation.NullsLast
+	CollateDefault   = relation.CollateDefault
+	CollateLex       = relation.CollateLexicographic
+	CollateNumeric   = relation.CollateNumeric
+	CollateDate      = relation.CollateDate
+	CollateCaseInsen = relation.CollateCaseInsensitive
+	CollateRank      = relation.CollateRank
+)
+
+// ParseOrderDirection, ParseNullOrder and ParseCollation parse the wire/CLI
+// spellings of the enums (case-insensitive; empty string = default).
+var (
+	ParseOrderDirection = relation.ParseDirection
+	ParseNullOrder      = relation.ParseNullOrder
+	ParseCollation      = relation.ParseCollation
+)
+
+// AttrOrder overrides the ordering semantics of one named column: sort
+// direction, NULL placement and collation (with a value list for
+// CollateRank). The zero override (just a column name) is a no-op: it
+// selects the default order the column would have anyway, and Canonical
+// erases it.
+type AttrOrder struct {
+	// Column names the attribute the override applies to.
+	Column string
+	// Direction is the sort direction (default ascending).
+	Direction OrderDirection
+	// Nulls places NULLs independent of Direction (default NULLS FIRST).
+	Nulls NullOrder
+	// Collation chooses the comparator (default: the column's sniffed or
+	// declared type).
+	Collation Collation
+	// Ranks is the user-defined value order of CollateRank, lowest first.
+	Ranks []string
+}
+
+// columnOrder compiles the override into the relation-level ColumnOrder.
+func (o AttrOrder) columnOrder() relation.ColumnOrder {
+	return relation.ColumnOrder{
+		Direction: o.Direction,
+		Nulls:     o.Nulls,
+		Collation: o.Collation,
+		Ranks:     o.Ranks,
+	}
+}
+
+// isDefault reports whether the override changes nothing.
+func (o AttrOrder) isDefault() bool { return o.columnOrder().IsDefault() }
+
+// ParseOrderSpecs parses a comma-separated textual order spec — the grammar
+// of the -order-spec CLI flag and of per-attribute modifiers in OD
+// expressions, e.g.
+//
+//	salary desc nulls last, name collate ci, grade desc
+//
+// Keywords are case-insensitive; every modifier is optional and a bare
+// column name is a (canonically erased) no-op. The rank collation has no
+// textual form — supply AttrOrder.Ranks programmatically or over JSON.
+func ParseOrderSpecs(input string) ([]AttrOrder, error) {
+	parsed, err := odparse.ParseOrderSpec(input)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AttrOrder, len(parsed))
+	for i, no := range parsed {
+		out[i] = AttrOrder{
+			Column:    no.Name,
+			Direction: no.Order.Direction,
+			Nulls:     no.Order.Nulls,
+			Collation: no.Order.Collation,
+			Ranks:     no.Order.Ranks,
+		}
+	}
+	return out, nil
+}
+
+// validateAttrOrders checks a Request.OrderSpecs list without a dataset:
+// non-empty unique column names and per-entry ColumnOrder validity. (Whether
+// the columns exist is dataset-aware and checked by ValidateRequest.)
+func validateAttrOrders(orders []AttrOrder) error {
+	seen := make(map[string]bool, len(orders))
+	for i, o := range orders {
+		if o.Column == "" {
+			return fmt.Errorf("OrderSpecs[%d] has an empty column name", i)
+		}
+		if seen[o.Column] {
+			return fmt.Errorf("OrderSpecs names column %q twice", o.Column)
+		}
+		seen[o.Column] = true
+		if err := o.columnOrder().Validate(); err != nil {
+			return fmt.Errorf("OrderSpecs[%d] (column %q): %v", i, o.Column, err)
+		}
+	}
+	return nil
+}
+
+// canonicalAttrOrders returns the canonical form of an OrderSpecs list:
+// fully-default entries dropped (naming a column without overriding anything
+// is a no-op), the rest sorted by column name (entries configure their
+// columns independently, so listing order is presentation), nil when nothing
+// survives. Two lists canonicalize equal exactly when they select the same
+// per-column orders, which is what Fingerprint serializes.
+func canonicalAttrOrders(orders []AttrOrder) []AttrOrder {
+	var out []AttrOrder
+	for _, o := range orders {
+		if o.isDefault() {
+			continue
+		}
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Column < out[j].Column })
+	return out
+}
+
+// orderSpecKey serializes canonical AttrOrders into the cache key of a spec
+// re-encoding. Quoting makes distinct specs collision-free.
+func orderSpecKey(orders []AttrOrder) string {
+	var b strings.Builder
+	for _, o := range orders {
+		fmt.Fprintf(&b, "%s:%d,%d,%d", strconv.Quote(o.Column), o.Direction, o.Nulls, o.Collation)
+		for _, v := range o.Ranks {
+			b.WriteByte(',')
+			b.WriteString(strconv.Quote(v))
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// defaultSpecEncodingBytes bounds the per-dataset cache of spec re-encodings:
+// enough for a handful of specs on mid-size relations, small enough that a
+// spec-per-request adversary cannot hold the heap hostage (entries beyond the
+// bound evict LRU; oversized single encodings are served but never retained).
+const defaultSpecEncodingBytes = 64 << 20
+
+// specEncoding is one cached re-encoding of a dataset under a non-default
+// order spec, with the partition store bound to it (non-nil exactly when the
+// dataset itself caches partitions).
+type specEncoding struct {
+	enc   *relation.Encoded
+	parts *lattice.PartitionStore
+	cost  int64
+	used  uint64 // LRU stamp
+}
+
+// specEncodings is the mutex-guarded, byte-bounded LRU of a dataset's spec
+// re-encodings, keyed by orderSpecKey. It mirrors the PartitionStore's
+// philosophy: correctness never depends on it, only the cost of a repeat
+// request does.
+type specEncodings struct {
+	mu      sync.Mutex
+	entries map[string]*specEncoding
+	clock   uint64
+	bytes   int64
+}
+
+// encodingFor resolves the rank encoding and partition store a validated
+// request runs on. Default spec: the dataset's own encoding and store
+// resolution (including the Request.Partitions override). Non-default spec:
+// a per-spec re-encoding from the cache (encoded on miss), with its own
+// store — never the dataset's, which is bound to the default encoding.
+func (d *Dataset) encodingFor(req Request) (*relation.Encoded, *lattice.PartitionStore, error) {
+	orders := canonicalAttrOrders(req.OrderSpecs)
+	if len(orders) == 0 {
+		return d.enc, d.partitions(req.Partitions), nil
+	}
+	se, err := d.specEncoding(orders)
+	if err != nil {
+		return nil, nil, err
+	}
+	return se.enc, se.parts, nil
+}
+
+// SpecEncoded returns the dataset re-encoded under the given (non-canonical
+// is fine) order overrides, from the cache when warm. It is how spec-aware
+// single-statement checks (CheckStatement) and tests reach the same encoding
+// Run would use.
+func (d *Dataset) SpecEncoded(orders []AttrOrder) (*relation.Encoded, error) {
+	canon := canonicalAttrOrders(orders)
+	if len(canon) == 0 {
+		return d.enc, nil
+	}
+	if err := validateAttrOrders(canon); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	se, err := d.specEncoding(canon)
+	if err != nil {
+		return nil, err
+	}
+	return se.enc, nil
+}
+
+// specEncoding returns the cached re-encoding for canonical orders, encoding
+// on miss. orders must be canonical (non-empty, validated, sorted).
+func (d *Dataset) specEncoding(orders []AttrOrder) (*specEncoding, error) {
+	key := orderSpecKey(orders)
+	s := &d.specs
+	s.mu.Lock()
+	if se, ok := s.entries[key]; ok {
+		s.clock++
+		se.used = s.clock
+		s.mu.Unlock()
+		return se, nil
+	}
+	s.mu.Unlock()
+
+	// Encode outside the lock: re-encoding is O(rows·cols·log) and must not
+	// serialize concurrent runs under different specs.
+	spec, err := d.relationSpec(orders)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := relation.EncodeSpec(d.specView(), spec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	se := &specEncoding{enc: enc, cost: encodedCost(enc)}
+	if d.parts != nil {
+		// The dataset opted into partition caching; give the spec encoding
+		// its own store (a store is bound to exactly one Encoded instance).
+		se.parts = lattice.NewPartitionStore(0)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.entries[key]; ok {
+		// Lost a race with a concurrent encoder; keep the incumbent so every
+		// caller shares one instance (and one partition store).
+		s.clock++
+		prev.used = s.clock
+		return prev, nil
+	}
+	if se.cost > defaultSpecEncodingBytes {
+		// Never retain an encoding that alone busts the bound — serve it
+		// uncached; the caller holds the only reference.
+		return se, nil
+	}
+	if s.entries == nil {
+		s.entries = make(map[string]*specEncoding)
+	}
+	for s.bytes+se.cost > defaultSpecEncodingBytes {
+		var lruKey string
+		var lru *specEncoding
+		for k, e := range s.entries {
+			if lru == nil || e.used < lru.used {
+				lruKey, lru = k, e
+			}
+		}
+		if lru == nil {
+			break
+		}
+		s.bytes -= lru.cost
+		delete(s.entries, lruKey)
+	}
+	s.clock++
+	se.used = s.clock
+	s.entries[key] = se
+	s.bytes += se.cost
+	return se, nil
+}
+
+// SpecEncodingCacheStats reports the spec re-encoding cache's accounting:
+// resident encodings and their byte cost. For observability endpoints and
+// tests; the bound itself is fixed at 64 MiB per dataset.
+func (d *Dataset) SpecEncodingCacheStats() (entries int, bytes int64) {
+	d.specs.mu.Lock()
+	defer d.specs.mu.Unlock()
+	return len(d.specs.entries), d.specs.bytes
+}
+
+// encodedCost is the byte cost a cached re-encoding is accounted at: the
+// rank arenas dominate, everything else is noise.
+func encodedCost(enc *relation.Encoded) int64 {
+	return int64(enc.NumCols()) * int64(enc.NumRows()) * 4
+}
+
+// specView returns the raw relation matching the dataset's encoded view.
+// Project and HeadRows views share the full backing relation but narrow the
+// encoding to its first k columns / first n rows, so the raw view is the
+// same prefix slice.
+func (d *Dataset) specView() *relation.Relation {
+	cols, rows := d.enc.NumCols(), d.enc.NumRows()
+	if cols == d.rel.NumCols() && rows == d.rel.NumRows() {
+		return d.rel
+	}
+	out := &relation.Relation{Name: d.rel.Name, Columns: make([]relation.Column, cols)}
+	for i := 0; i < cols; i++ {
+		c := d.rel.Columns[i]
+		out.Columns[i] = relation.Column{Name: c.Name, Type: c.Type, Raw: c.Raw[:rows]}
+	}
+	return out
+}
+
+// relationSpec compiles named overrides onto the dataset's columns as a
+// positional relation.OrderSpec.
+func (d *Dataset) relationSpec(orders []AttrOrder) (relation.OrderSpec, error) {
+	spec := make(relation.OrderSpec, d.enc.NumCols())
+	for _, o := range orders {
+		i := d.enc.ColumnIndex(o.Column)
+		if i < 0 {
+			return nil, fmt.Errorf("%w: OrderSpecs names unknown column %q", ErrInvalidRequest, o.Column)
+		}
+		spec[i] = o.columnOrder()
+	}
+	return spec, nil
+}
+
+// ColumnTypes returns the sniffed (or declared) type name of every column in
+// schema order — the vocabulary of the default collation, served by the
+// server's schema endpoint so clients can decide which collation override to
+// request.
+func (d *Dataset) ColumnTypes() []string {
+	out := make([]string, d.enc.NumCols())
+	for i := range out {
+		out[i] = d.rel.Columns[i].Type.String()
+	}
+	return out
+}

@@ -123,8 +123,21 @@ type RunOptions struct {
 	Budget Budget
 	// Partitions, when non-nil, overrides the dataset's shared partition
 	// store for this run (see EnablePartitionCache and NewPartitionStore).
-	// Ignored by ORDER, which does not use stripped partitions.
+	// Ignored by ORDER, which does not use stripped partitions. Incompatible
+	// with OrderSpecs: a store is bound to one rank encoding, and an order
+	// spec selects a different one.
 	Partitions *PartitionStore
+	// OrderSpecs overrides the ordering semantics of named columns for this
+	// run: per attribute, the sort direction (asc/desc), the NULL placement
+	// (nulls first/last) and the collation raw values are compared under.
+	// Columns not named keep the default order (ascending, NULLS FIRST,
+	// type-driven comparison). The dataset is transparently re-encoded under
+	// the spec (cached per canonical spec, bounded — see Dataset) and every
+	// algorithm runs on the resulting plain ranks; fully-default entries are
+	// erased by Canonical, so listing a column with no overrides is identical
+	// to not listing it. See the package documentation of internal/relation
+	// for the spec-to-rank contract.
+	OrderSpecs []AttrOrder
 }
 
 // FASTODRunOptions are the FASTOD-specific knobs of a Request, mirroring the
@@ -295,6 +308,15 @@ func (r Request) Validate() error {
 	default:
 		return fmt.Errorf("%w: unknown algorithm %q (want one of %v)", ErrInvalidRequest, r.Algorithm, Algorithms())
 	}
+	if err := validateAttrOrders(r.OrderSpecs); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	if r.Partitions != nil && len(canonicalAttrOrders(r.OrderSpecs)) > 0 {
+		// A PartitionStore is bound to exactly one rank encoding; a
+		// non-default order spec selects a different encoding, so an explicit
+		// store could never be consulted (or worse, would poison itself).
+		return fmt.Errorf("%w: Partitions cannot be combined with non-default OrderSpecs (the store is bound to the default encoding)", ErrInvalidRequest)
+	}
 	return nil
 }
 
@@ -306,8 +328,8 @@ func (r Request) Validate() error {
 func ResolveWorkers(requested int) int { return lattice.ResolveWorkers(requested) }
 
 // ValidateRequest is Validate plus the dataset-aware checks a bare Request
-// cannot perform — today, that Conditional.ConditionAttrs fit the dataset's
-// width. Run calls it before any encoding or store work; transport layers
+// cannot perform — that Conditional.ConditionAttrs fit the dataset's width
+// and that every OrderSpecs entry names an existing column. Run calls it before any encoding or store work; transport layers
 // call it to reject invalid requests before committing to a response (e.g.
 // before the SSE stream's 200 header goes on the wire).
 func (d *Dataset) ValidateRequest(req Request) error {
@@ -320,6 +342,11 @@ func (d *Dataset) ValidateRequest(req Request) error {
 				return fmt.Errorf("%w: Conditional.ConditionAttrs entry %d out of range (dataset has %d attributes)",
 					ErrInvalidRequest, attr, d.enc.NumCols())
 			}
+		}
+	}
+	for _, o := range req.OrderSpecs {
+		if d.enc.ColumnIndex(o.Column) < 0 {
+			return fmt.Errorf("%w: OrderSpecs names unknown column %q", ErrInvalidRequest, o.Column)
 		}
 	}
 	return nil
@@ -343,6 +370,13 @@ func (d *Dataset) ValidateRequest(req Request) error {
 //     pointer itself has no place in a request identity);
 //   - the sub-option blocks the selected algorithm never reads are zeroed
 //     (e.g. an approx threshold on a FASTOD request is dead weight);
+//   - OrderSpecs is canonicalized, NOT erased — ordering semantics change the
+//     encoding every algorithm runs on, so they are part of the question. The
+//     canonical form drops fully-default entries (naming a column without
+//     overriding anything is a no-op) and sorts the rest by column name (each
+//     entry configures its column independently, so listing order is
+//     presentation); nothing else is folded, so two specs canonicalize equal
+//     exactly when they select the same per-column orders;
 //   - for conditional runs, FASTOD.CountOnly is forced off (the run overrides
 //     it — its global-cover comparison needs materialized ODs), the zero
 //     cardinality/row knobs are resolved to their documented defaults, the
@@ -363,6 +397,7 @@ func (r Request) Canonical() Request {
 	r.Workers = 0
 	r.Scheduler = ""
 	r.Partitions = nil
+	r.OrderSpecs = canonicalAttrOrders(r.OrderSpecs)
 	if r.Algorithm != AlgorithmFASTOD && r.Algorithm != AlgorithmConditional {
 		r.FASTOD = FASTODRunOptions{}
 	}
@@ -431,6 +466,17 @@ func (r Request) Fingerprint() string {
 				}
 				b.WriteString(strconv.Itoa(a))
 			}
+		}
+	}
+	// Rendered only when a non-default spec survives canonicalization, so
+	// every pre-existing fingerprint (and cached report key) is unchanged.
+	// Column names are quoted — they may contain any delimiter — and rank
+	// lists are quoted element-wise, so distinct specs can never collide.
+	for _, o := range c.OrderSpecs {
+		fmt.Fprintf(&b, ";ord=%s:%d,%d,%d", strconv.Quote(o.Column), o.Direction, o.Nulls, o.Collation)
+		for _, v := range o.Ranks {
+			b.WriteByte(',')
+			b.WriteString(strconv.Quote(v))
 		}
 	}
 	return b.String()
@@ -551,9 +597,16 @@ func (d *Dataset) RunWithProgress(ctx context.Context, req Request, onProgress f
 	return rep, nil
 }
 
-// runRequest dispatches a validated request to its algorithm.
+// runRequest dispatches a validated request to its algorithm, first
+// resolving the rank encoding (and its partition store) the request's order
+// spec selects — under the default spec that is the dataset's own encoding;
+// otherwise a cached re-encoding. Algorithms are spec-oblivious: they only
+// ever see the resolved ranks.
 func (d *Dataset) runRequest(ctx context.Context, req Request, onProgress func(ProgressEvent)) (*Report, error) {
-	store := d.partitions(req.Partitions)
+	enc, store, err := d.encodingFor(req)
+	if err != nil {
+		return nil, err
+	}
 	rep := &Report{Algorithm: req.Algorithm}
 	if rep.Algorithm == "" {
 		rep.Algorithm = AlgorithmFASTOD
@@ -561,7 +614,7 @@ func (d *Dataset) runRequest(ctx context.Context, req Request, onProgress func(P
 	start := time.Now()
 	switch rep.Algorithm {
 	case AlgorithmFASTOD:
-		res, err := core.DiscoverContext(ctx, d.enc, d.coreOptions(req, store, onProgress))
+		res, err := core.DiscoverContext(ctx, enc, d.coreOptions(req, store, onProgress))
 		if err != nil {
 			return nil, err
 		}
@@ -575,7 +628,7 @@ func (d *Dataset) runRequest(ctx context.Context, req Request, onProgress func(P
 		}
 
 	case AlgorithmTANE:
-		res, err := tane.DiscoverContext(ctx, d.enc, tane.Options{
+		res, err := tane.DiscoverContext(ctx, enc, tane.Options{
 			Workers:    req.Workers,
 			Scheduler:  req.Scheduler,
 			MaxLevel:   req.MaxLevel,
@@ -590,7 +643,7 @@ func (d *Dataset) runRequest(ctx context.Context, req Request, onProgress func(P
 		rep.Stats = res.Stats
 
 	case AlgorithmApprox:
-		res, err := approx.DiscoverContext(ctx, d.enc, approx.Options{
+		res, err := approx.DiscoverContext(ctx, enc, approx.Options{
 			Threshold:  req.Approx.Threshold,
 			Workers:    req.Workers,
 			Scheduler:  req.Scheduler,
@@ -606,7 +659,7 @@ func (d *Dataset) runRequest(ctx context.Context, req Request, onProgress func(P
 		rep.Stats = res.Stats
 
 	case AlgorithmBidirectional:
-		res, err := bidir.DiscoverContext(ctx, d.enc, bidir.Options{
+		res, err := bidir.DiscoverContext(ctx, enc, bidir.Options{
 			Workers:    req.Workers,
 			Scheduler:  req.Scheduler,
 			MaxLevel:   req.MaxLevel,
@@ -626,7 +679,7 @@ func (d *Dataset) runRequest(ctx context.Context, req Request, onProgress func(P
 		// which requires materialized ODs on both sides; CountOnly would
 		// silently reduce every conditional report to zero findings.
 		discovery.CountOnly = false
-		res, err := conditional.DiscoverContext(ctx, d.enc, conditional.Options{
+		res, err := conditional.DiscoverContext(ctx, enc, conditional.Options{
 			MaxConditionCardinality: req.Conditional.MaxConditionCardinality,
 			MinSliceRows:            req.Conditional.MinSliceRows,
 			ConditionAttrs:          req.Conditional.ConditionAttrs,
@@ -648,7 +701,7 @@ func (d *Dataset) runRequest(ctx context.Context, req Request, onProgress func(P
 		}
 
 	case AlgorithmORDER:
-		res, err := order.DiscoverContext(ctx, d.enc, order.Options{
+		res, err := order.DiscoverContext(ctx, enc, order.Options{
 			Budget:   req.Budget,
 			MaxLevel: req.MaxLevel,
 			Progress: onProgress,

@@ -92,6 +92,48 @@ func TestSchedulerDifferential(t *testing.T) {
 	}
 }
 
+// TestSchedulerDifferentialOrderSpecs repeats the full six-algorithm
+// differential under a non-default order spec: direction, NULL placement and
+// collation overrides must not introduce any scheduler- or worker-dependence.
+// Every run re-encodes through the dataset's spec cache, so this also
+// exercises concurrent-ish reuse of one cached spec encoding across runs.
+func TestSchedulerDifferentialOrderSpecs(t *testing.T) {
+	ds := fastod.SyntheticFlight(200, 6, 2017)
+	specs := []fastod.AttrOrder{
+		{Column: "dep_time_4", Direction: fastod.OrderDesc, Nulls: fastod.NullsLast},
+		{Column: "carrier_name_3", Collation: fastod.CollateCaseInsen},
+	}
+	for name, base := range schedulerDiffRequests() {
+		t.Run(name, func(t *testing.T) {
+			var ref *fastod.Report
+			for _, sched := range []fastod.Scheduler{fastod.SchedulerBarrier, fastod.SchedulerDAG} {
+				for _, workers := range []int{1, 4} {
+					req := base
+					req.Workers = workers
+					req.Scheduler = sched
+					req.OrderSpecs = specs
+					rep, err := ds.Run(context.Background(), req)
+					if err != nil {
+						t.Fatalf("scheduler=%s workers=%d: %v", sched, workers, err)
+					}
+					if rep.Interrupted {
+						t.Fatalf("scheduler=%s workers=%d: unbudgeted run interrupted", sched, workers)
+					}
+					zeroReportTimings(rep)
+					if ref == nil {
+						ref = rep
+						continue
+					}
+					if !reflect.DeepEqual(ref, rep) {
+						t.Errorf("scheduler=%s workers=%d: spec-encoded report differs from barrier/workers=1\n got: %+v\nwant: %+v",
+							sched, workers, rep, ref)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestSchedulerDifferentialSecondShape repeats the core differential on a
 // dataset with a different correlation shape, so an ordering bug that happens
 // to be invisible on one generator still has a second chance to surface.
